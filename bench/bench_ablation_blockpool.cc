@@ -1,0 +1,99 @@
+// Ablation A2 — why blocks live in a pooled vector with a free list.
+//
+// Every S-Profile update may free one block and allocate another, so block
+// allocation is on the O(1) hot path. This bench compares the pool
+// against individual new/delete at the same churn pattern, and measures
+// the end-to-end effect with the update loop itself.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/block_set.h"
+#include "core/frequency_profile.h"
+#include "stream/log_stream.h"
+
+namespace {
+
+using sprofile::Block;
+using sprofile::BlockHandle;
+using sprofile::BlockPool;
+
+void BM_PoolAllocFreeChurn(benchmark::State& state) {
+  BlockPool pool;
+  // Steady-state churn: one alloc + one free per "update".
+  BlockHandle live = pool.Alloc(0, 0, 0);
+  for (auto _ : state) {
+    const BlockHandle next = pool.Alloc(1, 1, 1);
+    pool.Free(live);
+    live = next;
+    benchmark::DoNotOptimize(pool.Get(live).f);
+  }
+}
+BENCHMARK(BM_PoolAllocFreeChurn);
+
+void BM_NewDeleteChurn(benchmark::State& state) {
+  Block* live = new Block{0, 0, 0};
+  for (auto _ : state) {
+    Block* next = new Block{1, 1, 1};
+    delete live;
+    live = next;
+    benchmark::DoNotOptimize(live->f);
+  }
+  delete live;
+}
+BENCHMARK(BM_NewDeleteChurn);
+
+void BM_PoolBurstAllocThenFree(benchmark::State& state) {
+  const int64_t burst = state.range(0);
+  for (auto _ : state) {
+    BlockPool pool;
+    std::vector<BlockHandle> handles;
+    handles.reserve(burst);
+    for (int64_t i = 0; i < burst; ++i) {
+      handles.push_back(pool.Alloc(static_cast<uint32_t>(i),
+                                   static_cast<uint32_t>(i), i));
+    }
+    for (BlockHandle h : handles) pool.Free(h);
+    benchmark::DoNotOptimize(pool.slots());
+  }
+  state.SetItemsProcessed(state.iterations() * burst * 2);
+}
+BENCHMARK(BM_PoolBurstAllocThenFree)->Arg(1024)->Arg(65536);
+
+void BM_NewDeleteBurst(benchmark::State& state) {
+  const int64_t burst = state.range(0);
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<Block>> blocks;
+    blocks.reserve(burst);
+    for (int64_t i = 0; i < burst; ++i) {
+      blocks.push_back(std::make_unique<Block>(
+          Block{static_cast<uint32_t>(i), static_cast<uint32_t>(i), i}));
+    }
+    blocks.clear();
+    benchmark::DoNotOptimize(blocks.data());
+  }
+  state.SetItemsProcessed(state.iterations() * burst * 2);
+}
+BENCHMARK(BM_NewDeleteBurst)->Arg(1024)->Arg(65536);
+
+// End-to-end: the full update loop (which exercises the pool once or twice
+// per event) — the number the ablation ultimately protects.
+void BM_ProfileUpdateLoop(benchmark::State& state) {
+  const uint32_t m = static_cast<uint32_t>(state.range(0));
+  sprofile::FrequencyProfile p(m);
+  sprofile::stream::LogStreamGenerator gen(
+      sprofile::stream::MakePaperStreamConfig(1, m, /*seed=*/7));
+  for (auto _ : state) {
+    const auto t = gen.Next();
+    p.Apply(t.id, t.is_add);
+  }
+  state.counters["pool_slots"] = static_cast<double>(p.num_blocks());
+}
+BENCHMARK(BM_ProfileUpdateLoop)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Ablation A7 — what the key-mapping layer costs.
+//
+// FrequencyProfile needs dense ids; KeyedProfile adds a Robin-Hood hash
+// lookup per event (plus growth/recycling bookkeeping). This bench
+// measures dense vs keyed updates on identical streams, and the further
+// cost of string keys over integer keys.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/frequency_profile.h"
+#include "core/keyed_profile.h"
+#include "stream/log_stream.h"
+
+namespace {
+
+using sprofile::FrequencyProfile;
+using sprofile::KeyedProfile;
+using sprofile::KeyedProfileOptions;
+
+void BM_DenseUpdates(benchmark::State& state) {
+  const uint32_t m = static_cast<uint32_t>(state.range(0));
+  FrequencyProfile p(m);
+  sprofile::stream::LogStreamGenerator gen(
+      sprofile::stream::MakePaperStreamConfig(1, m, /*seed=*/3));
+  for (auto _ : state) {
+    const auto t = gen.Next();
+    p.Apply(t.id, t.is_add);
+    benchmark::DoNotOptimize(p.Mode().frequency);
+  }
+}
+BENCHMARK(BM_DenseUpdates)->Arg(1 << 14)->Arg(1 << 20);
+
+void BM_KeyedUint64Updates(benchmark::State& state) {
+  const uint32_t m = static_cast<uint32_t>(state.range(0));
+  KeyedProfileOptions opts;
+  opts.initial_capacity = m;
+  opts.create_on_remove = true;  // match the unchecked dense semantics
+  KeyedProfile<uint64_t> p(opts);
+  sprofile::stream::LogStreamGenerator gen(
+      sprofile::stream::MakePaperStreamConfig(1, m, /*seed=*/3));
+  for (auto _ : state) {
+    const auto t = gen.Next();
+    // Spread ids over the 64-bit space so the hash layer does real work.
+    const uint64_t key = static_cast<uint64_t>(t.id) * 0x9e3779b97f4a7c15ULL;
+    benchmark::DoNotOptimize(p.Apply(key, t.is_add).ok());
+  }
+  state.counters["keys"] = static_cast<double>(p.num_keys());
+}
+BENCHMARK(BM_KeyedUint64Updates)->Arg(1 << 14)->Arg(1 << 20);
+
+void BM_KeyedStringUpdates(benchmark::State& state) {
+  const uint32_t m = static_cast<uint32_t>(state.range(0));
+  KeyedProfileOptions opts;
+  opts.initial_capacity = m;
+  opts.create_on_remove = true;
+  KeyedProfile<std::string> p(opts);
+  sprofile::stream::LogStreamGenerator gen(
+      sprofile::stream::MakePaperStreamConfig(1, m, /*seed=*/3));
+  // Pre-render keys ("user-<id>") so formatting is not measured.
+  std::vector<std::string> keys;
+  keys.reserve(m);
+  for (uint32_t i = 0; i < m; ++i) keys.push_back("user-" + std::to_string(i));
+  for (auto _ : state) {
+    const auto t = gen.Next();
+    benchmark::DoNotOptimize(p.Apply(keys[t.id], t.is_add).ok());
+  }
+}
+BENCHMARK(BM_KeyedStringUpdates)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_KeyedChurnWithRecycling(benchmark::State& state) {
+  // release_zero_keys on: ids recycle through the free list as counts
+  // bounce off zero (the long-running-service configuration).
+  const uint32_t m = static_cast<uint32_t>(state.range(0));
+  KeyedProfileOptions opts;
+  opts.initial_capacity = m;
+  opts.release_zero_keys = true;
+  KeyedProfile<uint64_t> p(opts);
+  sprofile::stream::LogStreamGenerator gen(
+      sprofile::stream::MakePaperStreamConfig(
+          1, m, /*seed=*/5,
+          sprofile::stream::RemovalPolicy::kMultisetConsistent));
+  for (auto _ : state) {
+    const auto t = gen.Next();
+    benchmark::DoNotOptimize(p.Apply(t.id, t.is_add).ok());
+  }
+  state.counters["live_keys"] = static_cast<double>(p.num_keys());
+}
+BENCHMARK(BM_KeyedChurnWithRecycling)->Arg(1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

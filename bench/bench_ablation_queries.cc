@@ -1,0 +1,125 @@
+// Ablation A1 — query latency on a warmed-up profile.
+//
+// The paper's claim is that with the block-set profile maintained, the
+// statistical queries become "trivial and fast": Mode/Min/KthLargest/
+// Median are O(1) pointer reads, CountAtLeast is an O(log m) binary search
+// and Histogram an O(#blocks) walk. This bench pins nanosecond costs on
+// those claims as m grows, and contrasts the naive linear scan.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "baselines/naive_profiler.h"
+#include "core/frequency_profile.h"
+#include "stream/log_stream.h"
+
+namespace {
+
+using sprofile::FrequencyProfile;
+using sprofile::baselines::NaiveProfiler;
+
+/// Builds a profile warmed with 4m events of stream2 (clustered ids give a
+/// realistic block structure rather than a single giant block). Cached per
+/// m: google-benchmark re-invokes each benchmark function several times
+/// while calibrating iteration counts, and rebuilding a 4M-object profile
+/// each time would dominate the run.
+const FrequencyProfile& WarmProfile(uint32_t m) {
+  static std::map<uint32_t, FrequencyProfile>* cache =
+      new std::map<uint32_t, FrequencyProfile>();
+  auto it = cache->find(m);
+  if (it != cache->end()) return it->second;
+  FrequencyProfile p(m);
+  sprofile::stream::LogStreamGenerator gen(
+      sprofile::stream::MakePaperStreamConfig(2, m, /*seed=*/1));
+  for (uint64_t i = 0; i < 4ull * m; ++i) {
+    const auto t = gen.Next();
+    p.Apply(t.id, t.is_add);
+  }
+  return cache->emplace(m, std::move(p)).first->second;
+}
+
+void BM_QueryMode(benchmark::State& state) {
+  const FrequencyProfile& p = WarmProfile(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.Mode().frequency);
+  }
+}
+BENCHMARK(BM_QueryMode)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 22);
+
+void BM_QueryMin(benchmark::State& state) {
+  const FrequencyProfile& p = WarmProfile(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.MinFrequent().frequency);
+  }
+}
+BENCHMARK(BM_QueryMin)->Arg(1 << 14)->Arg(1 << 22);
+
+void BM_QueryMedian(benchmark::State& state) {
+  const FrequencyProfile& p = WarmProfile(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.MedianEntry().frequency);
+  }
+}
+BENCHMARK(BM_QueryMedian)->Arg(1 << 14)->Arg(1 << 22);
+
+void BM_QueryKthLargest(benchmark::State& state) {
+  const FrequencyProfile& p = WarmProfile(static_cast<uint32_t>(state.range(0)));
+  const uint64_t k = p.num_active() / 3 + 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.KthLargest(k).frequency);
+  }
+}
+BENCHMARK(BM_QueryKthLargest)->Arg(1 << 14)->Arg(1 << 22);
+
+void BM_QueryCountAtLeast(benchmark::State& state) {
+  const FrequencyProfile& p = WarmProfile(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.CountAtLeast(3));
+  }
+  state.SetLabel("O(log m) binary search");
+}
+BENCHMARK(BM_QueryCountAtLeast)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 22);
+
+void BM_QueryTopTen(benchmark::State& state) {
+  const FrequencyProfile& p = WarmProfile(static_cast<uint32_t>(state.range(0)));
+  std::vector<sprofile::FrequencyEntry> out;
+  out.reserve(10);
+  for (auto _ : state) {
+    out.clear();
+    p.TopK(10, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_QueryTopTen)->Arg(1 << 14)->Arg(1 << 22);
+
+void BM_QueryHistogram(benchmark::State& state) {
+  const FrequencyProfile& p = WarmProfile(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.Histogram());
+  }
+  state.counters["blocks"] = static_cast<double>(p.num_blocks());
+}
+BENCHMARK(BM_QueryHistogram)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_QueryModeNaive(benchmark::State& state) {
+  const uint32_t m = static_cast<uint32_t>(state.range(0));
+  NaiveProfiler p(m);
+  sprofile::stream::LogStreamGenerator gen(
+      sprofile::stream::MakePaperStreamConfig(2, m, /*seed=*/1));
+  for (uint64_t i = 0; i < 4ull * m; ++i) {
+    const auto t = gen.Next();
+    p.Apply(t.id, t.is_add);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.ModeFrequency());
+  }
+  state.SetLabel("O(m) scan baseline");
+}
+BENCHMARK(BM_QueryModeNaive)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

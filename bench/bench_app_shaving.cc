@@ -1,0 +1,88 @@
+// Application bench A4 — graph shaving (paper §2.3).
+//
+// k-core decomposition peels a minimum-degree vertex V times and performs
+// E degree decrements: exactly the ±1 update pattern S-Profile is built
+// for. Contestants: S-Profile peel (O(V+E)), addressable min-heap
+// (O((V+E) log V)), and the Batagelj–Zaversnik bucket algorithm (the
+// specialized O(V+E) oracle). Erdős–Rényi and Barabási–Albert inputs.
+
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "graph/core_decomposition.h"
+#include "graph/generators.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using sprofile::TablePrinter;
+using sprofile::WallTimer;
+using namespace sprofile::bench;
+
+struct GraphCase {
+  const char* name;
+  sprofile::graph::Graph graph;
+};
+
+std::vector<GraphCase> MakeGraphs(ScaleMode mode) {
+  uint32_t n_er, n_ba;
+  uint64_t e_er;
+  uint32_t k_ba;
+  switch (mode) {
+    case ScaleMode::kQuick:
+      n_er = 20000, e_er = 100000, n_ba = 20000, k_ba = 5;
+      break;
+    case ScaleMode::kDefault:
+      n_er = 300000, e_er = 3000000, n_ba = 300000, k_ba = 8;
+      break;
+    case ScaleMode::kPaper:
+      n_er = 3000000, e_er = 30000000, n_ba = 3000000, k_ba = 8;
+      break;
+  }
+  std::vector<GraphCase> cases;
+  cases.push_back({"erdos-renyi", sprofile::graph::ErdosRenyi(n_er, e_er, 1)});
+  cases.push_back({"barabasi-albert",
+                   sprofile::graph::BarabasiAlbert(n_ba, k_ba, 2)});
+  return cases;
+}
+
+}  // namespace
+
+int main() {
+  const ScaleMode mode = GetScaleMode();
+  PrintBanner("Application — k-core shaving: S-Profile vs heap vs bucket", mode);
+
+  TablePrinter table({"graph", "V", "E", "sprofile (s)", "heap (s)", "bucket (s)",
+                      "degeneracy", "speedup(heap/ours)"});
+  for (GraphCase& c : MakeGraphs(mode)) {
+    WallTimer t1;
+    const auto cores_sp = sprofile::graph::CoreNumbersSProfile(c.graph);
+    const double sp_s = t1.ElapsedSeconds();
+
+    WallTimer t2;
+    const auto cores_heap = sprofile::graph::CoreNumbersHeap(c.graph);
+    const double heap_s = t2.ElapsedSeconds();
+
+    WallTimer t3;
+    const auto cores_bucket = sprofile::graph::CoreNumbersBucket(c.graph);
+    const double bucket_s = t3.ElapsedSeconds();
+
+    if (cores_sp != cores_heap || cores_sp != cores_bucket) {
+      std::fprintf(stderr, "FATAL: core decompositions disagree on %s\n", c.name);
+      return 1;
+    }
+
+    table.AddRow({c.name, sprofile::HumanCount(c.graph.num_vertices()),
+                  sprofile::HumanCount(c.graph.num_edges()), Secs(sp_s),
+                  Secs(heap_s), Secs(bucket_s),
+                  std::to_string(sprofile::graph::Degeneracy(cores_sp)),
+                  Speedup(heap_s, sp_s)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "# S-Profile matches the specialized bucket algorithm's O(V+E) while\n"
+      "# remaining a general profiling structure; the heap pays its log V\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Shared harness for the figure-reproduction benchmarks.
+//
+// Scaling: the paper ran n, m up to 1e8 on a Xeon E5-2630. Every bench here
+// defaults to sizes that finish in seconds on a laptop/CI box and honours
+//   SPROFILE_PAPER_SCALE=1   — the paper's full sizes (minutes, gigabytes)
+//   SPROFILE_BENCH_QUICK=1   — extra-small smoke sizes (CI gate)
+// Absolute seconds differ from the paper by hardware; the *series shape*
+// (who wins, growth trend, crossover) is the reproduction target. See
+// EXPERIMENTS.md for paper-vs-measured.
+//
+// Measurement protocol: the event stream is regenerated per contestant from
+// the same seed (identical tuple sequences); a generation-only pass is
+// timed first and subtracted, so reported time covers profile updates +
+// per-event query only, with O(1) memory irrespective of n.
+
+#ifndef SPROFILE_BENCH_BENCH_COMMON_H_
+#define SPROFILE_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "stream/log_stream.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace sprofile {
+namespace bench {
+
+/// Benchmark size preset, selected by environment variables.
+enum class ScaleMode { kQuick, kDefault, kPaper };
+
+inline ScaleMode GetScaleMode() {
+  const char* paper = std::getenv("SPROFILE_PAPER_SCALE");
+  if (paper != nullptr && paper[0] == '1') return ScaleMode::kPaper;
+  const char* quick = std::getenv("SPROFILE_BENCH_QUICK");
+  if (quick != nullptr && quick[0] == '1') return ScaleMode::kQuick;
+  return ScaleMode::kDefault;
+}
+
+inline const char* ScaleName(ScaleMode mode) {
+  switch (mode) {
+    case ScaleMode::kQuick:
+      return "quick";
+    case ScaleMode::kDefault:
+      return "default";
+    case ScaleMode::kPaper:
+      return "paper";
+  }
+  return "?";
+}
+
+/// Compiler sink: keeps per-event query results alive without volatile
+/// traffic dominating the measurement.
+inline int64_t g_sink = 0;
+inline void Sink(int64_t v) { g_sink += v; }
+
+/// Seconds to merely generate (and discard) n tuples of `config`.
+inline double GenerationOnlySeconds(const stream::StreamConfig& config, uint64_t n) {
+  stream::LogStreamGenerator gen(config);
+  WallTimer timer;
+  int64_t acc = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    const stream::LogTuple t = gen.Next();
+    acc += t.id;
+  }
+  Sink(acc);
+  return timer.ElapsedSeconds();
+}
+
+/// Replays n tuples into `profiler`, invoking `query(profiler)` after every
+/// event (the paper's "update the mode/median at any time" regime). Returns
+/// wall seconds for generation + replay; callers subtract the
+/// generation-only baseline measured with the same seed.
+template <typename Profiler, typename QueryFn>
+double ReplaySeconds(const stream::StreamConfig& config, uint64_t n,
+                     Profiler* profiler, QueryFn query) {
+  stream::LogStreamGenerator gen(config);
+  WallTimer timer;
+  int64_t acc = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    const stream::LogTuple t = gen.Next();
+    profiler->Apply(t.id, t.is_add);
+    acc += query(*profiler);
+  }
+  Sink(acc);
+  return timer.ElapsedSeconds();
+}
+
+/// Prints the standard bench banner (scale mode + how to change it).
+inline void PrintBanner(const std::string& title, ScaleMode mode) {
+  std::printf("# %s\n", title.c_str());
+  std::printf("# scale=%s   (SPROFILE_PAPER_SCALE=1 for the paper's sizes, "
+              "SPROFILE_BENCH_QUICK=1 for smoke sizes)\n\n",
+              ScaleName(mode));
+}
+
+/// Formats seconds with 4 significant digits for table cells.
+inline std::string Secs(double s) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g", s);
+  return buf;
+}
+
+/// Formats a speedup ratio ("6.2x").
+inline std::string Speedup(double baseline, double ours) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1fx", baseline / ours);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace sprofile
+
+#endif  // SPROFILE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,100 @@
+// §3 headline numbers in one table: S-Profile's speedup over the heap
+// (mode task) and over the balanced tree (median task) on all three
+// streams. Compact companion to Figures 3-6.
+
+#include <cstdint>
+
+#include "baselines/addressable_heap.h"
+#include "baselines/tree_profiler.h"
+#include "bench/bench_common.h"
+#include "core/frequency_profile.h"
+#include "stream/log_stream.h"
+#include "util/table.h"
+
+namespace {
+
+using sprofile::FrequencyProfile;
+using sprofile::TablePrinter;
+using sprofile::baselines::MaxHeapProfiler;
+using sprofile::baselines::TreeProfiler;
+using namespace sprofile::bench;
+
+struct Sizes {
+  uint32_t mode_m;
+  uint64_t mode_n;
+  uint32_t median_m;
+  uint64_t median_n;
+};
+
+Sizes PickSizes(ScaleMode mode) {
+  // The mode task uses the paper's sparse geometry (n <= m, like Figure 3:
+  // m = 1e8 with n up to 1e8); the median task mirrors Figure 6.
+  switch (mode) {
+    case ScaleMode::kQuick:
+      return {1000000, 200000, 10000, 100000};
+    case ScaleMode::kDefault:
+      return {10000000, 5000000, 100000, 1000000};
+    case ScaleMode::kPaper:
+      return {100000000, 100000000, 1000000, 1000000};
+  }
+  return {};
+}
+
+}  // namespace
+
+int main() {
+  const ScaleMode mode = GetScaleMode();
+  const Sizes sizes = PickSizes(mode);
+  PrintBanner("Speedup summary — the paper's §3 headline claims", mode);
+
+  TablePrinter table({"task", "stream", "baseline (s)", "sprofile (s)", "speedup"});
+
+  for (int which = 1; which <= 3; ++which) {
+    const auto config = sprofile::stream::MakePaperStreamConfig(
+        which, sizes.mode_m, /*seed=*/5000 + which);
+    const double gen = GenerationOnlySeconds(config, sizes.mode_n);
+
+    MaxHeapProfiler heap(sizes.mode_m);
+    const double heap_s =
+        ReplaySeconds(config, sizes.mode_n, &heap,
+                      [](const MaxHeapProfiler& p) { return p.Top().frequency; }) -
+        gen;
+
+    FrequencyProfile ours(sizes.mode_m);
+    const double ours_s =
+        ReplaySeconds(config, sizes.mode_n, &ours,
+                      [](const FrequencyProfile& p) { return p.Mode().frequency; }) -
+        gen;
+
+    table.AddRow({"mode vs heap", sprofile::stream::PaperStreamName(which),
+                  Secs(heap_s), Secs(ours_s), Speedup(heap_s, ours_s)});
+  }
+
+  for (int which = 1; which <= 3; ++which) {
+    const auto config = sprofile::stream::MakePaperStreamConfig(
+        which, sizes.median_m, /*seed=*/6000 + which);
+    const double gen = GenerationOnlySeconds(config, sizes.median_n);
+
+    TreeProfiler tree(sizes.median_m);
+    const double tree_s =
+        ReplaySeconds(config, sizes.median_n, &tree,
+                      [](const TreeProfiler& p) { return p.Median().frequency; }) -
+        gen;
+
+    FrequencyProfile ours(sizes.median_m);
+    const double ours_s = ReplaySeconds(config, sizes.median_n, &ours,
+                                        [](const FrequencyProfile& p) {
+                                          return p.MedianEntry().frequency;
+                                        }) -
+                          gen;
+
+    table.AddRow({"median vs tree", sprofile::stream::PaperStreamName(which),
+                  Secs(tree_s), Secs(ours_s), Speedup(tree_s, ours_s)});
+  }
+
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "# paper claims: >= 2x over the heap (mode), 13x-452x over the\n"
+      "# balanced tree (median)\n");
+  return 0;
+}

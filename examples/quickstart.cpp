@@ -1,0 +1,65 @@
+// Quickstart: profile a log stream and query mode / top-K / median.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/frequency_profile.h"
+#include "stream/log_stream.h"
+
+int main() {
+  // A profile over m = 8 objects, everything starting at frequency 0.
+  sprofile::FrequencyProfile profile(8);
+
+  // Feed some log events: (object, add/remove). Each update is O(1).
+  profile.Add(3);
+  profile.Add(3);
+  profile.Add(3);
+  profile.Add(5);
+  profile.Add(5);
+  profile.Add(1);
+  profile.Remove(7);  // removals may drive frequencies negative (paper §2.2)
+
+  // Mode: all objects tied at the maximum frequency, O(1).
+  const sprofile::GroupView mode = profile.Mode();
+  std::printf("mode frequency = %lld, objects:", static_cast<long long>(mode.frequency));
+  for (uint32_t id : mode) std::printf(" %u", id);
+  std::printf("\n");
+
+  // Min-frequent, median, arbitrary order statistics — all O(1).
+  std::printf("min frequency  = %lld (object %u)\n",
+              static_cast<long long>(profile.MinFrequent().frequency),
+              profile.MinFrequent()[0]);
+  std::printf("median freq    = %lld\n",
+              static_cast<long long>(profile.MedianEntry().frequency));
+  std::printf("2nd largest    = %lld\n",
+              static_cast<long long>(profile.KthLargest(2).frequency));
+
+  // Count queries, O(log m).
+  std::printf("objects with frequency >= 2: %u\n", profile.CountAtLeast(2));
+
+  // The whole frequency histogram, O(#blocks).
+  std::printf("histogram:");
+  for (const sprofile::GroupStat& g : profile.Histogram()) {
+    std::printf("  %u x f=%lld", g.count, static_cast<long long>(g.frequency));
+  }
+  std::printf("\n");
+
+  // Replaying one of the paper's synthetic streams end to end.
+  constexpr uint32_t kM = 1000;
+  sprofile::FrequencyProfile big(kM);
+  sprofile::stream::LogStreamGenerator gen(
+      sprofile::stream::MakePaperStreamConfig(/*which=*/2, kM, /*seed=*/42));
+  for (int i = 0; i < 100000; ++i) {
+    const sprofile::stream::LogTuple t = gen.Next();
+    big.Apply(t.id, t.is_add);
+  }
+  std::printf("after 100k stream2 events over m=%u: mode=%lld ties=%u "
+              "median=%lld blocks=%zu\n",
+              kM, static_cast<long long>(big.Mode().frequency), big.Mode().count(),
+              static_cast<long long>(big.MedianEntry().frequency),
+              big.num_blocks());
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Sliding-window analytics (paper §2.3): exact mode / median / quantiles
+// over the last W events of a live channel's join/leave stream.
+//
+// A window adapter re-applies each expiring tuple with the opposite
+// action, so the profile always reflects exactly the window — no
+// approximation, unlike the sliding-window summaries in the related work.
+// Statistics snapshots print every stride; watch the hot channel change
+// as the workload shifts phase.
+//
+//   ./build/examples/sliding_window_analytics [--events=N] [--window=W]
+
+#include <cstdio>
+
+#include "core/frequency_profile.h"
+#include "stream/log_stream.h"
+#include "util/flags.h"
+#include "window/sliding_window.h"
+
+int main(int argc, char** argv) {
+  int64_t num_events = 400000;
+  int64_t window_size = 50000;
+  int64_t num_channels = 1000;
+  sprofile::FlagParser flags;
+  flags.AddInt64("events", &num_events, "total stream length");
+  flags.AddInt64("window", &window_size, "window width W (events)");
+  flags.AddInt64("channels", &num_channels, "number of live channels (m)");
+  if (const auto s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
+                 flags.Usage("sliding_window_analytics").c_str());
+    return 1;
+  }
+
+  const uint32_t m = static_cast<uint32_t>(num_channels);
+  sprofile::window::SlidingWindowProfiler<sprofile::FrequencyProfile> window(
+      sprofile::FrequencyProfile(m), static_cast<size_t>(window_size));
+
+  // Two workload phases: first half clusters joins around channel 2m/3
+  // (stream2's posPDF); second half shifts to uniform churn (stream1). The
+  // windowed mode tracks the shift with a delay of at most W events.
+  sprofile::stream::LogStreamGenerator phase_a(
+      sprofile::stream::MakePaperStreamConfig(2, m, /*seed=*/11));
+  sprofile::stream::LogStreamGenerator phase_b(
+      sprofile::stream::MakePaperStreamConfig(1, m, /*seed=*/12));
+
+  const uint64_t half = static_cast<uint64_t>(num_events) / 2;
+  const uint64_t report_every = static_cast<uint64_t>(num_events) / 8;
+  for (uint64_t i = 0; i < static_cast<uint64_t>(num_events); ++i) {
+    const auto t = (i < half ? phase_a : phase_b).Next();
+    window.Feed(t);
+
+    if ((i + 1) % report_every == 0) {
+      const auto& p = window.profiler();
+      const auto mode = p.Mode();
+      std::printf(
+          "event %7llu [%s] window=%zu  hot channel=%u (net %lld in window, "
+          "%u tied)  median=%lld  p90=%lld  active>=1: %u\n",
+          static_cast<unsigned long long>(i + 1),
+          i < half ? "clustered" : "uniform ", window.size(), mode[0],
+          static_cast<long long>(mode.frequency), mode.count(),
+          static_cast<long long>(p.MedianEntry().frequency),
+          static_cast<long long>(p.Quantile(0.9).frequency), p.CountAtLeast(1));
+    }
+  }
+
+  std::printf("\nwindow capacity %zu, events in window at end: %zu\n",
+              window.window_capacity(), window.size());
+  return 0;
+}

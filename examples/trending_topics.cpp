@@ -1,0 +1,100 @@
+// Trending topics: the paper's motivating scenario (§1) — a large system
+// where users "like"/"unlike" posts, and the product wants the most
+// popular posts *right now*, at any moment, from a fast log stream.
+//
+// This example uses KeyedProfile with string keys (post slugs), a bursty
+// synthetic workload where topics rise and fade, and prints a periodic
+// leaderboard. Every event costs one hash lookup + one O(1) profile
+// update; every leaderboard read is O(K).
+//
+//   ./build/examples/trending_topics [--events=N] [--topics=T]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/keyed_profile.h"
+#include "util/flags.h"
+#include "util/random.h"
+
+namespace {
+
+/// A topic with a popularity lifecycle: it trends for a while, then decays
+/// as users move on (likes arrive while hot, unlikes while cooling).
+struct Topic {
+  std::string slug;
+  uint64_t hot_until;   // event index when it stops trending
+  uint64_t born_at;
+};
+
+std::string MakeSlug(int i) {
+  static const char* kThemes[] = {"cats",    "elections", "playoffs", "recipes",
+                                  "gadgets", "memes",     "weather",  "markets"};
+  return std::string(kThemes[i % 8]) + "-" + std::to_string(i);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t num_events = 500000;
+  int64_t num_topics = 200;
+  sprofile::FlagParser flags;
+  flags.AddInt64("events", &num_events, "number of like/unlike events to simulate");
+  flags.AddInt64("topics", &num_topics, "number of distinct topics");
+  if (const auto s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
+                 flags.Usage("trending_topics").c_str());
+    return 1;
+  }
+
+  sprofile::KeyedProfileOptions opts;
+  opts.initial_capacity = static_cast<uint32_t>(num_topics);
+  opts.create_on_remove = true;  // an unlike may reach us before the like
+  sprofile::KeyedProfile<std::string> trends(opts);
+
+  sprofile::Xoshiro256PlusPlus rng(7);
+  std::vector<Topic> topics;
+  for (int i = 0; i < num_topics; ++i) {
+    topics.push_back(Topic{MakeSlug(i),
+                           /*hot_until=*/rng.NextBounded(num_events),
+                           /*born_at=*/rng.NextBounded(num_events / 2)});
+  }
+
+  const uint64_t report_every = num_events / 5;
+  for (uint64_t event = 0; event < static_cast<uint64_t>(num_events); ++event) {
+    // Pick a topic biased toward currently-hot ones.
+    const Topic& topic = topics[rng.NextBounded(topics.size())];
+    if (event < topic.born_at) continue;
+    const bool hot = event < topic.hot_until;
+    // Hot topics gather likes 9:1; cooling topics shed them 2:3.
+    const bool is_like = rng.NextDouble() < (hot ? 0.9 : 0.4);
+    if (is_like) {
+      trends.Add(topic.slug);
+    } else {
+      (void)trends.Remove(topic.slug);
+    }
+
+    if ((event + 1) % report_every == 0) {
+      std::printf("=== after %llu events: top 5 trending ===\n",
+                  static_cast<unsigned long long>(event + 1));
+      int rank = 1;
+      for (const auto& [slug, likes] : trends.TopK(5)) {
+        std::printf("  #%d %-16s %lld likes\n", rank++, slug.c_str(),
+                    static_cast<long long>(likes));
+      }
+      const auto mode = trends.Mode();
+      if (mode.ok() && mode.value().keys.size() > 1) {
+        std::printf("  (%zu topics tied at the top)\n", mode.value().keys.size());
+      }
+    }
+  }
+
+  std::printf("\nfinal: %u topics tracked, %lld net likes in the system\n",
+              trends.num_keys(), static_cast<long long>(trends.total_count()));
+  const auto median = trends.MedianFrequency();
+  if (median.ok()) {
+    std::printf("median topic popularity: %lld\n",
+                static_cast<long long>(median.value()));
+  }
+  return 0;
+}

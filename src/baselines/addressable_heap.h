@@ -1,0 +1,171 @@
+// Addressable d-ary heap over per-object frequencies.
+//
+// This is the paper's "heap based method" (§3.1): a binary heap maintains
+// the frequency array under ±1 updates in O(log m), with the mode at the
+// root. "Addressable" means a position index maps each object id to its
+// heap slot so a changed key can be sifted from where it sits.
+//
+// The arity is a template parameter; the paper's comparator is the binary
+// max-heap (`MaxHeapProfiler` below), and the 4-ary variant exists for the
+// ablation benches. A min-heap instantiation drives the heap-based graph
+// shaving baseline.
+
+#ifndef SPROFILE_BASELINES_ADDRESSABLE_HEAP_H_
+#define SPROFILE_BASELINES_ADDRESSABLE_HEAP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "core/frequency_profile.h"  // FrequencyEntry
+#include "util/logging.h"
+
+namespace sprofile {
+namespace baselines {
+
+/// Heap direction.
+enum class HeapKind { kMax, kMin };
+
+/// Addressable d-ary heap keyed by an external frequency array.
+///
+/// Frequencies start at 0. Increase/Decrease adjust one object's frequency
+/// by +-1 and restore the heap in O(log_d m) (sift-up for changes toward
+/// the root, sift-down otherwise).
+template <HeapKind Kind = HeapKind::kMax, int Arity = 2>
+class AddressableHeap {
+  static_assert(Arity >= 2, "heap arity must be >= 2");
+
+ public:
+  explicit AddressableHeap(uint32_t num_objects)
+      : freq_(num_objects, 0), heap_(num_objects), pos_(num_objects) {
+    std::iota(heap_.begin(), heap_.end(), 0u);
+    std::iota(pos_.begin(), pos_.end(), 0u);
+  }
+
+  uint32_t capacity() const { return static_cast<uint32_t>(freq_.size()); }
+
+  int64_t Frequency(uint32_t id) const {
+    SPROFILE_DCHECK(id < freq_.size());
+    return freq_[id];
+  }
+
+  /// F[id] += 1 and restore. O(log m).
+  void Add(uint32_t id) {
+    SPROFILE_DCHECK(id < freq_.size());
+    freq_[id] += 1;
+    if constexpr (Kind == HeapKind::kMax) {
+      SiftUp(pos_[id]);
+    } else {
+      SiftDown(pos_[id]);
+    }
+  }
+
+  /// F[id] -= 1 and restore. O(log m).
+  void Remove(uint32_t id) {
+    SPROFILE_DCHECK(id < freq_.size());
+    freq_[id] -= 1;
+    if constexpr (Kind == HeapKind::kMax) {
+      SiftDown(pos_[id]);
+    } else {
+      SiftUp(pos_[id]);
+    }
+  }
+
+  void Apply(uint32_t id, bool is_add) { is_add ? Add(id) : Remove(id); }
+
+  /// Root entry: the mode for a max-heap, the min-frequent for a min-heap.
+  /// Note a heap yields *one* extreme object, not the whole tie group —
+  /// one of the applicability gaps §3.1 points out.
+  FrequencyEntry Top() const {
+    SPROFILE_DCHECK(!heap_.empty());
+    return FrequencyEntry{heap_[0], freq_[heap_[0]]};
+  }
+
+  /// Pops the root (used by the heap-based shaving baseline). O(log m).
+  FrequencyEntry PopTop() {
+    FrequencyEntry top = Top();
+    const uint32_t last = heap_.back();
+    SwapSlots(0, heap_.size() - 1);
+    heap_.pop_back();
+    pos_[top.id] = kGone;
+    if (!heap_.empty() && last != top.id) SiftDown(0);
+    return top;
+  }
+
+  /// Live entries remaining (== capacity until PopTop is used).
+  size_t size() const { return heap_.size(); }
+
+  /// Heap-order verification for tests. O(m).
+  bool IsValidHeap() const {
+    for (size_t i = 1; i < heap_.size(); ++i) {
+      const size_t parent = (i - 1) / Arity;
+      if (Before(heap_[i], heap_[parent])) return false;
+    }
+    for (size_t i = 0; i < heap_.size(); ++i) {
+      if (pos_[heap_[i]] != i) return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr uint32_t kGone = 0xffffffffu;
+
+  /// True when `a` must sit closer to the root than `b`.
+  bool Before(uint32_t a, uint32_t b) const {
+    if constexpr (Kind == HeapKind::kMax) {
+      return freq_[a] > freq_[b];
+    } else {
+      return freq_[a] < freq_[b];
+    }
+  }
+
+  void SwapSlots(size_t i, size_t j) {
+    std::swap(heap_[i], heap_[j]);
+    pos_[heap_[i]] = static_cast<uint32_t>(i);
+    pos_[heap_[j]] = static_cast<uint32_t>(j);
+  }
+
+  void SiftUp(size_t i) {
+    while (i > 0) {
+      const size_t parent = (i - 1) / Arity;
+      if (!Before(heap_[i], heap_[parent])) break;
+      SwapSlots(i, parent);
+      i = parent;
+    }
+  }
+
+  void SiftDown(size_t i) {
+    const size_t n = heap_.size();
+    for (;;) {
+      size_t best = i;
+      const size_t first_child = i * Arity + 1;
+      const size_t last_child = std::min(first_child + Arity, n);
+      for (size_t c = first_child; c < last_child; ++c) {
+        if (Before(heap_[c], heap_[best])) best = c;
+      }
+      if (best == i) break;
+      SwapSlots(i, best);
+      i = best;
+    }
+  }
+
+  std::vector<int64_t> freq_;
+  std::vector<uint32_t> heap_;  // heap slot -> id
+  std::vector<uint32_t> pos_;   // id -> heap slot (kGone after PopTop)
+};
+
+/// The paper's §3.1 baseline: binary max-heap tracking the mode.
+using MaxHeapProfiler = AddressableHeap<HeapKind::kMax, 2>;
+
+/// Min-heap used by the heap-based graph shaving baseline.
+using MinHeapProfiler = AddressableHeap<HeapKind::kMin, 2>;
+
+/// 4-ary variant for the heap-arity ablation.
+using QuaternaryMaxHeapProfiler = AddressableHeap<HeapKind::kMax, 4>;
+
+}  // namespace baselines
+}  // namespace sprofile
+
+#endif  // SPROFILE_BASELINES_ADDRESSABLE_HEAP_H_

@@ -1,0 +1,181 @@
+#include "baselines/indexable_skiplist.h"
+
+namespace sprofile {
+namespace baselines {
+
+bool IndexableSkipList::Insert(FreqIdPair element) {
+  // Walk down from the top level recording, per level, the node after
+  // which the new element goes and how many elements precede that node.
+  NodeRef update[kMaxHeight];
+  uint64_t rank_at[kMaxHeight];  // elements strictly before update[lvl]
+
+  NodeRef cur = 0;
+  uint64_t rank = 0;
+  for (int lvl = height_ - 1; lvl >= 0; --lvl) {
+    for (;;) {
+      const Link& link = nodes_[cur].links[lvl];
+      if (link.next == kNil || !(nodes_[link.next].element < element)) break;
+      rank += link.span;
+      cur = link.next;
+    }
+    update[lvl] = cur;
+    rank_at[lvl] = rank;
+  }
+
+  const NodeRef at = nodes_[cur].links[0].next;
+  if (at != kNil && nodes_[at].element == element) return false;
+
+  const int h = RandomHeight();
+  if (h > height_) {
+    for (int lvl = height_; lvl < h; ++lvl) {
+      update[lvl] = 0;       // head
+      rank_at[lvl] = 0;
+      // The head's link at a fresh level spans the whole current list.
+      nodes_[0].links[lvl] = Link{kNil, size_};
+    }
+    height_ = h;
+  }
+
+  const NodeRef fresh = NewNode(element, h);
+  const uint64_t insert_rank = rank_at[0] + 1;  // 1-based rank of new node
+  for (int lvl = 0; lvl < h; ++lvl) {
+    Link& pred_link = nodes_[update[lvl]].links[lvl];
+    const uint64_t pred_rank = rank_at[lvl];  // elements before update[lvl]
+    Node& fresh_node = nodes_[fresh];
+    fresh_node.links[lvl].next = pred_link.next;
+    // Span from fresh to its successor at this level: elements the old
+    // link skipped, minus those now ahead of the new node.
+    fresh_node.links[lvl].span =
+        pred_link.next == kNil ? 0 : pred_link.span - (insert_rank - 1 - pred_rank);
+    pred_link.next = fresh;
+    pred_link.span = insert_rank - pred_rank;
+  }
+  // Levels above h: every link crossing the insertion point spans one more.
+  for (int lvl = h; lvl < height_; ++lvl) {
+    Link& link = nodes_[update[lvl]].links[lvl];
+    if (link.next != kNil || link.span > 0) link.span += 1;
+  }
+  // Head links at levels >= height_ untouched (they are reset on growth).
+  ++size_;
+  return true;
+}
+
+bool IndexableSkipList::Erase(FreqIdPair element) {
+  NodeRef update[kMaxHeight];
+  NodeRef cur = 0;
+  for (int lvl = height_ - 1; lvl >= 0; --lvl) {
+    for (;;) {
+      const Link& link = nodes_[cur].links[lvl];
+      if (link.next == kNil || !(nodes_[link.next].element < element)) break;
+      cur = link.next;
+    }
+    update[lvl] = cur;
+  }
+
+  const NodeRef victim = nodes_[cur].links[0].next;
+  if (victim == kNil || !(nodes_[victim].element == element)) return false;
+
+  const int h = nodes_[victim].height;
+  for (int lvl = 0; lvl < height_; ++lvl) {
+    Link& link = nodes_[update[lvl]].links[lvl];
+    if (lvl < h && link.next == victim) {
+      // Splice the victim out; its span folds into the predecessor's.
+      link.span += nodes_[victim].links[lvl].span;
+      link.span -= 1;
+      link.next = nodes_[victim].links[lvl].next;
+      if (link.next == kNil) link.span = 0;
+    } else if (link.next != kNil || link.span > 0) {
+      link.span -= 1;
+    }
+  }
+  while (height_ > 1 && nodes_[0].links[height_ - 1].next == kNil) {
+    nodes_[0].links[height_ - 1].span = 0;
+    --height_;
+  }
+  free_list_.push_back(victim);
+  --size_;
+  return true;
+}
+
+bool IndexableSkipList::Contains(FreqIdPair element) const {
+  NodeRef cur = 0;
+  for (int lvl = height_ - 1; lvl >= 0; --lvl) {
+    for (;;) {
+      const Link& link = nodes_[cur].links[lvl];
+      if (link.next == kNil || !(nodes_[link.next].element < element)) break;
+      cur = link.next;
+    }
+  }
+  const NodeRef at = nodes_[cur].links[0].next;
+  return at != kNil && nodes_[at].element == element;
+}
+
+FreqIdPair IndexableSkipList::KthSmallest(uint64_t k) const {
+  SPROFILE_DCHECK(k >= 1 && k <= size_);
+  NodeRef cur = 0;
+  uint64_t remaining = k;
+  for (int lvl = height_ - 1; lvl >= 0; --lvl) {
+    for (;;) {
+      const Link& link = nodes_[cur].links[lvl];
+      if (link.next == kNil || link.span > remaining) break;
+      remaining -= link.span;
+      cur = link.next;
+      if (remaining == 0) return nodes_[cur].element;
+    }
+  }
+  SPROFILE_CHECK_MSG(false, "KthSmallest walk failed (corrupt spans)");
+  return FreqIdPair{};
+}
+
+uint64_t IndexableSkipList::CountLess(FreqIdPair element) const {
+  NodeRef cur = 0;
+  uint64_t rank = 0;
+  for (int lvl = height_ - 1; lvl >= 0; --lvl) {
+    for (;;) {
+      const Link& link = nodes_[cur].links[lvl];
+      if (link.next == kNil || !(nodes_[link.next].element < element)) break;
+      rank += link.span;
+      cur = link.next;
+    }
+  }
+  return rank;
+}
+
+bool IndexableSkipList::Validate() const {
+  // Level 0 must enumerate exactly size_ elements in strictly ascending
+  // order with unit spans.
+  uint64_t count = 0;
+  NodeRef cur = nodes_[0].links[0].next;
+  const FreqIdPair* prev = nullptr;
+  while (cur != kNil) {
+    if (prev != nullptr && !(*prev < nodes_[cur].element)) return false;
+    prev = &nodes_[cur].element;
+    ++count;
+    cur = nodes_[cur].links[0].next;
+  }
+  if (count != size_) return false;
+
+  // Every level: spans of a node's outgoing link must equal the number of
+  // level-0 steps to the link target, and the level must be a subsequence.
+  for (int lvl = 0; lvl < height_; ++lvl) {
+    NodeRef walker = 0;
+    while (walker != kNil) {
+      const Link& link = nodes_[walker].links[lvl];
+      if (link.next == kNil) break;
+      // Count level-0 hops from walker to link.next.
+      uint64_t hops = 0;
+      NodeRef probe = walker;
+      while (probe != link.next) {
+        probe = nodes_[probe].links[0].next;
+        if (probe == kNil) return false;  // target unreachable
+        ++hops;
+      }
+      if (hops != link.span) return false;
+      walker = link.next;
+    }
+  }
+  return true;
+}
+
+}  // namespace baselines
+}  // namespace sprofile

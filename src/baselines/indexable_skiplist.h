@@ -1,0 +1,118 @@
+// Indexable skip list over (frequency, id) pairs.
+//
+// The third classic way to maintain a sorted dynamic set (after the heap
+// and the balanced tree): probabilistic towers with per-link *span*
+// counters, giving O(log m) expected insert/erase and O(log m) k-th order
+// statistic by walking spans. Skip lists are the memtable structure of
+// LSM engines (RocksDB/LevelDB), which makes this the "what a database
+// would already have lying around" baseline for the paper's median task.
+//
+// Deterministic: tower heights come from a fixed-seed xorshift, so runs
+// reproduce. Nodes are pooled with 32-bit links.
+
+#ifndef SPROFILE_BASELINES_INDEXABLE_SKIPLIST_H_
+#define SPROFILE_BASELINES_INDEXABLE_SKIPLIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/order_statistic_tree.h"  // FreqIdPair
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sprofile {
+namespace baselines {
+
+class IndexableSkipList {
+ public:
+  IndexableSkipList() { InitHead(); }
+
+  void Reserve(size_t n) { nodes_.reserve(n + 1); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts `element`; returns false when already present. O(log n) exp.
+  bool Insert(FreqIdPair element);
+
+  /// Erases `element`; returns false when absent. O(log n) expected.
+  bool Erase(FreqIdPair element);
+
+  bool Contains(FreqIdPair element) const;
+
+  /// k-th smallest, k in [1, size()]. O(log n) expected.
+  FreqIdPair KthSmallest(uint64_t k) const;
+
+  /// Number of elements strictly smaller than `element`.
+  uint64_t CountLess(FreqIdPair element) const;
+
+  /// Structural check (spans sum correctly, levels sorted). O(n · levels).
+  bool Validate() const;
+
+  /// Current tower height of the list (diagnostics).
+  int height() const { return height_; }
+
+ private:
+  using NodeRef = uint32_t;
+  static constexpr NodeRef kNil = 0xffffffffu;
+  static constexpr int kMaxHeight = 24;  // supports ~16M elements at p=1/2
+
+  struct Link {
+    NodeRef next = kNil;
+    uint64_t span = 0;  // elements skipped by following this link (incl. target)
+  };
+
+  struct Node {
+    FreqIdPair element{};
+    uint8_t height = 0;
+    Link links[kMaxHeight];
+  };
+
+  void InitHead() {
+    nodes_.clear();
+    nodes_.emplace_back();  // head sentinel, element unused
+    nodes_[0].height = kMaxHeight;
+    for (int lvl = 0; lvl < kMaxHeight; ++lvl) {
+      nodes_[0].links[lvl] = Link{kNil, 0};
+    }
+    free_list_.clear();
+    size_ = 0;
+    height_ = 1;
+  }
+
+  int RandomHeight() {
+    // Geometric(1/2), capped. Deterministic sequence.
+    int h = 1;
+    uint64_t bits = rng_.Next();
+    while ((bits & 1u) != 0 && h < kMaxHeight) {
+      ++h;
+      bits >>= 1;
+    }
+    return h;
+  }
+
+  NodeRef NewNode(FreqIdPair element, int height) {
+    NodeRef ref;
+    if (!free_list_.empty()) {
+      ref = free_list_.back();
+      free_list_.pop_back();
+    } else {
+      ref = static_cast<NodeRef>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    nodes_[ref].element = element;
+    nodes_[ref].height = static_cast<uint8_t>(height);
+    return ref;
+  }
+
+  std::vector<Node> nodes_;  // nodes_[0] is the head sentinel
+  std::vector<NodeRef> free_list_;
+  size_t size_ = 0;
+  int height_ = 1;
+  Xoshiro256PlusPlus rng_{0x5CA1AB1EULL};
+};
+
+}  // namespace baselines
+}  // namespace sprofile
+
+#endif  // SPROFILE_BASELINES_INDEXABLE_SKIPLIST_H_

@@ -1,0 +1,111 @@
+#include "baselines/naive_profiler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace sprofile {
+namespace baselines {
+
+int64_t NaiveProfiler::total_count() const {
+  return std::accumulate(freq_.begin(), freq_.end(), static_cast<int64_t>(0));
+}
+
+std::vector<uint32_t> NaiveProfiler::ModeIds() const {
+  SPROFILE_CHECK(!freq_.empty());
+  const int64_t best = ModeFrequency();
+  std::vector<uint32_t> ids;
+  for (uint32_t id = 0; id < freq_.size(); ++id) {
+    if (freq_[id] == best) ids.push_back(id);
+  }
+  return ids;
+}
+
+int64_t NaiveProfiler::ModeFrequency() const {
+  SPROFILE_CHECK(!freq_.empty());
+  return *std::max_element(freq_.begin(), freq_.end());
+}
+
+std::vector<uint32_t> NaiveProfiler::MinIds() const {
+  SPROFILE_CHECK(!freq_.empty());
+  const int64_t worst = MinFrequency();
+  std::vector<uint32_t> ids;
+  for (uint32_t id = 0; id < freq_.size(); ++id) {
+    if (freq_[id] == worst) ids.push_back(id);
+  }
+  return ids;
+}
+
+int64_t NaiveProfiler::MinFrequency() const {
+  SPROFILE_CHECK(!freq_.empty());
+  return *std::min_element(freq_.begin(), freq_.end());
+}
+
+int64_t NaiveProfiler::KthSmallest(uint64_t k) const {
+  SPROFILE_CHECK(k >= 1 && k <= freq_.size());
+  std::vector<int64_t> sorted = freq_;
+  std::nth_element(sorted.begin(), sorted.begin() + (k - 1), sorted.end());
+  return sorted[k - 1];
+}
+
+int64_t NaiveProfiler::KthLargest(uint64_t k) const {
+  return KthSmallest(freq_.size() - k + 1);
+}
+
+uint32_t NaiveProfiler::CountAtLeast(int64_t f) const {
+  uint32_t count = 0;
+  for (int64_t v : freq_) {
+    if (v >= f) ++count;
+  }
+  return count;
+}
+
+uint32_t NaiveProfiler::CountEqual(int64_t f) const {
+  uint32_t count = 0;
+  for (int64_t v : freq_) {
+    if (v == f) ++count;
+  }
+  return count;
+}
+
+std::vector<GroupStat> NaiveProfiler::Histogram() const {
+  std::vector<int64_t> sorted = freq_;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<GroupStat> hist;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    hist.push_back(GroupStat{sorted[i], static_cast<uint32_t>(j - i)});
+    i = j;
+  }
+  return hist;
+}
+
+std::vector<int64_t> NaiveProfiler::TopKFrequencies(uint32_t k) const {
+  std::vector<int64_t> sorted = freq_;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  if (sorted.size() > k) sorted.resize(k);
+  return sorted;
+}
+
+namespace offline {
+
+int64_t ModeBySorting(std::vector<int64_t> freqs) {
+  SPROFILE_CHECK(!freqs.empty());
+  std::sort(freqs.begin(), freqs.end());
+  return freqs.back();
+}
+
+int64_t MedianBySelection(std::vector<int64_t> freqs) {
+  SPROFILE_CHECK(!freqs.empty());
+  const size_t k = (freqs.size() - 1) / 2;
+  std::nth_element(freqs.begin(), freqs.begin() + k, freqs.end());
+  return freqs[k];
+}
+
+}  // namespace offline
+
+}  // namespace baselines
+}  // namespace sprofile

@@ -1,0 +1,81 @@
+// NaiveProfiler — the brute-force oracle.
+//
+// Stores the frequency array F and answers every query by scanning or
+// sorting. O(1) updates, O(m)–O(m log m) queries. Exists so the property
+// tests can diff every S-Profile answer against an implementation whose
+// correctness is obvious; also the "no data structure" baseline in the
+// query-cost ablation.
+
+#ifndef SPROFILE_BASELINES_NAIVE_PROFILER_H_
+#define SPROFILE_BASELINES_NAIVE_PROFILER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/frequency_profile.h"  // FrequencyEntry, GroupStat
+
+namespace sprofile {
+namespace baselines {
+
+class NaiveProfiler {
+ public:
+  explicit NaiveProfiler(uint32_t num_objects) : freq_(num_objects, 0) {}
+
+  explicit NaiveProfiler(std::vector<int64_t> frequencies)
+      : freq_(std::move(frequencies)) {}
+
+  uint32_t capacity() const { return static_cast<uint32_t>(freq_.size()); }
+
+  void Add(uint32_t id) { freq_[id] += 1; }
+  void Remove(uint32_t id) { freq_[id] -= 1; }
+  void Apply(uint32_t id, bool is_add) { is_add ? Add(id) : Remove(id); }
+
+  int64_t Frequency(uint32_t id) const { return freq_[id]; }
+  int64_t total_count() const;
+
+  /// All ids tied at the maximum frequency, ascending by id. O(m).
+  std::vector<uint32_t> ModeIds() const;
+  int64_t ModeFrequency() const;
+
+  /// All ids tied at the minimum frequency. O(m).
+  std::vector<uint32_t> MinIds() const;
+  int64_t MinFrequency() const;
+
+  /// k-th smallest / largest frequency, k in [1, m]. O(m log m).
+  int64_t KthSmallest(uint64_t k) const;
+  int64_t KthLargest(uint64_t k) const;
+
+  /// Lower median frequency. O(m log m).
+  int64_t MedianFrequency() const { return KthSmallest((capacity() - 1) / 2 + 1); }
+
+  uint32_t CountAtLeast(int64_t f) const;
+  uint32_t CountEqual(int64_t f) const;
+
+  /// Ascending (frequency, count) histogram. O(m log m).
+  std::vector<GroupStat> Histogram() const;
+
+  /// Top-k frequencies, descending. O(m log m).
+  std::vector<int64_t> TopKFrequencies(uint32_t k) const;
+
+  const std::vector<int64_t>& frequencies() const { return freq_; }
+
+ private:
+  std::vector<int64_t> freq_;
+};
+
+/// Offline statistics on a frozen frequency array via sorting — the
+/// O(m log m) lower-bound route the paper's §1 describes for static data.
+namespace offline {
+
+/// Mode frequency of `freqs` by sort + linear scan.
+int64_t ModeBySorting(std::vector<int64_t> freqs);
+
+/// Lower median by nth_element.
+int64_t MedianBySelection(std::vector<int64_t> freqs);
+
+}  // namespace offline
+
+}  // namespace baselines
+}  // namespace sprofile
+
+#endif  // SPROFILE_BASELINES_NAIVE_PROFILER_H_

@@ -1,0 +1,244 @@
+#include "baselines/order_statistic_tree.h"
+
+namespace sprofile {
+namespace baselines {
+
+// ---------------------------------------------------------------------------
+// OrderStatisticTree
+// ---------------------------------------------------------------------------
+
+void OrderStatisticTree::Split(NodeRef t, FreqIdPair element, NodeRef* lo,
+                               NodeRef* hi) {
+  if (t == kNil) {
+    *lo = *hi = kNil;
+    return;
+  }
+  if (nodes_[t].element < element) {
+    Split(nodes_[t].right, element, &nodes_[t].right, hi);
+    *lo = t;
+  } else {
+    Split(nodes_[t].left, element, lo, &nodes_[t].left);
+    *hi = t;
+  }
+  Pull(t);
+}
+
+OrderStatisticTree::NodeRef OrderStatisticTree::Merge(NodeRef lo, NodeRef hi) {
+  if (lo == kNil) return hi;
+  if (hi == kNil) return lo;
+  if (nodes_[lo].priority > nodes_[hi].priority) {
+    nodes_[lo].right = Merge(nodes_[lo].right, hi);
+    Pull(lo);
+    return lo;
+  }
+  nodes_[hi].left = Merge(lo, nodes_[hi].left);
+  Pull(hi);
+  return hi;
+}
+
+bool OrderStatisticTree::Insert(FreqIdPair element) {
+  if (Contains(element)) return false;
+  NodeRef lo, hi;
+  Split(root_, element, &lo, &hi);
+  root_ = Merge(Merge(lo, NewNode(element)), hi);
+  return true;
+}
+
+bool OrderStatisticTree::Erase(FreqIdPair element) {
+  // Split into (< e), then peel the == e singleton off the right part.
+  NodeRef lo, hi;
+  Split(root_, element, &lo, &hi);
+  if (hi == kNil) {
+    root_ = lo;
+    return false;
+  }
+  // Leftmost node of hi is the smallest >= element; equal iff present.
+  NodeRef mid, rest;
+  FreqIdPair next{element.first, element.second + 1};
+  if (element.second == 0xffffffffu) {
+    next = FreqIdPair{element.first + 1, 0};
+  }
+  Split(hi, next, &mid, &rest);
+  bool erased = false;
+  if (mid != kNil) {
+    SPROFILE_DCHECK(nodes_[mid].size == 1);
+    SPROFILE_DCHECK(nodes_[mid].element == element);
+    free_list_.push_back(mid);
+    mid = kNil;
+    erased = true;
+  }
+  root_ = Merge(lo, Merge(mid, rest));
+  return erased;
+}
+
+bool OrderStatisticTree::Contains(FreqIdPair element) const {
+  NodeRef t = root_;
+  while (t != kNil) {
+    if (nodes_[t].element == element) return true;
+    t = element < nodes_[t].element ? nodes_[t].left : nodes_[t].right;
+  }
+  return false;
+}
+
+FreqIdPair OrderStatisticTree::KthSmallest(uint64_t k) const {
+  SPROFILE_DCHECK(k >= 1 && k <= size());
+  NodeRef t = root_;
+  for (;;) {
+    const uint64_t left_size = SizeOf(nodes_[t].left);
+    if (k == left_size + 1) return nodes_[t].element;
+    if (k <= left_size) {
+      t = nodes_[t].left;
+    } else {
+      k -= left_size + 1;
+      t = nodes_[t].right;
+    }
+  }
+}
+
+uint64_t OrderStatisticTree::CountLess(FreqIdPair element) const {
+  uint64_t count = 0;
+  NodeRef t = root_;
+  while (t != kNil) {
+    if (nodes_[t].element < element) {
+      count += SizeOf(nodes_[t].left) + 1;
+      t = nodes_[t].right;
+    } else {
+      t = nodes_[t].left;
+    }
+  }
+  return count;
+}
+
+bool OrderStatisticTree::ValidateFrom(NodeRef t, const FreqIdPair** prev) const {
+  if (t == kNil) return true;
+  const Node& node = nodes_[t];
+  if (node.left != kNil && nodes_[node.left].priority > node.priority) return false;
+  if (node.right != kNil && nodes_[node.right].priority > node.priority) return false;
+  if (node.size != 1 + SizeOf(node.left) + SizeOf(node.right)) return false;
+  if (!ValidateFrom(node.left, prev)) return false;
+  if (*prev != nullptr && !(**prev < node.element)) return false;
+  *prev = &node.element;
+  return ValidateFrom(node.right, prev);
+}
+
+bool OrderStatisticTree::Validate() const {
+  const FreqIdPair* prev = nullptr;
+  return ValidateFrom(root_, &prev);
+}
+
+// ---------------------------------------------------------------------------
+// CompressedFrequencyTree
+// ---------------------------------------------------------------------------
+
+CompressedFrequencyTree::NodeRef CompressedFrequencyTree::NewNode(int64_t freq) {
+  NodeRef ref;
+  if (!free_list_.empty()) {
+    ref = free_list_.back();
+    free_list_.pop_back();
+    nodes_[ref] = Node{};
+  } else {
+    ref = static_cast<NodeRef>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  nodes_[ref].freq = freq;
+  nodes_[ref].priority = Mix64(++priority_counter_);
+  nodes_[ref].left = nodes_[ref].right = kNil;
+  nodes_[ref].count = nodes_[ref].total = 1;
+  return ref;
+}
+
+void CompressedFrequencyTree::Split(NodeRef t, int64_t freq, NodeRef* lo,
+                                    NodeRef* hi) {
+  if (t == kNil) {
+    *lo = *hi = kNil;
+    return;
+  }
+  if (nodes_[t].freq < freq) {
+    Split(nodes_[t].right, freq, &nodes_[t].right, hi);
+    *lo = t;
+  } else {
+    Split(nodes_[t].left, freq, lo, &nodes_[t].left);
+    *hi = t;
+  }
+  Pull(t);
+}
+
+CompressedFrequencyTree::NodeRef CompressedFrequencyTree::Merge(NodeRef lo,
+                                                                NodeRef hi) {
+  if (lo == kNil) return hi;
+  if (hi == kNil) return lo;
+  if (nodes_[lo].priority > nodes_[hi].priority) {
+    nodes_[lo].right = Merge(nodes_[lo].right, hi);
+    Pull(lo);
+    return lo;
+  }
+  nodes_[hi].left = Merge(lo, nodes_[hi].left);
+  Pull(hi);
+  return hi;
+}
+
+void CompressedFrequencyTree::Insert(int64_t freq) {
+  // Fast path: bump the count when a node for `freq` exists.
+  NodeRef t = root_;
+  while (t != kNil) {
+    if (nodes_[t].freq == freq) {
+      // Bump along the root->node path totals.
+      NodeRef walk = root_;
+      while (true) {
+        nodes_[walk].total += 1;
+        if (nodes_[walk].freq == freq) break;
+        walk = freq < nodes_[walk].freq ? nodes_[walk].left : nodes_[walk].right;
+      }
+      nodes_[t].count += 1;
+      return;
+    }
+    t = freq < nodes_[t].freq ? nodes_[t].left : nodes_[t].right;
+  }
+  NodeRef lo, hi;
+  Split(root_, freq, &lo, &hi);
+  root_ = Merge(Merge(lo, NewNode(freq)), hi);
+}
+
+void CompressedFrequencyTree::Erase(int64_t freq) {
+  NodeRef t = root_;
+  while (t != kNil && nodes_[t].freq != freq) {
+    t = freq < nodes_[t].freq ? nodes_[t].left : nodes_[t].right;
+  }
+  SPROFILE_CHECK_MSG(t != kNil, "Erase of absent frequency");
+  if (nodes_[t].count > 1) {
+    NodeRef walk = root_;
+    while (true) {
+      nodes_[walk].total -= 1;
+      if (nodes_[walk].freq == freq) break;
+      walk = freq < nodes_[walk].freq ? nodes_[walk].left : nodes_[walk].right;
+    }
+    nodes_[t].count -= 1;
+    return;
+  }
+  // Remove the node entirely via split/merge.
+  NodeRef lo, hi, mid, rest;
+  Split(root_, freq, &lo, &hi);
+  Split(hi, freq + 1, &mid, &rest);
+  SPROFILE_DCHECK(mid != kNil && nodes_[mid].freq == freq);
+  free_list_.push_back(mid);
+  root_ = Merge(lo, rest);
+}
+
+int64_t CompressedFrequencyTree::KthSmallest(uint64_t k) const {
+  SPROFILE_DCHECK(k >= 1 && k <= size());
+  NodeRef t = root_;
+  for (;;) {
+    const uint64_t left_total = TotalOf(nodes_[t].left);
+    if (k <= left_total) {
+      t = nodes_[t].left;
+    } else if (k <= left_total + nodes_[t].count) {
+      return nodes_[t].freq;
+    } else {
+      k -= left_total + nodes_[t].count;
+      t = nodes_[t].right;
+    }
+  }
+}
+
+}  // namespace baselines
+}  // namespace sprofile

@@ -1,0 +1,188 @@
+// Order-statistic treap over (frequency, id) pairs.
+//
+// This is the paper's §3.2 "balanced tree based method": a balanced BST
+// holding all m (frequency, id) pairs, augmented with subtree sizes so the
+// k-th order statistic (median, top-K boundary, ...) is an O(log m)
+// descent. A ±1 frequency change is erase(old pair) + insert(new pair),
+// i.e. two O(log m) operations — this is exactly what the paper's PBDS
+// comparator does, and the generality S-Profile's O(1) update beats.
+//
+// Implementation: treap (randomized priorities, fixed seed for
+// reproducibility) with pooled nodes and 32-bit links. Priorities come from
+// mixing the node slot index, so behaviour is deterministic across runs.
+
+#ifndef SPROFILE_BASELINES_ORDER_STATISTIC_TREE_H_
+#define SPROFILE_BASELINES_ORDER_STATISTIC_TREE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sprofile {
+namespace baselines {
+
+/// The tree's element type: frequency first so ordering is by frequency
+/// with id as tiebreak (making every element distinct).
+using FreqIdPair = std::pair<int64_t, uint32_t>;
+
+/// Size-augmented treap storing distinct FreqIdPair elements.
+class OrderStatisticTree {
+ public:
+  OrderStatisticTree() = default;
+
+  /// Pre-sizes the node pool.
+  void Reserve(size_t n) {
+    nodes_.reserve(n);
+    free_list_.reserve(64);
+  }
+
+  size_t size() const { return root_ == kNil ? 0 : nodes_[root_].size; }
+  bool empty() const { return root_ == kNil; }
+
+  /// Inserts `element`; returns false when already present.
+  bool Insert(FreqIdPair element);
+
+  /// Erases `element`; returns false when absent.
+  bool Erase(FreqIdPair element);
+
+  bool Contains(FreqIdPair element) const;
+
+  /// k-th smallest element, k in [1, size()]. O(log n).
+  FreqIdPair KthSmallest(uint64_t k) const;
+
+  /// k-th largest element, k in [1, size()]. O(log n).
+  FreqIdPair KthLargest(uint64_t k) const { return KthSmallest(size() - k + 1); }
+
+  /// Number of elements strictly smaller than `element`. O(log n).
+  uint64_t CountLess(FreqIdPair element) const;
+
+  /// 1-based rank of `element` if present (CountLess + 1 regardless). O(log n).
+  uint64_t Rank(FreqIdPair element) const { return CountLess(element) + 1; }
+
+  /// In-order visit (tests). `fn(FreqIdPair)`.
+  template <typename Fn>
+  void InOrder(Fn fn) const {
+    InOrderFrom(root_, fn);
+  }
+
+  /// Structural verification for tests: BST order, heap priorities, sizes.
+  bool Validate() const;
+
+ private:
+  using NodeRef = uint32_t;
+  static constexpr NodeRef kNil = 0xffffffffu;
+
+  struct Node {
+    FreqIdPair element;
+    uint64_t priority;
+    NodeRef left = kNil;
+    NodeRef right = kNil;
+    uint64_t size = 1;
+  };
+
+  uint64_t SizeOf(NodeRef t) const { return t == kNil ? 0 : nodes_[t].size; }
+
+  void Pull(NodeRef t) {
+    nodes_[t].size = 1 + SizeOf(nodes_[t].left) + SizeOf(nodes_[t].right);
+  }
+
+  NodeRef NewNode(FreqIdPair element) {
+    NodeRef ref;
+    if (!free_list_.empty()) {
+      ref = free_list_.back();
+      free_list_.pop_back();
+      nodes_[ref] = Node{};
+    } else {
+      ref = static_cast<NodeRef>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    nodes_[ref].element = element;
+    // Deterministic "random" priority: mix the allocation counter.
+    nodes_[ref].priority = Mix64(++priority_counter_);
+    nodes_[ref].size = 1;
+    nodes_[ref].left = nodes_[ref].right = kNil;
+    return ref;
+  }
+
+  /// Splits t into (< element) and (>= element).
+  void Split(NodeRef t, FreqIdPair element, NodeRef* lo, NodeRef* hi);
+
+  /// Merges lo and hi where max(lo) < min(hi).
+  NodeRef Merge(NodeRef lo, NodeRef hi);
+
+  template <typename Fn>
+  void InOrderFrom(NodeRef t, Fn fn) const {
+    if (t == kNil) return;
+    InOrderFrom(nodes_[t].left, fn);
+    fn(nodes_[t].element);
+    InOrderFrom(nodes_[t].right, fn);
+  }
+
+  bool ValidateFrom(NodeRef t, const FreqIdPair** prev) const;
+
+  std::vector<Node> nodes_;
+  std::vector<NodeRef> free_list_;
+  NodeRef root_ = kNil;
+  uint64_t priority_counter_ = 0x9e3779b9u;
+};
+
+/// Count-compressed variant: a treap keyed by frequency alone, holding a
+/// multiplicity per node. Far fewer nodes when frequencies concentrate
+/// (which log streams do), making it a *stronger* tree baseline; ablation
+/// A-series shows S-Profile still wins. Not part of the paper.
+class CompressedFrequencyTree {
+ public:
+  void Reserve(size_t n) { nodes_.reserve(n); }
+
+  uint64_t size() const { return root_ == kNil ? 0 : nodes_[root_].total; }
+
+  void Insert(int64_t freq);
+
+  /// Erases one copy of `freq`; the copy must exist.
+  void Erase(int64_t freq);
+
+  /// k-th smallest frequency, k in [1, size()].
+  int64_t KthSmallest(uint64_t k) const;
+
+  /// Number of distinct frequencies currently stored.
+  size_t num_distinct() const {
+    return nodes_.size() - free_list_.size();
+  }
+
+ private:
+  using NodeRef = uint32_t;
+  static constexpr NodeRef kNil = 0xffffffffu;
+
+  struct Node {
+    int64_t freq;
+    uint64_t priority;
+    NodeRef left = kNil;
+    NodeRef right = kNil;
+    uint64_t count = 1;  // copies of `freq`
+    uint64_t total = 1;  // copies in subtree
+  };
+
+  uint64_t TotalOf(NodeRef t) const { return t == kNil ? 0 : nodes_[t].total; }
+
+  void Pull(NodeRef t) {
+    nodes_[t].total =
+        nodes_[t].count + TotalOf(nodes_[t].left) + TotalOf(nodes_[t].right);
+  }
+
+  NodeRef NewNode(int64_t freq);
+  void Split(NodeRef t, int64_t freq, NodeRef* lo, NodeRef* hi);
+  NodeRef Merge(NodeRef lo, NodeRef hi);
+
+  std::vector<Node> nodes_;
+  std::vector<NodeRef> free_list_;
+  NodeRef root_ = kNil;
+  uint64_t priority_counter_ = 0x85ebca6bu;
+};
+
+}  // namespace baselines
+}  // namespace sprofile
+
+#endif  // SPROFILE_BASELINES_ORDER_STATISTIC_TREE_H_

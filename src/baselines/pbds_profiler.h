@@ -1,0 +1,62 @@
+// GNU policy-based data structures wrapper — the exact balanced tree the
+// paper benchmarked against ([16]: libstdc++ `tree_order_statistics`).
+//
+// PBDS is a libstdc++ extension; availability is detected with
+// __has_include so the library still builds on other standard libraries
+// (the treap in tree_profiler.h is always available). Check
+// SPROFILE_HAVE_PBDS before instantiating PbdsProfiler.
+
+#ifndef SPROFILE_BASELINES_PBDS_PROFILER_H_
+#define SPROFILE_BASELINES_PBDS_PROFILER_H_
+
+#if defined(__has_include)
+#if __has_include(<ext/pb_ds/assoc_container.hpp>)
+#define SPROFILE_HAVE_PBDS 1
+#endif
+#endif
+
+#ifndef SPROFILE_HAVE_PBDS
+#define SPROFILE_HAVE_PBDS 0
+#endif
+
+#if SPROFILE_HAVE_PBDS
+
+#include <ext/pb_ds/assoc_container.hpp>
+#include <ext/pb_ds/tree_policy.hpp>
+
+#include "baselines/order_statistic_tree.h"  // FreqIdPair
+#include "baselines/tree_profiler.h"
+
+namespace sprofile {
+namespace baselines {
+
+/// Adapter giving the PBDS red-black order-statistic tree the minimal
+/// Insert/Erase/KthSmallest interface TreeProfilerT drives.
+class PbdsOrderStatisticSet {
+ public:
+  bool Insert(FreqIdPair element) { return tree_.insert(element).second; }
+
+  bool Erase(FreqIdPair element) { return tree_.erase(element) > 0; }
+
+  /// k is 1-based; PBDS find_by_order is 0-based.
+  FreqIdPair KthSmallest(uint64_t k) const { return *tree_.find_by_order(k - 1); }
+
+  size_t size() const { return tree_.size(); }
+
+ private:
+  using Tree =
+      __gnu_pbds::tree<FreqIdPair, __gnu_pbds::null_type, std::less<FreqIdPair>,
+                       __gnu_pbds::rb_tree_tag,
+                       __gnu_pbds::tree_order_statistics_node_update>;
+  Tree tree_;
+};
+
+/// The paper's literal §3.2 baseline.
+using PbdsProfiler = TreeProfilerT<PbdsOrderStatisticSet>;
+
+}  // namespace baselines
+}  // namespace sprofile
+
+#endif  // SPROFILE_HAVE_PBDS
+
+#endif  // SPROFILE_BASELINES_PBDS_PROFILER_H_

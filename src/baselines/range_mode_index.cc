@@ -1,0 +1,100 @@
+#include "baselines/range_mode_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sprofile {
+namespace baselines {
+
+RangeModeIndex::RangeModeIndex(std::vector<uint32_t> values, uint32_t num_values)
+    : values_(std::move(values)), num_values_(num_values) {
+  const size_t n = values_.size();
+  positions_.resize(num_values_);
+  for (size_t i = 0; i < n; ++i) {
+    SPROFILE_CHECK_MSG(values_[i] < num_values_, "value out of declared range");
+    positions_[values_[i]].push_back(static_cast<uint32_t>(i));
+  }
+  if (n == 0) return;
+
+  block_size_ = std::max<size_t>(1, static_cast<size_t>(std::sqrt(n)));
+  num_blocks_ = (n + block_size_ - 1) / block_size_;
+  block_mode_.assign(num_blocks_ * num_blocks_, RangeMode{0, 0});
+
+  // For each starting block, sweep right once with a running count table.
+  std::vector<uint32_t> freq(num_values_, 0);
+  for (size_t bi = 0; bi < num_blocks_; ++bi) {
+    std::fill(freq.begin(), freq.end(), 0);
+    RangeMode best{0, 0};
+    for (size_t bj = bi; bj < num_blocks_; ++bj) {
+      const size_t lo = bj * block_size_;
+      const size_t hi = std::min(n, lo + block_size_);
+      for (size_t i = lo; i < hi; ++i) {
+        const uint32_t v = values_[i];
+        freq[v] += 1;
+        if (freq[v] > best.count) best = RangeMode{v, freq[v]};
+      }
+      block_mode_[bi * num_blocks_ + bj] = best;
+    }
+  }
+}
+
+uint32_t RangeModeIndex::CountInRange(uint32_t value, size_t l, size_t r) const {
+  const std::vector<uint32_t>& pos = positions_[value];
+  const auto lo = std::lower_bound(pos.begin(), pos.end(), static_cast<uint32_t>(l));
+  const auto hi = std::upper_bound(pos.begin(), pos.end(), static_cast<uint32_t>(r));
+  return static_cast<uint32_t>(hi - lo);
+}
+
+RangeModeIndex::RangeMode RangeModeIndex::Query(size_t l, size_t r) const {
+  SPROFILE_CHECK_MSG(l <= r && r < values_.size(), "bad query range");
+  const size_t bl = l / block_size_;
+  const size_t br = r / block_size_;
+
+  RangeMode best{values_[l], 0};
+  // Middle: whole blocks strictly inside (bl, br); exists iff br >= bl+2.
+  if (br >= bl + 2) {
+    const RangeMode mid = block_mode_[(bl + 1) * num_blocks_ + (br - 1)];
+    if (mid.count > 0) {
+      // The precomputed count is for the whole middle; it is also the
+      // count within [l, r] restricted to the middle, but the value may
+      // have extra occurrences in the partial blocks — recount exactly.
+      best = RangeMode{mid.value, CountInRange(mid.value, l, r)};
+    }
+  }
+
+  // Partial blocks: every element is a candidate.
+  auto scan = [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i <= hi; ++i) {
+      const uint32_t v = values_[i];
+      // Skip repeated candidates cheaply: only evaluate the first
+      // occurrence of v inside this partial segment.
+      bool seen_before = false;
+      for (size_t j = lo; j < i; ++j) {
+        if (values_[j] == v) {
+          seen_before = true;
+          break;
+        }
+      }
+      if (seen_before) continue;
+      const uint32_t count = CountInRange(v, l, r);
+      if (count > best.count || (count == best.count && v < best.value)) {
+        best = RangeMode{v, count};
+      }
+    }
+  };
+
+  if (bl == br) {
+    scan(l, r);
+    return best;
+  }
+  const size_t left_end = (bl + 1) * block_size_ - 1;
+  const size_t right_begin = br * block_size_;
+  scan(l, std::min(left_end, r));
+  scan(right_begin, r);
+  return best;
+}
+
+}  // namespace baselines
+}  // namespace sprofile

@@ -1,0 +1,67 @@
+// Static range-mode index (√-decomposition).
+//
+// The paper's related work (§1) covers *range mode*: given a static array
+// A and indices (i, j), report the mode of A[i..j] ([4] Chan et al.,
+// [10] Krizanc et al., [13] Petersen & Grabowski). This is the classic
+// O(n^1.5) preprocessing / O(√n · log n) query structure:
+//
+//   - split A into blocks of ~√n elements;
+//   - precompute the mode of every block range [bi, bj];
+//   - a query's answer is either the precomputed mode of its fully
+//     covered middle, or an element of the two partial blocks; each
+//     candidate's exact count in [i, j] comes from binary searches over
+//     per-value position lists.
+//
+// Static-only by design: it exists to contrast with S-Profile, which
+// profiles the *whole* dynamic array under ±1 updates rather than
+// arbitrary ranges of a frozen one.
+
+#ifndef SPROFILE_BASELINES_RANGE_MODE_INDEX_H_
+#define SPROFILE_BASELINES_RANGE_MODE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sprofile {
+namespace baselines {
+
+class RangeModeIndex {
+ public:
+  /// Mode of one queried range.
+  struct RangeMode {
+    uint32_t value;  ///< a most-frequent value in the range
+    uint32_t count;  ///< its number of occurrences there
+
+    bool operator==(const RangeMode&) const = default;
+  };
+
+  /// Builds the index over `values` (each < num_values). O(n·√n) time,
+  /// O(n + (n/√n)²) space.
+  RangeModeIndex(std::vector<uint32_t> values, uint32_t num_values);
+
+  /// Mode of values[l..r], inclusive; l <= r < size(). O(√n log n).
+  RangeMode Query(size_t l, size_t r) const;
+
+  size_t size() const { return values_.size(); }
+  size_t block_size() const { return block_size_; }
+
+ private:
+  /// Occurrences of `value` within [l, r] via its sorted position list.
+  uint32_t CountInRange(uint32_t value, size_t l, size_t r) const;
+
+  std::vector<uint32_t> values_;
+  uint32_t num_values_;
+  size_t block_size_ = 1;
+  size_t num_blocks_ = 0;
+  // block_mode_[i * num_blocks_ + j]: mode of blocks i..j (j >= i).
+  std::vector<RangeMode> block_mode_;
+  // positions_[v]: sorted indices where v occurs.
+  std::vector<std::vector<uint32_t>> positions_;
+};
+
+}  // namespace baselines
+}  // namespace sprofile
+
+#endif  // SPROFILE_BASELINES_RANGE_MODE_INDEX_H_

@@ -1,0 +1,90 @@
+// TreeProfiler — the paper's §3.2 balanced-tree comparator.
+//
+// Keeps every (frequency, id) pair in an order-statistic tree. A ±1 update
+// is erase(old) + insert(new): 2 × O(log m). Median / mode / k-th order
+// statistic are O(log m) descents. The template parameter selects the tree
+// implementation so the same driver runs our treap and (when available)
+// GNU PBDS — the exact library the paper benchmarked [16].
+
+#ifndef SPROFILE_BASELINES_TREE_PROFILER_H_
+#define SPROFILE_BASELINES_TREE_PROFILER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/order_statistic_tree.h"
+#include "core/frequency_profile.h"  // FrequencyEntry
+#include "util/logging.h"
+
+namespace sprofile {
+namespace baselines {
+
+/// Balanced-tree profiler over a dense id space, generic in the tree.
+/// Tree must provide Insert/Erase of FreqIdPair and KthSmallest(k).
+template <typename Tree>
+class TreeProfilerT {
+ public:
+  explicit TreeProfilerT(uint32_t num_objects) : freq_(num_objects, 0) {
+    if constexpr (requires(Tree t, size_t n) { t.Reserve(n); }) {
+      tree_.Reserve(num_objects);
+    }
+    // All objects start at frequency 0.
+    for (uint32_t id = 0; id < num_objects; ++id) {
+      tree_.Insert(FreqIdPair{0, id});
+    }
+  }
+
+  uint32_t capacity() const { return static_cast<uint32_t>(freq_.size()); }
+
+  int64_t Frequency(uint32_t id) const {
+    SPROFILE_DCHECK(id < freq_.size());
+    return freq_[id];
+  }
+
+  /// F[id] += 1: erase old pair, insert new. 2 × O(log m).
+  void Add(uint32_t id) { Update(id, +1); }
+
+  /// F[id] -= 1.
+  void Remove(uint32_t id) { Update(id, -1); }
+
+  void Apply(uint32_t id, bool is_add) { Update(id, is_add ? +1 : -1); }
+
+  /// Lower median entry (k = floor((m-1)/2) + 1 smallest). O(log m).
+  FrequencyEntry Median() const {
+    const uint64_t k = (freq_.size() - 1) / 2 + 1;
+    const FreqIdPair p = tree_.KthSmallest(k);
+    return FrequencyEntry{p.second, p.first};
+  }
+
+  /// One maximum-frequency object. O(log m).
+  FrequencyEntry Mode() const {
+    const FreqIdPair p = tree_.KthSmallest(freq_.size());
+    return FrequencyEntry{p.second, p.first};
+  }
+
+  /// k-th largest. O(log m).
+  FrequencyEntry KthLargest(uint64_t k) const {
+    const FreqIdPair p = tree_.KthSmallest(freq_.size() - k + 1);
+    return FrequencyEntry{p.second, p.first};
+  }
+
+ private:
+  void Update(uint32_t id, int delta) {
+    SPROFILE_DCHECK(id < freq_.size());
+    const int64_t old_freq = freq_[id];
+    tree_.Erase(FreqIdPair{old_freq, id});
+    freq_[id] = old_freq + delta;
+    tree_.Insert(FreqIdPair{freq_[id], id});
+  }
+
+  Tree tree_;
+  std::vector<int64_t> freq_;
+};
+
+/// The default balanced-tree baseline (our order-statistic treap).
+using TreeProfiler = TreeProfilerT<OrderStatisticTree>;
+
+}  // namespace baselines
+}  // namespace sprofile
+
+#endif  // SPROFILE_BASELINES_TREE_PROFILER_H_

@@ -1,0 +1,105 @@
+// The block-set storage backing FrequencyProfile (paper §2.1).
+//
+// A *block* is a maximal run of equal values in the sorted frequency array
+// T, represented as the triple (l, r, f): starting rank, ending rank
+// (inclusive) and the shared frequency. The set of blocks partitions the
+// rank space and fully captures T without storing it.
+//
+// Blocks are kept in a pooled vector addressed by 32-bit handles. Every
+// S-Profile update deletes at most one block and creates at most one, so a
+// free list keeps the pool at <= m + 1 entries with zero steady-state
+// allocation — the O(1) update bound includes allocation.
+
+#ifndef SPROFILE_CORE_BLOCK_SET_H_
+#define SPROFILE_CORE_BLOCK_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace sprofile {
+
+/// Handle to a block inside BlockPool. 32 bits keeps the rank->block pointer
+/// array (PtrB in the paper) at 4 bytes per object.
+using BlockHandle = uint32_t;
+
+/// Sentinel for "no block".
+inline constexpr BlockHandle kInvalidBlock = 0xffffffffu;
+
+/// One maximal run of equal frequency in the sorted array T.
+/// Ranks are 0-based and `r` is inclusive (the paper is 1-based).
+struct Block {
+  uint32_t l;  ///< first rank of the run
+  uint32_t r;  ///< last rank of the run (inclusive)
+  int64_t f;   ///< frequency shared by ranks [l, r]
+};
+
+/// Free-list block allocator.
+///
+/// Handles are stable for the lifetime of the block (until Free), but the
+/// underlying storage may move on Alloc, so never hold a Block* across an
+/// allocation — hold the BlockHandle and re-resolve with Get().
+class BlockPool {
+ public:
+  BlockPool() = default;
+
+  /// Pre-sizes the pool's backing storage (handles are assigned on Alloc).
+  void Reserve(size_t n) {
+    blocks_.reserve(n);
+    free_list_.reserve(n / 4 + 1);
+  }
+
+  /// Allocates a block, reusing a freed slot when available.
+  BlockHandle Alloc(uint32_t l, uint32_t r, int64_t f) {
+    BlockHandle h;
+    if (!free_list_.empty()) {
+      h = free_list_.back();
+      free_list_.pop_back();
+      blocks_[h] = Block{l, r, f};
+    } else {
+      h = static_cast<BlockHandle>(blocks_.size());
+      blocks_.push_back(Block{l, r, f});
+    }
+    ++live_;
+    return h;
+  }
+
+  /// Returns a block to the free list. The handle must be live.
+  void Free(BlockHandle h) {
+    SPROFILE_DCHECK(h < blocks_.size());
+    free_list_.push_back(h);
+    SPROFILE_DCHECK(live_ > 0);
+    --live_;
+  }
+
+  Block& Get(BlockHandle h) {
+    SPROFILE_DCHECK(h < blocks_.size());
+    return blocks_[h];
+  }
+  const Block& Get(BlockHandle h) const {
+    SPROFILE_DCHECK(h < blocks_.size());
+    return blocks_[h];
+  }
+
+  /// Number of live (allocated, not freed) blocks.
+  size_t live() const { return live_; }
+
+  /// Total slots ever allocated (live + free-listed); measures peak usage.
+  size_t slots() const { return blocks_.size(); }
+
+  void Clear() {
+    blocks_.clear();
+    free_list_.clear();
+    live_ = 0;
+  }
+
+ private:
+  std::vector<Block> blocks_;
+  std::vector<BlockHandle> free_list_;
+  size_t live_ = 0;
+};
+
+}  // namespace sprofile
+
+#endif  // SPROFILE_CORE_BLOCK_SET_H_

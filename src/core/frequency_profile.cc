@@ -1,0 +1,375 @@
+#include "core/frequency_profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+
+namespace sprofile {
+
+FrequencyProfile::FrequencyProfile(uint32_t num_objects) : m_(num_objects) {
+  f_to_t_.resize(m_);
+  slots_.resize(m_);
+  if (m_ == 0) return;
+  std::iota(f_to_t_.begin(), f_to_t_.end(), 0u);
+  // All frequencies start at 0: one block covering every rank.
+  pool_.Reserve(std::min<size_t>(m_, 1024));
+  const BlockHandle all = pool_.Alloc(0, m_ - 1, 0);
+  for (uint32_t rank = 0; rank < m_; ++rank) slots_[rank] = RankSlot{rank, all};
+}
+
+FrequencyProfile FrequencyProfile::FromFrequencies(
+    const std::vector<int64_t>& frequencies) {
+  FrequencyProfile p(static_cast<uint32_t>(frequencies.size()));
+  if (frequencies.empty()) return p;
+
+  const uint32_t m = p.m_;
+  // Sort object ids by initial frequency to obtain T; stable so equal
+  // frequencies keep id order (deterministic across platforms).
+  std::vector<uint32_t> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return frequencies[a] < frequencies[b];
+  });
+
+  // Rebuild the block set as maximal equal-frequency runs of T.
+  p.pool_.Clear();
+  uint32_t run_start = 0;
+  for (uint32_t rank = 1; rank <= m; ++rank) {
+    if (rank == m ||
+        frequencies[order[rank]] != frequencies[order[run_start]]) {
+      const BlockHandle h =
+          p.pool_.Alloc(run_start, rank - 1, frequencies[order[run_start]]);
+      for (uint32_t i = run_start; i < rank; ++i) {
+        p.slots_[i] = RankSlot{order[i], h};
+        p.f_to_t_[order[i]] = i;
+      }
+      run_start = rank;
+    }
+  }
+  p.total_count_ = std::accumulate(frequencies.begin(), frequencies.end(),
+                                   static_cast<int64_t>(0));
+  return p;
+}
+
+// Algorithm 1, "add" branch (0-based). One extra step relative to the
+// paper's pseudocode: x must first be swapped to the *end* of its block
+// (Figure 1(b) shows the swap; the listing leaves it implicit).
+void FrequencyProfile::Add(uint32_t id) {
+  SPROFILE_DCHECK(id < m_);
+  SPROFILE_DCHECK(f_to_t_[id] >= frozen_);
+
+  const uint32_t rank = f_to_t_[id];
+  const BlockHandle bh = slots_[rank].block;
+  Block& b = pool_.Get(bh);
+  const uint32_t r = b.r;
+  const int64_t f = b.f;
+
+  // Move x to the right edge of its block; ranks inside a block are
+  // interchangeable, so this keeps T sorted.
+  SwapRanks(rank, r);
+
+  // Shrink the block from the right (steps 5-8); drop it when empty.
+  if (b.l == r) {
+    pool_.Free(bh);
+  } else {
+    b.r = r - 1;
+  }
+
+  // Attach rank r at frequency f+1: extend the right neighbour when it
+  // already holds f+1 (steps 9-11), otherwise open a new block (12-14).
+  if (r + 1 < m_) {
+    const BlockHandle nh = slots_[r + 1].block;
+    Block& nb = pool_.Get(nh);
+    if (nb.f == f + 1) {
+      nb.l = r;
+      slots_[r].block = nh;
+      ++total_count_;
+      return;
+    }
+  }
+  slots_[r].block = pool_.Alloc(r, r, f + 1);
+  ++total_count_;
+}
+
+// Algorithm 1, "remove" branch (steps 16-27), mirrored.
+void FrequencyProfile::Remove(uint32_t id) {
+  SPROFILE_DCHECK(id < m_);
+  SPROFILE_DCHECK(f_to_t_[id] >= frozen_);
+
+  const uint32_t rank = f_to_t_[id];
+  const BlockHandle bh = slots_[rank].block;
+  Block& b = pool_.Get(bh);
+  const uint32_t l = b.l;
+  const int64_t f = b.f;
+
+  // Move x to the left edge of its block.
+  SwapRanks(rank, l);
+
+  // Shrink from the left (steps 17-20).
+  if (b.r == l) {
+    pool_.Free(bh);
+  } else {
+    b.l = l + 1;
+  }
+
+  // Attach rank l at frequency f-1: merge into the left neighbour when it
+  // holds f-1 (steps 21-23) — but never across the frozen boundary —
+  // otherwise open a new block (24-26).
+  if (l > frozen_) {
+    const BlockHandle ph = slots_[l - 1].block;
+    Block& pb = pool_.Get(ph);
+    if (pb.f == f - 1) {
+      pb.r = l;
+      slots_[l].block = ph;
+      --total_count_;
+      return;
+    }
+  }
+  slots_[l].block = pool_.Alloc(l, l, f - 1);
+  --total_count_;
+}
+
+GroupView FrequencyProfile::GroupAt(uint32_t rank) const {
+  const Block& b = pool_.Get(slots_[rank].block);
+  return GroupView(b.f, slots_.data() + b.l, b.r - b.l + 1);
+}
+
+GroupView FrequencyProfile::Mode() const {
+  SPROFILE_DCHECK(num_active() > 0);
+  return GroupAt(m_ - 1);
+}
+
+GroupView FrequencyProfile::MinFrequent() const {
+  SPROFILE_DCHECK(num_active() > 0);
+  return GroupAt(frozen_);
+}
+
+FrequencyEntry FrequencyProfile::KthLargest(uint64_t k) const {
+  SPROFILE_DCHECK(k >= 1 && k <= num_active());
+  const uint32_t rank = m_ - static_cast<uint32_t>(k);
+  return FrequencyEntry{slots_[rank].id, pool_.Get(slots_[rank].block).f};
+}
+
+FrequencyEntry FrequencyProfile::KthSmallest(uint64_t k) const {
+  SPROFILE_DCHECK(k >= 1 && k <= num_active());
+  const uint32_t rank = frozen_ + static_cast<uint32_t>(k) - 1;
+  return FrequencyEntry{slots_[rank].id, pool_.Get(slots_[rank].block).f};
+}
+
+FrequencyEntry FrequencyProfile::MedianEntry() const {
+  SPROFILE_DCHECK(num_active() > 0);
+  return KthSmallest((num_active() - 1) / 2 + 1);
+}
+
+FrequencyEntry FrequencyProfile::UpperMedianEntry() const {
+  SPROFILE_DCHECK(num_active() > 0);
+  return KthSmallest(num_active() / 2 + 1);
+}
+
+FrequencyEntry FrequencyProfile::Quantile(double q) const {
+  SPROFILE_DCHECK(num_active() > 0);
+  SPROFILE_DCHECK(q >= 0.0 && q <= 1.0);
+  const uint64_t k =
+      static_cast<uint64_t>(std::floor(q * (num_active() - 1))) + 1;
+  return KthSmallest(k);
+}
+
+bool FrequencyProfile::HasMajority() const {
+  if (num_active() == 0) return false;
+  return 2 * pool_.Get(slots_[m_ - 1].block).f > total_count_;
+}
+
+uint32_t FrequencyProfile::LowerBoundRank(int64_t f) const {
+  // Binary search over active ranks; T is ascending there. Each probe reads
+  // the frequency through the covering block, so this is O(log m) with no
+  // extra storage.
+  uint32_t lo = frozen_, hi = m_;  // answer in [lo, hi]
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (pool_.Get(slots_[mid].block).f >= f) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+uint32_t FrequencyProfile::CountAtLeast(int64_t f) const {
+  return m_ - LowerBoundRank(f);
+}
+
+uint32_t FrequencyProfile::CountEqual(int64_t f) const {
+  return LowerBoundRank(f + 1) - LowerBoundRank(f);
+}
+
+void FrequencyProfile::TopK(uint32_t k, std::vector<FrequencyEntry>* out) const {
+  uint32_t emitted = 0;
+  uint32_t rank = m_;
+  while (emitted < k && rank > frozen_) {
+    --rank;
+    out->push_back(FrequencyEntry{slots_[rank].id, pool_.Get(slots_[rank].block).f});
+    ++emitted;
+  }
+}
+
+std::vector<GroupStat> FrequencyProfile::Histogram() const {
+  std::vector<GroupStat> hist;
+  uint32_t rank = frozen_;
+  while (rank < m_) {
+    const Block& b = pool_.Get(slots_[rank].block);
+    hist.push_back(GroupStat{b.f, b.r - b.l + 1});
+    rank = b.r + 1;
+  }
+  return hist;
+}
+
+std::vector<int64_t> FrequencyProfile::ToFrequencies() const {
+  std::vector<int64_t> freqs(m_);
+  for (uint32_t id = 0; id < m_; ++id) {
+    freqs[id] = pool_.Get(slots_[f_to_t_[id]].block).f;
+  }
+  return freqs;
+}
+
+size_t FrequencyProfile::MemoryBytes() const {
+  return f_to_t_.capacity() * sizeof(uint32_t) +
+         slots_.capacity() * sizeof(RankSlot) + pool_.slots() * sizeof(Block);
+}
+
+FrequencyEntry FrequencyProfile::PeelMin() {
+  SPROFILE_DCHECK(num_active() > 0);
+  const uint32_t rank = frozen_;
+  const uint32_t id = slots_[rank].id;
+  const BlockHandle bh = slots_[rank].block;
+  Block& b = pool_.Get(bh);
+  const int64_t f = b.f;
+  SPROFILE_DCHECK(b.l == rank);
+
+  if (b.r == rank) {
+    // Single-element block: it becomes the tombstone as-is.
+    ++frozen_;
+  } else {
+    // Split: shrink the live block and give the frozen rank its own
+    // tombstone so Frequency() of the peeled id keeps working.
+    b.l = rank + 1;
+    slots_[rank].block = pool_.Alloc(rank, rank, f);
+    ++frozen_;
+  }
+  return FrequencyEntry{id, f};
+}
+
+uint32_t FrequencyProfile::InsertSlot() {
+  const uint32_t new_id = m_;
+  // The zero-frequency slot must sit just before the first positive
+  // frequency to keep T sorted (frequencies <= 0 exist on the left).
+  const uint32_t p = LowerBoundRank(1);
+
+  f_to_t_.push_back(0);
+  slots_.push_back(RankSlot{0, kInvalidBlock});
+  const uint32_t old_m = m_;
+  m_ += 1;
+
+  // Shift every block in ranks [p, old_m) one position right, processing
+  // right-to-left. Within a block the id order is free, so a shift only
+  // moves the block's *front* element into the hole at its right edge —
+  // O(1) per block rather than O(size).
+  uint32_t q = old_m;  // exclusive end of the unshifted region
+  while (q > p) {
+    const BlockHandle bh = slots_[q - 1].block;
+    Block& b = pool_.Get(bh);
+    const uint32_t l = b.l;
+    const uint32_t r = b.r;
+    const uint32_t moving = slots_[l].id;
+    slots_[r + 1] = RankSlot{moving, bh};
+    f_to_t_[moving] = r + 1;
+    b.l = l + 1;
+    b.r = r + 1;
+    q = l;
+  }
+
+  // Place the new id in the hole at rank p, joining the zero block on the
+  // left when there is one.
+  slots_[p].id = new_id;
+  f_to_t_[new_id] = p;
+  if (p > frozen_ && pool_.Get(slots_[p - 1].block).f == 0) {
+    const BlockHandle zh = slots_[p - 1].block;
+    pool_.Get(zh).r = p;
+    slots_[p].block = zh;
+  } else {
+    slots_[p].block = pool_.Alloc(p, p, 0);
+  }
+  return new_id;
+}
+
+Status FrequencyProfile::Validate() const {
+  // Permutation consistency.
+  if (f_to_t_.size() != m_ || slots_.size() != m_) {
+    return Status::Corruption("array sizes disagree with capacity");
+  }
+  for (uint32_t id = 0; id < m_; ++id) {
+    if (f_to_t_[id] >= m_) {
+      return Status::Corruption("FtoT[" + std::to_string(id) + "] out of range");
+    }
+    if (slots_[f_to_t_[id]].id != id) {
+      return Status::Corruption("FtoT/TtoF not inverse at id " + std::to_string(id));
+    }
+  }
+
+  // Block partition: walking blocks from rank 0 must tile [0, m) exactly,
+  // and every rank's block pointer must reference the block covering it.
+  size_t walked_blocks = 0;
+  uint32_t rank = 0;
+  int64_t prev_freq = 0;
+  bool have_prev = false;
+  while (rank < m_) {
+    const BlockHandle bh = slots_[rank].block;
+    const Block& b = pool_.Get(bh);
+    if (b.l != rank) {
+      return Status::Corruption("block at rank " + std::to_string(rank) +
+                                " does not start there");
+    }
+    if (b.r < b.l || b.r >= m_) {
+      return Status::Corruption("block [" + std::to_string(b.l) + "," +
+                                std::to_string(b.r) + "] malformed");
+    }
+    for (uint32_t i = b.l; i <= b.r; ++i) {
+      if (slots_[i].block != bh) {
+        return Status::Corruption("slot " + std::to_string(i) +
+                                  " does not point at covering block");
+      }
+    }
+    const bool active_block = b.l >= frozen_;
+    if (active_block && have_prev) {
+      // Ascending order and block maximality over the active region only;
+      // frozen tombstones record historical peel frequencies.
+      if (b.f <= prev_freq) {
+        return Status::Corruption("blocks not strictly ascending at rank " +
+                                  std::to_string(rank));
+      }
+    }
+    if (active_block) {
+      prev_freq = b.f;
+      have_prev = true;
+    }
+    rank = b.r + 1;
+    ++walked_blocks;
+  }
+  if (walked_blocks != pool_.live()) {
+    return Status::Corruption("live block count mismatch: walked " +
+                              std::to_string(walked_blocks) + ", pool says " +
+                              std::to_string(pool_.live()));
+  }
+
+  // Frozen blocks must not cross the boundary.
+  if (frozen_ > 0 && frozen_ < m_) {
+    const Block& first_active = pool_.Get(slots_[frozen_].block);
+    if (first_active.l != frozen_) {
+      return Status::Corruption("block crosses the frozen boundary");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sprofile

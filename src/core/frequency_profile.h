@@ -1,0 +1,318 @@
+// FrequencyProfile — the S-Profile data structure (paper §2).
+//
+// Maintains the *sorted* frequency array T of m objects under ±1 updates in
+// O(1) worst-case time per update and O(m) space, using:
+//
+//   - a block set: the partition of T into maximal runs of equal frequency
+//     (block_set.h),
+//   - FtoT / TtoF: the permutation between object ids and ranks in T,
+//   - PtrB: rank -> block handle.
+//
+// All ranks and ids are 0-based (the paper's pseudocode is 1-based). T is
+// ascending, so rank m-1 holds a maximum-frequency object (the mode) and
+// rank 0 a minimum-frequency one. Frequencies may go negative: the paper
+// explicitly allows "remove" events for objects that were never added
+// (§2.2, "maybe a negative number").
+//
+// Query cheat sheet (all over the *active* region, see PeelMin below):
+//   Mode() / MinFrequent()       O(1)
+//   KthLargest(k) / KthSmallest  O(1)
+//   MedianEntry() / Quantile(q)  O(1)
+//   Frequency(id)                O(1)
+//   CountAtLeast(f) etc.         O(log m)   binary search over ranks
+//   TopK(k, out)                 O(k)
+//   Histogram()                  O(#blocks)
+//
+// Extension beyond the paper: PeelMin() freezes the current minimum object
+// so it never participates in further updates or queries — the
+// "extract-min forever" primitive needed by the graph-shaving applications
+// the paper sketches in §2.3. Frozen ranks form a prefix of T; each keeps a
+// tombstone block so Frequency() of a peeled object still answers in O(1).
+
+#ifndef SPROFILE_CORE_FREQUENCY_PROFILE_H_
+#define SPROFILE_CORE_FREQUENCY_PROFILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+#include "core/block_set.h"
+#include "util/status.h"
+
+namespace sprofile {
+
+/// One object and its current frequency.
+struct FrequencyEntry {
+  uint32_t id;
+  int64_t frequency;
+
+  bool operator==(const FrequencyEntry&) const = default;
+};
+
+namespace internal {
+/// Per-rank state: the paper's TtoF and PtrB arrays interleaved, so one
+/// cache line serves both lookups at a rank (the update path touches ranks
+/// at both ends of a possibly huge block; halving the rank-indexed arrays
+/// halves those misses).
+struct RankSlot {
+  uint32_t id;          // TtoF: object at this rank
+  BlockHandle block;    // PtrB: covering block
+};
+}  // namespace internal
+
+/// A group of objects tied at one frequency — one block of the profile.
+///
+/// Iteration yields object ids lazily straight out of the profile's rank
+/// array (no copy; Mode()/MinFrequent() stay O(1) however large the tie
+/// group is). The view is invalidated by any subsequent profile update.
+class GroupView {
+ public:
+  GroupView(int64_t freq, const internal::RankSlot* first, uint32_t count)
+      : frequency(freq), first_(first), count_(count) {}
+
+  /// The frequency every object in this group shares.
+  int64_t frequency;
+
+  /// Number of tied objects.
+  uint32_t count() const { return count_; }
+  uint32_t size() const { return count_; }
+
+  /// The i-th object id of the group (arbitrary but stable order).
+  uint32_t operator[](uint32_t i) const { return first_[i].id; }
+
+  /// Forward iterator over object ids.
+  class const_iterator {
+   public:
+    using value_type = uint32_t;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    explicit const_iterator(const internal::RankSlot* p) : p_(p) {}
+    uint32_t operator*() const { return p_->id; }
+    const_iterator& operator++() {
+      ++p_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator tmp = *this;
+      ++p_;
+      return tmp;
+    }
+    bool operator==(const const_iterator&) const = default;
+
+   private:
+    const internal::RankSlot* p_;
+  };
+
+  const_iterator begin() const { return const_iterator(first_); }
+  const_iterator end() const { return const_iterator(first_ + count_); }
+
+  /// Copies the group's ids out (convenience for callers that need a
+  /// stable container).
+  std::vector<uint32_t> ToVector() const {
+    return std::vector<uint32_t>(begin(), end());
+  }
+
+ private:
+  const internal::RankSlot* first_;
+  uint32_t count_;
+};
+
+/// Aggregate row of the frequency histogram: `count` objects share
+/// `frequency`.
+struct GroupStat {
+  int64_t frequency;
+  uint32_t count;
+
+  bool operator==(const GroupStat&) const = default;
+};
+
+/// S-Profile over a dense id space [0, capacity).
+///
+/// Thread-compatibility: like a std container — concurrent const queries are
+/// safe, any update requires external synchronization.
+class FrequencyProfile {
+ public:
+  /// Creates a profile of `num_objects` objects, all at frequency 0.
+  explicit FrequencyProfile(uint32_t num_objects);
+
+  /// Bulk-builds a profile from initial frequencies in O(m log m)
+  /// (ablation A6 measures this against m repeated Adds).
+  static FrequencyProfile FromFrequencies(const std::vector<int64_t>& frequencies);
+
+  // Movable but not copyable by accident (profiles can be large); use
+  // Clone() for an explicit deep copy.
+  FrequencyProfile(FrequencyProfile&&) = default;
+  FrequencyProfile& operator=(FrequencyProfile&&) = default;
+  FrequencyProfile Clone() const { return FrequencyProfile(*this); }
+
+  /// Total number of object slots, frozen ones included (m in the paper).
+  uint32_t capacity() const { return m_; }
+
+  /// Objects still participating in updates and queries.
+  uint32_t num_active() const { return m_ - frozen_; }
+
+  /// Objects removed from play via PeelMin().
+  uint32_t num_frozen() const { return frozen_; }
+
+  /// Running sum of all frequencies (adds minus removes over active and
+  /// frozen objects).
+  int64_t total_count() const { return total_count_; }
+
+  /// Number of live blocks (distinct frequencies, counting tombstones).
+  size_t num_blocks() const { return pool_.live(); }
+
+  // ---------------------------------------------------------------------
+  // Updates — the paper's Algorithm 1; O(1) worst-case each.
+  // ---------------------------------------------------------------------
+
+  /// F[id] += 1. `id` must be in range and not frozen.
+  void Add(uint32_t id);
+
+  /// F[id] -= 1. `id` must be in range and not frozen.
+  void Remove(uint32_t id);
+
+  /// Applies one log-stream tuple (x, c): Add when `is_add`, else Remove.
+  void Apply(uint32_t id, bool is_add) { is_add ? Add(id) : Remove(id); }
+
+  // ---------------------------------------------------------------------
+  // Point queries.
+  // ---------------------------------------------------------------------
+
+  /// Current frequency of `id` (works for frozen ids too). O(1).
+  int64_t Frequency(uint32_t id) const {
+    SPROFILE_DCHECK(id < m_);
+    return pool_.Get(slots_[f_to_t_[id]].block).f;
+  }
+
+  /// All objects tied at the maximum frequency (the mode; Algorithm 1
+  /// steps 29–30). Requires num_active() > 0. O(1).
+  GroupView Mode() const;
+
+  /// All objects tied at the minimum frequency (steps 29a–30a). O(1).
+  GroupView MinFrequent() const;
+
+  /// The k-th largest frequency, k in [1, num_active()], with one
+  /// representative object ("top-K order element", §2.2). O(1).
+  FrequencyEntry KthLargest(uint64_t k) const;
+
+  /// The k-th smallest frequency, k in [1, num_active()]. O(1).
+  FrequencyEntry KthSmallest(uint64_t k) const;
+
+  /// Lower median of the active frequencies (rank floor((a-1)/2)). O(1).
+  FrequencyEntry MedianEntry() const;
+
+  /// Upper median (rank ceil((a-1)/2)); equals MedianEntry() for odd a.
+  FrequencyEntry UpperMedianEntry() const;
+
+  /// q-quantile entry, q in [0, 1]: rank floor(q * (a - 1)). O(1).
+  FrequencyEntry Quantile(double q) const;
+
+  /// True iff some object has frequency > total_count()/2 (the classical
+  /// majority; cf. Boyer–Moore [3] in the paper's related work). O(1).
+  bool HasMajority() const;
+
+  // ---------------------------------------------------------------------
+  // Range / bulk queries.
+  // ---------------------------------------------------------------------
+
+  /// Number of active objects with frequency >= f. O(log m).
+  uint32_t CountAtLeast(int64_t f) const;
+
+  /// Number of active objects with frequency == f. O(log m).
+  uint32_t CountEqual(int64_t f) const;
+
+  /// Number of active objects with frequency < f. O(log m).
+  uint32_t CountLess(int64_t f) const { return num_active() - CountAtLeast(f); }
+
+  /// Appends the top-k entries (descending frequency; ties broken by rank)
+  /// to *out. Emits min(k, num_active()) entries. O(k).
+  void TopK(uint32_t k, std::vector<FrequencyEntry>* out) const;
+
+  /// Frequency histogram of the active region, ascending by frequency —
+  /// one GroupStat per block. O(#blocks).
+  std::vector<GroupStat> Histogram() const;
+
+  /// Reconstructs the plain frequency array F (index = object id),
+  /// including frozen objects. O(m). Inverse of FromFrequencies for
+  /// unfrozen profiles.
+  std::vector<int64_t> ToFrequencies() const;
+
+  /// Bytes of heap storage held by the profile (arrays + block pool).
+  size_t MemoryBytes() const;
+
+  // ---------------------------------------------------------------------
+  // Structural operations (extensions; see DESIGN.md §5).
+  // ---------------------------------------------------------------------
+
+  /// Freezes one minimum-frequency object: it is removed from all future
+  /// queries and must not be updated again. Returns the peeled entry.
+  /// O(1). Requires num_active() > 0.
+  FrequencyEntry PeelMin();
+
+  /// Grows the profile by one object slot at frequency 0 and returns its
+  /// id (== old capacity()). O(log m + #blocks with positive frequency).
+  uint32_t InsertSlot();
+
+  /// True if `id` was peeled by PeelMin().
+  bool IsFrozen(uint32_t id) const {
+    SPROFILE_DCHECK(id < m_);
+    return f_to_t_[id] < frozen_;
+  }
+
+  // ---------------------------------------------------------------------
+  // Introspection.
+  // ---------------------------------------------------------------------
+
+  /// Full structural check: PtrB/FtoT/TtoF consistency, block partition,
+  /// maximality, ascending order over the active region. O(m). Intended
+  /// for tests and debugging.
+  Status Validate() const;
+
+  /// Rank of `id` in the sorted array T (ascending). Exposed for tests.
+  uint32_t RankOf(uint32_t id) const {
+    SPROFILE_DCHECK(id < m_);
+    return f_to_t_[id];
+  }
+
+  /// Object at rank `rank` of T. Exposed for tests.
+  uint32_t IdAtRank(uint32_t rank) const {
+    SPROFILE_DCHECK(rank < m_);
+    return slots_[rank].id;
+  }
+
+ private:
+  using RankSlot = internal::RankSlot;
+
+  FrequencyProfile(const FrequencyProfile&) = default;
+
+  /// Swaps the objects at ranks a and b (both must belong to one block, so
+  /// the block pointers need no fixup).
+  void SwapRanks(uint32_t a, uint32_t b) {
+    if (a == b) return;
+    const uint32_t ida = slots_[a].id;
+    const uint32_t idb = slots_[b].id;
+    slots_[a].id = idb;
+    slots_[b].id = ida;
+    f_to_t_[ida] = b;
+    f_to_t_[idb] = a;
+  }
+
+  /// First active rank whose frequency is >= f (== m_ when none).
+  uint32_t LowerBoundRank(int64_t f) const;
+
+  GroupView GroupAt(uint32_t rank) const;
+
+  uint32_t m_ = 0;       // total slots (frozen + active)
+  uint32_t frozen_ = 0;  // frozen prefix length of T
+  int64_t total_count_ = 0;
+
+  BlockPool pool_;
+  std::vector<uint32_t> f_to_t_;   // id -> rank (FtoT)
+  std::vector<RankSlot> slots_;    // rank -> (id, block)
+};
+
+}  // namespace sprofile
+
+#endif  // SPROFILE_CORE_FREQUENCY_PROFILE_H_

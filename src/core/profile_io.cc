@@ -1,0 +1,92 @@
+#include "core/profile_io.h"
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "util/crc32c.h"
+
+namespace sprofile {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x46505053u;  // "SPPF" little-endian
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteAll(std::FILE* f, const void* data, size_t n, const std::string& path) {
+  if (std::fwrite(data, 1, n, f) != n) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Status ReadAll(std::FILE* f, void* data, size_t n, const std::string& path) {
+  if (std::fread(data, 1, n, f) != n) {
+    return Status::IOError("short read from " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveProfile(const FrequencyProfile& profile, const std::string& path) {
+  if (profile.num_frozen() > 0) {
+    return Status::FailedPrecondition(
+        "profiles with frozen (peeled) objects cannot be snapshotted");
+  }
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Status::IOError("cannot open " + path + " for writing");
+
+  const uint32_t m = profile.capacity();
+  const uint32_t pad = 0;
+  SPROFILE_RETURN_NOT_OK(WriteAll(f.get(), &kMagic, sizeof(kMagic), path));
+  SPROFILE_RETURN_NOT_OK(WriteAll(f.get(), &kVersion, sizeof(kVersion), path));
+  SPROFILE_RETURN_NOT_OK(WriteAll(f.get(), &m, sizeof(m), path));
+  SPROFILE_RETURN_NOT_OK(WriteAll(f.get(), &pad, sizeof(pad), path));
+
+  const std::vector<int64_t> freqs = profile.ToFrequencies();
+  const size_t bytes = freqs.size() * sizeof(int64_t);
+  SPROFILE_RETURN_NOT_OK(WriteAll(f.get(), freqs.data(), bytes, path));
+
+  const uint32_t masked = crc32c::Mask(crc32c::Value(freqs.data(), bytes));
+  SPROFILE_RETURN_NOT_OK(WriteAll(f.get(), &masked, sizeof(masked), path));
+  if (std::fflush(f.get()) != 0) return Status::IOError("flush failed for " + path);
+  return Status::OK();
+}
+
+Result<FrequencyProfile> LoadProfile(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+
+  uint32_t magic = 0, version = 0, m = 0, pad = 0;
+  SPROFILE_RETURN_NOT_OK(ReadAll(f.get(), &magic, sizeof(magic), path));
+  if (magic != kMagic) return Status::Corruption(path + ": bad magic");
+  SPROFILE_RETURN_NOT_OK(ReadAll(f.get(), &version, sizeof(version), path));
+  if (version != kVersion) {
+    return Status::Corruption(path + ": unsupported version " +
+                              std::to_string(version));
+  }
+  SPROFILE_RETURN_NOT_OK(ReadAll(f.get(), &m, sizeof(m), path));
+  SPROFILE_RETURN_NOT_OK(ReadAll(f.get(), &pad, sizeof(pad), path));
+
+  std::vector<int64_t> freqs(m);
+  const size_t bytes = freqs.size() * sizeof(int64_t);
+  SPROFILE_RETURN_NOT_OK(ReadAll(f.get(), freqs.data(), bytes, path));
+
+  uint32_t masked = 0;
+  SPROFILE_RETURN_NOT_OK(ReadAll(f.get(), &masked, sizeof(masked), path));
+  if (crc32c::Unmask(masked) != crc32c::Value(freqs.data(), bytes)) {
+    return Status::Corruption(path + ": checksum mismatch");
+  }
+  return FrequencyProfile::FromFrequencies(freqs);
+}
+
+}  // namespace sprofile

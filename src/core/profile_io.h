@@ -1,0 +1,37 @@
+// Profile persistence.
+//
+// A long-running profiling service needs to survive restarts without
+// replaying the whole log stream. The snapshot format "SPPF" stores the
+// plain frequency array (the profile's entire logical state) with a masked
+// CRC32C, and LoadProfile rebuilds the block set with FromFrequencies in
+// O(m log m).
+//
+// Frozen (peeled) state is deliberately not persisted: peeling is a
+// transient consumption pattern (shaving loops), not durable state. Saving
+// a profile with frozen objects is rejected with FailedPrecondition.
+//
+// Format (little-endian):
+//   [magic u32 = 'SPPF'] [version u32 = 1] [m u32] [pad u32 = 0]
+//   m × [frequency i64]
+//   [masked crc32c u32 of the frequency bytes]
+
+#ifndef SPROFILE_CORE_PROFILE_IO_H_
+#define SPROFILE_CORE_PROFILE_IO_H_
+
+#include <string>
+
+#include "core/frequency_profile.h"
+#include "util/status.h"
+
+namespace sprofile {
+
+/// Writes a snapshot of `profile` to `path`. FailedPrecondition when the
+/// profile has frozen objects (see header comment).
+Status SaveProfile(const FrequencyProfile& profile, const std::string& path);
+
+/// Reads a snapshot; verifies magic, version and checksum.
+Result<FrequencyProfile> LoadProfile(const std::string& path);
+
+}  // namespace sprofile
+
+#endif  // SPROFILE_CORE_PROFILE_IO_H_

@@ -1,0 +1,212 @@
+// Open-addressing hash map with Robin Hood probing and backward-shift
+// deletion.
+//
+// KeyedProfile uses this to map arbitrary user keys (64-bit ids, strings,
+// ...) onto the dense [0, m) id space FrequencyProfile requires. A flat
+// probing table keeps the per-event overhead at one cache line in the
+// common case, which matters because the map lookup sits on the same hot
+// path as the O(1) profile update.
+//
+// Deliberately minimal: no iterators-with-erase, no node handles. ForEach
+// visits live entries; Insert/Find/Erase are the hot operations.
+
+#ifndef SPROFILE_CORE_ROBIN_HOOD_MAP_H_
+#define SPROFILE_CORE_ROBIN_HOOD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sprofile {
+
+/// Default hasher: strong integer mixing for integral keys, FNV-1a + mix
+/// for strings. Specialize or pass your own functor for other key types.
+template <typename K>
+struct ProfileHash {
+  uint64_t operator()(const K& key) const
+    requires std::is_integral_v<K>
+  {
+    return Mix64(static_cast<uint64_t>(key));
+  }
+};
+
+template <>
+struct ProfileHash<std::string> {
+  uint64_t operator()(const std::string& key) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : key) {
+      h ^= c;
+      h *= 0x100000001b3ULL;
+    }
+    return Mix64(h);
+  }
+};
+
+template <typename K, typename V, typename Hash = ProfileHash<K>>
+class RobinHoodMap {
+ public:
+  RobinHoodMap() { Rehash(kMinCapacity); }
+
+  /// Ensures capacity for `n` entries without rehashing mid-stream.
+  void Reserve(size_t n) {
+    size_t needed = kMinCapacity;
+    while (needed * 3 < n * 4) needed <<= 1;  // target load factor 0.75
+    if (needed > slots_.size()) Rehash(needed);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts (key, value); returns false (leaving the value unchanged) when
+  /// the key is already present.
+  bool Insert(const K& key, V value) {
+    MaybeGrow();
+    return InsertInternal(key, std::move(value), /*overwrite=*/false);
+  }
+
+  /// Inserts or overwrites.
+  void Upsert(const K& key, V value) {
+    MaybeGrow();
+    InsertInternal(key, std::move(value), /*overwrite=*/true);
+  }
+
+  /// Pointer to the value for `key`, or nullptr. Stable until the next
+  /// mutating call.
+  V* Find(const K& key) {
+    size_t idx;
+    return FindSlot(key, &idx) ? &slots_[idx].value : nullptr;
+  }
+  const V* Find(const K& key) const {
+    size_t idx;
+    return FindSlot(key, &idx) ? &slots_[idx].value : nullptr;
+  }
+
+  bool Contains(const K& key) const {
+    size_t idx;
+    return FindSlot(key, &idx);
+  }
+
+  /// Removes `key`; returns false when absent. Uses backward-shift deletion
+  /// (no tombstones, probe lengths stay tight under churn).
+  bool Erase(const K& key) {
+    size_t idx;
+    if (!FindSlot(key, &idx)) return false;
+    const size_t mask = slots_.size() - 1;
+    size_t hole = idx;
+    for (;;) {
+      const size_t next = (hole + 1) & mask;
+      if (slots_[next].dib <= 1) break;  // empty or already in ideal slot
+      slots_[hole] = std::move(slots_[next]);
+      slots_[hole].dib -= 1;
+      hole = next;
+    }
+    slots_[hole] = Slot{};
+    --size_;
+    return true;
+  }
+
+  /// Visits every live (key, value) pair; `fn(const K&, const V&)`.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (const Slot& s : slots_) {
+      if (s.dib != 0) fn(s.key, s.value);
+    }
+  }
+
+  /// Longest probe sequence currently in the table (diagnostics).
+  uint32_t max_probe_length() const {
+    uint32_t mx = 0;
+    for (const Slot& s : slots_) {
+      if (s.dib > mx) mx = s.dib;
+    }
+    return mx;
+  }
+
+ private:
+  // dib = distance-from-ideal + 1; 0 marks an empty slot.
+  struct Slot {
+    K key{};
+    V value{};
+    uint32_t dib = 0;
+  };
+
+  static constexpr size_t kMinCapacity = 16;
+
+  void MaybeGrow() {
+    if ((size_ + 1) * 4 > slots_.size() * 3) Rehash(slots_.size() * 2);
+  }
+
+  void Rehash(size_t new_capacity) {
+    SPROFILE_DCHECK((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    size_ = 0;
+    for (Slot& s : old) {
+      if (s.dib != 0) InsertInternal(s.key, std::move(s.value), false);
+    }
+  }
+
+  bool InsertInternal(const K& key, V value, bool overwrite) {
+    const size_t mask = slots_.size() - 1;
+    size_t idx = Hash{}(key)&mask;
+    K cur_key = key;
+    V cur_value = std::move(value);
+    uint32_t cur_dib = 1;
+    bool inserted_new = false;
+    bool carrying_original = true;
+
+    for (;;) {
+      Slot& s = slots_[idx];
+      if (s.dib == 0) {
+        s.key = std::move(cur_key);
+        s.value = std::move(cur_value);
+        s.dib = cur_dib;
+        ++size_;
+        return inserted_new || carrying_original;
+      }
+      if (carrying_original && s.key == cur_key) {
+        if (overwrite) s.value = std::move(cur_value);
+        return false;
+      }
+      if (s.dib < cur_dib) {
+        // Rob the rich: displace the closer-to-home entry.
+        std::swap(s.key, cur_key);
+        std::swap(s.value, cur_value);
+        std::swap(s.dib, cur_dib);
+        if (carrying_original) {
+          inserted_new = true;
+          carrying_original = false;
+        }
+      }
+      idx = (idx + 1) & mask;
+      ++cur_dib;
+    }
+  }
+
+  bool FindSlot(const K& key, size_t* out_idx) const {
+    const size_t mask = slots_.size() - 1;
+    size_t idx = Hash{}(key)&mask;
+    uint32_t dib = 1;
+    for (;;) {
+      const Slot& s = slots_[idx];
+      if (s.dib == 0 || s.dib < dib) return false;  // Robin Hood early exit
+      if (s.dib == dib && s.key == key) {
+        *out_idx = idx;
+        return true;
+      }
+      idx = (idx + 1) & mask;
+      ++dib;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace sprofile
+
+#endif  // SPROFILE_CORE_ROBIN_HOOD_MAP_H_

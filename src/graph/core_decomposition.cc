@@ -1,0 +1,204 @@
+#include "graph/core_decomposition.h"
+
+#include <algorithm>
+
+#include "baselines/addressable_heap.h"
+#include "core/frequency_profile.h"
+#include "util/logging.h"
+
+namespace sprofile {
+namespace graph {
+
+std::vector<uint32_t> CoreNumbersSProfile(const Graph& g) {
+  const uint32_t n = g.num_vertices();
+  std::vector<uint32_t> core(n, 0);
+  if (n == 0) return core;
+
+  FrequencyProfile profile = FrequencyProfile::FromFrequencies(g.DegreeVector());
+  int64_t level = 0;
+  for (uint32_t step = 0; step < n; ++step) {
+    const FrequencyEntry peeled = profile.PeelMin();
+    level = std::max(level, peeled.frequency);
+    core[peeled.id] = static_cast<uint32_t>(level);
+    for (uint32_t u : g.Neighbors(peeled.id)) {
+      if (!profile.IsFrozen(u)) profile.Remove(u);
+    }
+  }
+  return core;
+}
+
+std::vector<uint32_t> CoreNumbersHeap(const Graph& g) {
+  const uint32_t n = g.num_vertices();
+  std::vector<uint32_t> core(n, 0);
+  if (n == 0) return core;
+
+  baselines::AddressableHeap<baselines::HeapKind::kMin, 2> heap(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    const uint32_t d = g.Degree(v);
+    for (uint32_t i = 0; i < d; ++i) heap.Add(v);
+  }
+  std::vector<bool> gone(n, false);
+  int64_t level = 0;
+  for (uint32_t step = 0; step < n; ++step) {
+    const FrequencyEntry peeled = heap.PopTop();
+    gone[peeled.id] = true;
+    level = std::max(level, peeled.frequency);
+    core[peeled.id] = static_cast<uint32_t>(level);
+    for (uint32_t u : g.Neighbors(peeled.id)) {
+      if (!gone[u]) heap.Remove(u);
+    }
+  }
+  return core;
+}
+
+std::vector<uint32_t> CoreNumbersBucket(const Graph& g) {
+  // Batagelj & Zaversnik 2003: counting-sort vertices by degree, then peel
+  // in order, moving each touched neighbor one bucket down.
+  const uint32_t n = g.num_vertices();
+  std::vector<uint32_t> core(n, 0);
+  if (n == 0) return core;
+
+  uint32_t max_degree = 0;
+  std::vector<uint32_t> degree(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    degree[v] = g.Degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // bin[d] = start offset of degree-d vertices in `order`.
+  std::vector<uint32_t> bin(max_degree + 2, 0);
+  for (uint32_t v = 0; v < n; ++v) bin[degree[v] + 1] += 1;
+  for (uint32_t d = 1; d < bin.size(); ++d) bin[d] += bin[d - 1];
+
+  std::vector<uint32_t> order(n);     // vertices sorted by current degree
+  std::vector<uint32_t> pos(n);       // vertex -> index in order
+  {
+    std::vector<uint32_t> cursor(bin.begin(), bin.end() - 1);
+    for (uint32_t v = 0; v < n; ++v) {
+      pos[v] = cursor[degree[v]];
+      order[pos[v]] = v;
+      cursor[degree[v]] += 1;
+    }
+  }
+
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t v = order[i];
+    core[v] = degree[v];
+    for (uint32_t u : g.Neighbors(v)) {
+      if (degree[u] <= degree[v]) continue;
+      // Swap u with the first vertex of its degree bucket, then shrink
+      // the bucket boundary so u drops one degree class.
+      const uint32_t du = degree[u];
+      const uint32_t pu = pos[u];
+      const uint32_t pw = bin[du];
+      const uint32_t w = order[pw];
+      if (u != w) {
+        order[pu] = w;
+        order[pw] = u;
+        pos[u] = pw;
+        pos[w] = pu;
+      }
+      bin[du] += 1;
+      degree[u] -= 1;
+    }
+  }
+
+  // BZ's conditional decrement keeps degree[] clamped at the peel level, so
+  // core[v] = degree[v] at peel time is already the core number.
+  return core;
+}
+
+uint32_t Degeneracy(const std::vector<uint32_t>& core_numbers) {
+  if (core_numbers.empty()) return 0;
+  return *std::max_element(core_numbers.begin(), core_numbers.end());
+}
+
+std::vector<uint32_t> DegeneracyOrdering(const Graph& g) {
+  const uint32_t n = g.num_vertices();
+  std::vector<uint32_t> order;
+  order.reserve(n);
+  if (n == 0) return order;
+
+  FrequencyProfile profile = FrequencyProfile::FromFrequencies(g.DegreeVector());
+  for (uint32_t step = 0; step < n; ++step) {
+    const FrequencyEntry peeled = profile.PeelMin();
+    order.push_back(peeled.id);
+    for (uint32_t u : g.Neighbors(peeled.id)) {
+      if (!profile.IsFrozen(u)) profile.Remove(u);
+    }
+  }
+  return order;
+}
+
+std::vector<uint32_t> KCoreVertices(const std::vector<uint32_t>& core_numbers,
+                                    uint32_t k) {
+  std::vector<uint32_t> vertices;
+  for (uint32_t v = 0; v < core_numbers.size(); ++v) {
+    if (core_numbers[v] >= k) vertices.push_back(v);
+  }
+  return vertices;
+}
+
+DensestSubgraphResult DensestSubgraphGreedy(const Graph& g) {
+  DensestSubgraphResult result;
+  const uint32_t n = g.num_vertices();
+  if (n == 0) return result;
+
+  FrequencyProfile profile = FrequencyProfile::FromFrequencies(g.DegreeVector());
+  uint64_t edges_left = g.num_edges();
+  uint32_t vertices_left = n;
+
+  double best_density =
+      vertices_left > 0 ? static_cast<double>(edges_left) / vertices_left : 0.0;
+  uint32_t best_prefix = 0;  // number of peels performed at the best point
+
+  std::vector<uint32_t> peel_order;
+  peel_order.reserve(n);
+  for (uint32_t step = 0; step + 1 < n; ++step) {
+    const FrequencyEntry peeled = profile.PeelMin();
+    peel_order.push_back(peeled.id);
+    // The peeled vertex's current degree counts exactly the edges it still
+    // had into the remaining subgraph.
+    edges_left -= static_cast<uint64_t>(peeled.frequency);
+    vertices_left -= 1;
+    for (uint32_t u : g.Neighbors(peeled.id)) {
+      if (!profile.IsFrozen(u)) profile.Remove(u);
+    }
+    const double density = static_cast<double>(edges_left) / vertices_left;
+    if (density > best_density) {
+      best_density = density;
+      best_prefix = step + 1;
+    }
+  }
+
+  result.density = best_density;
+  // Best subgraph = all vertices not among the first `best_prefix` peels.
+  std::vector<bool> removed(n, false);
+  for (uint32_t i = 0; i < best_prefix; ++i) removed[peel_order[i]] = true;
+  for (uint32_t v = 0; v < n; ++v) {
+    if (!removed[v]) result.vertices.push_back(v);
+  }
+  return result;
+}
+
+double DensestSubgraphBruteForce(const Graph& g) {
+  const uint32_t n = g.num_vertices();
+  SPROFILE_CHECK_MSG(n <= 24, "brute force is exponential; use tiny graphs");
+  double best = 0.0;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    uint32_t vertices = 0;
+    uint32_t edges = 0;
+    for (uint32_t v = 0; v < n; ++v) {
+      if ((mask & (1u << v)) == 0) continue;
+      ++vertices;
+      for (uint32_t u : g.Neighbors(v)) {
+        if (u > v && (mask & (1u << u)) != 0) ++edges;
+      }
+    }
+    best = std::max(best, static_cast<double>(edges) / vertices);
+  }
+  return best;
+}
+
+}  // namespace graph
+}  // namespace sprofile

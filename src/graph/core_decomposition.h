@@ -1,0 +1,68 @@
+// k-core decomposition three ways (paper §2.3).
+//
+// The shaving loop — repeatedly extract a minimum-degree vertex, decrement
+// its remaining neighbors — is the critical step in Fraudar-style fraud
+// detection [9] and DenseAlert [14]. The paper proposes S-Profile as the
+// min-tracking structure: degree changes are exactly ±1, so every step is
+// O(1) and the whole decomposition O(V + E).
+//
+// Implementations:
+//   CoreNumbersSProfile — FrequencyProfile bulk-init + PeelMin loop.
+//   CoreNumbersHeap     — addressable min-heap, O((V + E) log V).
+//   CoreNumbersBucket   — Batagelj–Zaversnik bin sort, the textbook
+//                          O(V + E) oracle the tests diff against.
+// All three return the same core numbers; the bench (A4) compares time.
+
+#ifndef SPROFILE_GRAPH_CORE_DECOMPOSITION_H_
+#define SPROFILE_GRAPH_CORE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sprofile {
+namespace graph {
+
+/// Core number per vertex via S-Profile peeling.
+std::vector<uint32_t> CoreNumbersSProfile(const Graph& g);
+
+/// Core number per vertex via an addressable binary min-heap.
+std::vector<uint32_t> CoreNumbersHeap(const Graph& g);
+
+/// Core number per vertex via Batagelj–Zaversnik bucket peeling.
+std::vector<uint32_t> CoreNumbersBucket(const Graph& g);
+
+/// Degeneracy = max core number (0 for the empty graph).
+uint32_t Degeneracy(const std::vector<uint32_t>& core_numbers);
+
+/// Degeneracy ordering: the vertex sequence produced by min-degree
+/// peeling (S-Profile PeelMin loop). Every vertex has at most
+/// `degeneracy` neighbours *later* in the order — the property greedy
+/// coloring and clique enumeration build on.
+std::vector<uint32_t> DegeneracyOrdering(const Graph& g);
+
+/// The vertices of the k-core: the maximal subgraph where every vertex
+/// has degree >= k inside the subgraph. Computed from core numbers.
+std::vector<uint32_t> KCoreVertices(const std::vector<uint32_t>& core_numbers,
+                                    uint32_t k);
+
+/// Result of the greedy densest-subgraph peel.
+struct DensestSubgraphResult {
+  std::vector<uint32_t> vertices;  ///< best prefix-complement found
+  double density = 0.0;            ///< edges / vertices of that subgraph
+};
+
+/// Charikar's greedy 2-approximation: peel minimum-degree vertices with
+/// S-Profile, tracking density |E(S)| / |S| after every removal and
+/// returning the best suffix. O(V + E).
+DensestSubgraphResult DensestSubgraphGreedy(const Graph& g);
+
+/// Exact densest-subgraph density over all subsets for tiny graphs
+/// (exponential; vertices <= ~20). Test oracle for the 2-approximation.
+double DensestSubgraphBruteForce(const Graph& g);
+
+}  // namespace graph
+}  // namespace sprofile
+
+#endif  // SPROFILE_GRAPH_CORE_DECOMPOSITION_H_

@@ -1,0 +1,85 @@
+#include "graph/generators.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sprofile {
+namespace graph {
+
+Graph ErdosRenyi(uint32_t num_vertices, uint64_t num_edges, uint64_t seed) {
+  SPROFILE_CHECK(num_vertices >= 2);
+  const uint64_t max_edges =
+      static_cast<uint64_t>(num_vertices) * (num_vertices - 1) / 2;
+  SPROFILE_CHECK_MSG(num_edges <= max_edges, "more edges than the clique holds");
+
+  Xoshiro256PlusPlus rng(seed);
+  GraphBuilder builder(num_vertices);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  uint64_t placed = 0;
+  while (placed < num_edges) {
+    uint32_t u = static_cast<uint32_t>(rng.NextBounded(num_vertices));
+    uint32_t v = static_cast<uint32_t>(rng.NextBounded(num_vertices));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+    if (!seen.insert(key).second) continue;
+    SPROFILE_CHECK(builder.AddEdge(u, v).ok());
+    ++placed;
+  }
+  return builder.Build();
+}
+
+Graph BarabasiAlbert(uint32_t num_vertices, uint32_t edges_per_vertex,
+                     uint64_t seed) {
+  SPROFILE_CHECK(edges_per_vertex >= 1);
+  SPROFILE_CHECK(num_vertices > edges_per_vertex);
+
+  Xoshiro256PlusPlus rng(seed);
+  GraphBuilder builder(num_vertices);
+
+  // `attachment` holds one entry per edge endpoint, so uniform sampling
+  // from it is degree-proportional sampling (the standard BA trick).
+  std::vector<uint32_t> attachment;
+  attachment.reserve(static_cast<size_t>(num_vertices) * edges_per_vertex * 2);
+
+  // Seed clique over vertices [0, edges_per_vertex].
+  const uint32_t clique = edges_per_vertex + 1;
+  for (uint32_t u = 0; u < clique; ++u) {
+    for (uint32_t v = u + 1; v < clique; ++v) {
+      SPROFILE_CHECK(builder.AddEdge(u, v).ok());
+      attachment.push_back(u);
+      attachment.push_back(v);
+    }
+  }
+
+  std::vector<uint32_t> chosen;
+  for (uint32_t v = clique; v < num_vertices; ++v) {
+    chosen.clear();
+    // Draw `edges_per_vertex` distinct targets degree-proportionally.
+    while (chosen.size() < edges_per_vertex) {
+      const uint32_t candidate =
+          attachment[rng.NextBounded(attachment.size())];
+      bool duplicate = false;
+      for (uint32_t c : chosen) {
+        if (c == candidate) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) chosen.push_back(candidate);
+    }
+    for (uint32_t target : chosen) {
+      SPROFILE_CHECK(builder.AddEdge(v, target).ok());
+      attachment.push_back(v);
+      attachment.push_back(target);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace graph
+}  // namespace sprofile

@@ -1,0 +1,32 @@
+// Random graph generators for the shaving benchmarks.
+//
+// Erdős–Rényi G(n, M) gives the homogeneous-degree regime; Barabási–Albert
+// preferential attachment gives the power-law regime fraud-detection
+// workloads ([9, 14] in the paper) actually see.
+
+#ifndef SPROFILE_GRAPH_GENERATORS_H_
+#define SPROFILE_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace sprofile {
+namespace graph {
+
+/// Erdős–Rényi with exactly `num_edges` distinct edges (G(n, M) model),
+/// sampled uniformly via rejection. num_edges must be achievable
+/// (<= n(n-1)/2); duplicates are resampled.
+Graph ErdosRenyi(uint32_t num_vertices, uint64_t num_edges, uint64_t seed);
+
+/// Barabási–Albert preferential attachment: starts from a
+/// (edges_per_vertex + 1)-clique, then each new vertex attaches to
+/// `edges_per_vertex` distinct existing vertices with probability
+/// proportional to degree.
+Graph BarabasiAlbert(uint32_t num_vertices, uint32_t edges_per_vertex,
+                     uint64_t seed);
+
+}  // namespace graph
+}  // namespace sprofile
+
+#endif  // SPROFILE_GRAPH_GENERATORS_H_

@@ -1,0 +1,61 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sprofile {
+namespace graph {
+
+std::vector<int64_t> Graph::DegreeVector() const {
+  std::vector<int64_t> degrees(num_vertices_);
+  for (uint32_t v = 0; v < num_vertices_; ++v) degrees[v] = Degree(v);
+  return degrees;
+}
+
+double Graph::AverageDegree() const {
+  if (num_vertices_ == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) / num_vertices_;
+}
+
+Status GraphBuilder::AddEdge(uint32_t u, uint32_t v) {
+  if (u >= num_vertices_ || v >= num_vertices_) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (u == v) {
+    return Status::InvalidArgument("self-loop rejected");
+  }
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+  return Status::OK();
+}
+
+Graph GraphBuilder::Build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  g.num_vertices_ = num_vertices_;
+  g.offsets_.assign(num_vertices_ + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    g.offsets_[u + 1] += 1;
+    g.offsets_[v + 1] += 1;
+  }
+  for (uint32_t i = 0; i < num_vertices_; ++i) g.offsets_[i + 1] += g.offsets_[i];
+
+  g.adjacency_.resize(edges_.size() * 2);
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  // Each row was filled in sorted edge order; rows are already ascending
+  // for u-side entries but v-side entries interleave, so sort each row.
+  for (uint32_t v = 0; v < num_vertices_; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<int64_t>(g.offsets_[v]),
+              g.adjacency_.begin() + static_cast<int64_t>(g.offsets_[v + 1]));
+  }
+  return g;
+}
+
+}  // namespace graph
+}  // namespace sprofile

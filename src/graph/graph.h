@@ -1,0 +1,75 @@
+// Compressed-sparse-row undirected graph.
+//
+// Substrate for the paper's §2.3 applications: "shaving" algorithms
+// (k-core / densest subgraph / Fraudar-style fraud detection) that
+// repeatedly extract a minimum-degree node. Vertices are dense uint32 ids;
+// edges are deduplicated and self-loops rejected at build time.
+
+#ifndef SPROFILE_GRAPH_GRAPH_H_
+#define SPROFILE_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sprofile {
+namespace graph {
+
+/// Immutable CSR graph. Build with GraphBuilder.
+class Graph {
+ public:
+  uint32_t num_vertices() const { return num_vertices_; }
+  uint64_t num_edges() const { return adjacency_.size() / 2; }
+
+  /// Neighbors of `v`, sorted ascending.
+  std::span<const uint32_t> Neighbors(uint32_t v) const {
+    SPROFILE_DCHECK(v < num_vertices_);
+    return std::span<const uint32_t>(adjacency_.data() + offsets_[v],
+                                     offsets_[v + 1] - offsets_[v]);
+  }
+
+  uint32_t Degree(uint32_t v) const {
+    SPROFILE_DCHECK(v < num_vertices_);
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// All vertex degrees (the frequency array the profilers ingest).
+  std::vector<int64_t> DegreeVector() const;
+
+  /// Average degree 2E/V; 0 for the empty graph.
+  double AverageDegree() const;
+
+ private:
+  friend class GraphBuilder;
+  uint32_t num_vertices_ = 0;
+  std::vector<uint64_t> offsets_;     // size V+1
+  std::vector<uint32_t> adjacency_;   // size 2E
+};
+
+/// Accumulates edges, then produces a clean CSR Graph.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(uint32_t num_vertices) : num_vertices_(num_vertices) {}
+
+  /// Queues an undirected edge; buffered until Build. InvalidArgument for
+  /// out-of-range endpoints or self-loops.
+  Status AddEdge(uint32_t u, uint32_t v);
+
+  /// Number of queued (pre-dedup) edges.
+  size_t num_queued() const { return edges_.size(); }
+
+  /// Sorts, deduplicates and freezes into a Graph.
+  Graph Build();
+
+ private:
+  uint32_t num_vertices_;
+  std::vector<std::pair<uint32_t, uint32_t>> edges_;  // canonical u < v
+};
+
+}  // namespace graph
+}  // namespace sprofile
+
+#endif  // SPROFILE_GRAPH_GRAPH_H_

@@ -1,0 +1,82 @@
+#include "graph/weighted_shaving.h"
+
+#include <algorithm>
+
+#include "core/frequency_profile.h"
+#include "util/logging.h"
+
+namespace sprofile {
+namespace graph {
+
+WeightedShavingResult WeightedGreedyShaving(
+    const Graph& g, const std::vector<int64_t>& node_weights) {
+  const uint32_t n = g.num_vertices();
+  SPROFILE_CHECK_MSG(node_weights.size() == n, "one weight per vertex required");
+  WeightedShavingResult result;
+  if (n == 0) return result;
+
+  // Priority of v = deg_S(v) + weight(v): its exact marginal loss.
+  std::vector<int64_t> priorities = g.DegreeVector();
+  int64_t total = 0;  // edges(S) + sum of weights(S), S = all vertices
+  total += static_cast<int64_t>(g.num_edges());
+  for (uint32_t v = 0; v < n; ++v) {
+    SPROFILE_CHECK_MSG(node_weights[v] >= 0, "weights must be non-negative");
+    priorities[v] += node_weights[v];
+    total += node_weights[v];
+  }
+
+  FrequencyProfile profile = FrequencyProfile::FromFrequencies(priorities);
+  double best_score = static_cast<double>(total) / n;
+  uint32_t best_prefix = 0;
+
+  std::vector<uint32_t> peel_order;
+  peel_order.reserve(n);
+  for (uint32_t step = 0; step + 1 < n; ++step) {
+    const FrequencyEntry peeled = profile.PeelMin();
+    peel_order.push_back(peeled.id);
+    // Removing v costs exactly its current priority: its remaining edges
+    // plus its own weight.
+    total -= peeled.frequency;
+    for (uint32_t u : g.Neighbors(peeled.id)) {
+      if (!profile.IsFrozen(u)) profile.Remove(u);
+    }
+    const uint32_t remaining = n - step - 1;
+    const double score = static_cast<double>(total) / remaining;
+    if (score > best_score) {
+      best_score = score;
+      best_prefix = step + 1;
+    }
+  }
+
+  result.score = best_score;
+  std::vector<bool> removed(n, false);
+  for (uint32_t i = 0; i < best_prefix; ++i) removed[peel_order[i]] = true;
+  for (uint32_t v = 0; v < n; ++v) {
+    if (!removed[v]) result.vertices.push_back(v);
+  }
+  return result;
+}
+
+double WeightedShavingBruteForce(const Graph& g,
+                                 const std::vector<int64_t>& node_weights) {
+  const uint32_t n = g.num_vertices();
+  SPROFILE_CHECK_MSG(n <= 24, "brute force is exponential; use tiny graphs");
+  double best = 0.0;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    int64_t value = 0;
+    uint32_t vertices = 0;
+    for (uint32_t v = 0; v < n; ++v) {
+      if ((mask & (1u << v)) == 0) continue;
+      ++vertices;
+      value += node_weights[v];
+      for (uint32_t u : g.Neighbors(v)) {
+        if (u > v && (mask & (1u << u)) != 0) ++value;
+      }
+    }
+    best = std::max(best, static_cast<double>(value) / vertices);
+  }
+  return best;
+}
+
+}  // namespace graph
+}  // namespace sprofile

@@ -1,0 +1,43 @@
+// Fraudar-style weighted greedy shaving (Hooi et al., KDD 2016 — [9] in
+// the paper).
+//
+// Fraud detection scores a vertex set S by
+//     f(S) = (edges inside S  +  Σ_{v∈S} weight(v)) / |S|
+// where node weights encode per-account suspiciousness. The greedy
+// algorithm repeatedly removes the vertex with the smallest marginal
+// contribution deg_S(v) + weight(v) and keeps the best prefix — exactly
+// the ±1-decrement peel loop S-Profile was built for (§2.3: "S-Profile
+// can be plugged into such algorithms for further speedup").
+//
+// Weights must be non-negative integers (suspiciousness scores are
+// quantized by the caller; the ±1 update model is what buys O(1) steps).
+
+#ifndef SPROFILE_GRAPH_WEIGHTED_SHAVING_H_
+#define SPROFILE_GRAPH_WEIGHTED_SHAVING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sprofile {
+namespace graph {
+
+struct WeightedShavingResult {
+  std::vector<uint32_t> vertices;  ///< the best-scoring set found
+  double score = 0.0;              ///< f(S) of that set
+};
+
+/// Greedy 2-approximation of max_S f(S). O(V + E) plus the bulk init.
+/// `node_weights` must have one non-negative entry per vertex.
+WeightedShavingResult WeightedGreedyShaving(const Graph& g,
+                                            const std::vector<int64_t>& node_weights);
+
+/// Exhaustive optimum of f(S) for tiny graphs (test oracle, <= ~20 nodes).
+double WeightedShavingBruteForce(const Graph& g,
+                                 const std::vector<int64_t>& node_weights);
+
+}  // namespace graph
+}  // namespace sprofile
+
+#endif  // SPROFILE_GRAPH_WEIGHTED_SHAVING_H_

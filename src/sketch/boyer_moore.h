@@ -1,0 +1,61 @@
+// Boyer–Moore majority vote (MJRTY, 1981/1991) — reference [3] of the
+// paper: O(n) time, O(1) space detection of an element holding more than
+// half the stream.
+//
+// The vote maintains a candidate and a counter; a genuine majority always
+// survives as the candidate, but a candidate is only a *claim* — callers
+// must verify its count (the classic second pass; here one O(1) lookup in
+// a FrequencyProfile, which is the contrast the paper draws: the profile
+// answers majority — and everything else — exactly, at all times).
+
+#ifndef SPROFILE_SKETCH_BOYER_MOORE_H_
+#define SPROFILE_SKETCH_BOYER_MOORE_H_
+
+#include <cstdint>
+
+namespace sprofile {
+namespace sketch {
+
+class BoyerMooreMajority {
+ public:
+  /// Feeds one element. O(1).
+  void Add(uint64_t value) {
+    ++stream_length_;
+    if (count_ == 0) {
+      candidate_ = value;
+      count_ = 1;
+    } else if (candidate_ == value) {
+      ++count_;
+    } else {
+      --count_;
+    }
+  }
+
+  /// The surviving candidate. Only meaningful when a majority exists
+  /// (verify externally); undefined content on an empty stream.
+  uint64_t candidate() const { return candidate_; }
+
+  /// True when at least one element has been fed.
+  bool has_candidate() const { return stream_length_ > 0; }
+
+  /// Residual vote margin (diagnostics; NOT the candidate's frequency).
+  uint64_t margin() const { return count_; }
+
+  uint64_t stream_length() const { return stream_length_; }
+
+  void Reset() {
+    candidate_ = 0;
+    count_ = 0;
+    stream_length_ = 0;
+  }
+
+ private:
+  uint64_t candidate_ = 0;
+  uint64_t count_ = 0;
+  uint64_t stream_length_ = 0;
+};
+
+}  // namespace sketch
+}  // namespace sprofile
+
+#endif  // SPROFILE_SKETCH_BOYER_MOORE_H_

@@ -1,0 +1,77 @@
+// Count-Min sketch (Cormode & Muthukrishnan 2005).
+//
+// depth × width counter matrix; each row hashes the key independently.
+// Point estimate = min over rows — never an undercount for add-only
+// streams, and still an upper bound in the strict turnstile model (adds
+// and removes, counts never negative), which matches the paper's log
+// streams under multiset-consistent removal. Width w and depth d give
+// error <= e·n/w with probability >= 1 - e^-d.
+
+#ifndef SPROFILE_SKETCH_COUNT_MIN_H_
+#define SPROFILE_SKETCH_COUNT_MIN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sprofile {
+namespace sketch {
+
+class CountMinSketch {
+ public:
+  /// `width` counters per row, `depth` independent rows. Memory:
+  /// width × depth × 8 bytes.
+  CountMinSketch(uint32_t width, uint32_t depth, uint64_t seed = 0xc0ffee)
+      : width_(width), depth_(depth), table_(static_cast<size_t>(width) * depth, 0) {
+    SPROFILE_CHECK(width > 0 && depth > 0);
+    uint64_t s = seed;
+    row_seeds_.reserve(depth);
+    for (uint32_t d = 0; d < depth; ++d) row_seeds_.push_back(SplitMix64(&s));
+  }
+
+  /// count += delta for `key`. Negative deltas model "remove" events; the
+  /// caller must keep true counts nonnegative (strict turnstile) for the
+  /// upper-bound guarantee to hold.
+  void Update(uint64_t key, int64_t delta) {
+    for (uint32_t d = 0; d < depth_; ++d) {
+      table_[Index(d, key)] += delta;
+    }
+  }
+
+  void Add(uint64_t key) { Update(key, +1); }
+  void Remove(uint64_t key) { Update(key, -1); }
+
+  /// Point estimate: min over rows.
+  int64_t Estimate(uint64_t key) const {
+    int64_t best = table_[Index(0, key)];
+    for (uint32_t d = 1; d < depth_; ++d) {
+      best = std::min(best, table_[Index(d, key)]);
+    }
+    return best;
+  }
+
+  uint32_t width() const { return width_; }
+  uint32_t depth() const { return depth_; }
+
+  /// Bytes of counter storage (for the accuracy/space bench).
+  size_t MemoryBytes() const { return table_.size() * sizeof(int64_t); }
+
+ private:
+  size_t Index(uint32_t row, uint64_t key) const {
+    const uint64_t h = Mix64(key ^ row_seeds_[row]);
+    return static_cast<size_t>(row) * width_ + (h % width_);
+  }
+
+  uint32_t width_;
+  uint32_t depth_;
+  std::vector<int64_t> table_;
+  std::vector<uint64_t> row_seeds_;
+};
+
+}  // namespace sketch
+}  // namespace sprofile
+
+#endif  // SPROFILE_SKETCH_COUNT_MIN_H_

@@ -1,0 +1,100 @@
+#include "sketch/gk_quantiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sprofile {
+namespace sketch {
+
+void GkQuantileSummary::Add(int64_t value) {
+  // Locate the insertion position (first tuple with larger value).
+  auto it = std::upper_bound(
+      tuples_.begin(), tuples_.end(), value,
+      [](int64_t v, const Tuple& t) { return v < t.value; });
+
+  uint64_t delta;
+  if (it == tuples_.begin() || it == tuples_.end()) {
+    // New minimum or maximum: its rank is known exactly.
+    delta = 0;
+  } else {
+    delta = static_cast<uint64_t>(
+        std::max<double>(std::floor(2.0 * epsilon_ * static_cast<double>(count_)) - 1.0, 0.0));
+  }
+  tuples_.insert(it, Tuple{value, 1, delta});
+  ++count_;
+
+  // Periodic compression keeps the summary at O((1/eps) log(eps n)).
+  const uint64_t period =
+      std::max<uint64_t>(1, static_cast<uint64_t>(1.0 / (2.0 * epsilon_)));
+  if (count_ % period == 0) Compress();
+}
+
+void GkQuantileSummary::Compress() {
+  if (tuples_.size() < 3) return;
+  const double threshold = 2.0 * epsilon_ * static_cast<double>(count_);
+  // Merge right-to-left: tuple i folds into i+1 when their combined
+  // uncertainty stays under the 2εn band. First and last tuples (exact
+  // min/max) are never merged away.
+  std::vector<Tuple> out;
+  out.reserve(tuples_.size());
+  out.push_back(tuples_.front());
+  // Work over the interior, accumulating g into the successor when safe.
+  for (size_t i = 1; i < tuples_.size(); ++i) {
+    Tuple current = tuples_[i];
+    while (i + 1 < tuples_.size()) {
+      const Tuple& next = tuples_[i + 1];
+      if (static_cast<double>(current.g + next.g + next.delta) <= threshold) {
+        // Fold current into next.
+        Tuple merged = next;
+        merged.g += current.g;
+        current = merged;
+        ++i;
+      } else {
+        break;
+      }
+    }
+    out.push_back(current);
+  }
+  tuples_ = std::move(out);
+}
+
+int64_t GkQuantileSummary::Quantile(double phi) const {
+  SPROFILE_CHECK_MSG(!tuples_.empty(), "quantile of an empty summary");
+  // The extreme tuples are never merged away, so min and max are exact.
+  if (phi <= 0.0) return tuples_.front().value;
+  if (phi >= 1.0) return tuples_.back().value;
+  const double target = phi * static_cast<double>(count_);
+  const double slack = epsilon_ * static_cast<double>(count_);
+
+  uint64_t rank_min = 0;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    rank_min += tuples_[i].g;
+    const uint64_t rank_max = rank_min + tuples_[i].delta;
+    if (static_cast<double>(rank_max) >= target - slack &&
+        static_cast<double>(rank_min) <= target + slack) {
+      return tuples_[i].value;
+    }
+    if (static_cast<double>(rank_min) > target + slack) {
+      // Overshot (can happen transiently for tiny summaries): previous
+      // tuple was the best answer.
+      return tuples_[i > 0 ? i - 1 : 0].value;
+    }
+  }
+  return tuples_.back().value;
+}
+
+bool GkQuantileSummary::CheckInvariant() const {
+  const double band = 2.0 * epsilon_ * static_cast<double>(count_);
+  for (size_t i = 1; i < tuples_.size(); ++i) {
+    if (tuples_[i].value < tuples_[i - 1].value) return false;  // sorted
+    // The g + delta band; +1 slack covers the freshly-inserted tuple
+    // before its first compression.
+    if (static_cast<double>(tuples_[i].g + tuples_[i].delta) > band + 1.0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sketch
+}  // namespace sprofile

@@ -1,0 +1,70 @@
+// Greenwald–Khanna ε-approximate quantile summary (SIGMOD 2001) — the
+// algorithm behind the sliding-window quantile work in the paper's
+// related-work list ([1] Arasu & Manku, [11] Lin et al.).
+//
+// Maintains O((1/ε) log(εn)) tuples (v, g, Δ) such that any φ-quantile
+// query is answered within ±εn rank error. Insertion is O(summary size)
+// in this straightforward implementation (compress on a period), which is
+// entirely adequate as a comparator: the point of the related work is
+// the memory/accuracy trade, not raw speed.
+//
+// Contrast with S-Profile: the profile answers *exact* quantiles of the
+// frequency array in O(1) using O(m) space; GK answers approximate
+// quantiles of an arbitrary value stream in sublinear space. The quantile
+// bench puts numbers on that trade.
+
+#ifndef SPROFILE_SKETCH_GK_QUANTILES_H_
+#define SPROFILE_SKETCH_GK_QUANTILES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace sprofile {
+namespace sketch {
+
+class GkQuantileSummary {
+ public:
+  /// `epsilon` in (0, 0.5]: rank error bound as a fraction of n.
+  explicit GkQuantileSummary(double epsilon) : epsilon_(epsilon) {
+    SPROFILE_CHECK_MSG(epsilon > 0.0 && epsilon <= 0.5, "epsilon in (0, 0.5]");
+  }
+
+  /// Inserts one observation. Amortized O(summary size).
+  void Add(int64_t value);
+
+  /// Value whose rank is within epsilon*n of ceil(phi*n), phi in [0, 1].
+  /// Requires a nonempty summary.
+  int64_t Quantile(double phi) const;
+
+  /// Convenience accessors.
+  int64_t Median() const { return Quantile(0.5); }
+
+  uint64_t stream_length() const { return count_; }
+
+  /// Tuples currently held — the memory footprint.
+  size_t summary_size() const { return tuples_.size(); }
+
+  /// GK invariant: g + Δ <= 2εn for every tuple (except while the first
+  /// 1/(2ε) observations trickle in). Exposed for tests.
+  bool CheckInvariant() const;
+
+ private:
+  struct Tuple {
+    int64_t value;
+    uint64_t g;      // rank_min(this) - rank_min(prev)
+    uint64_t delta;  // rank_max(this) - rank_min(this)
+  };
+
+  void Compress();
+
+  double epsilon_;
+  uint64_t count_ = 0;
+  std::vector<Tuple> tuples_;  // sorted by value
+};
+
+}  // namespace sketch
+}  // namespace sprofile
+
+#endif  // SPROFILE_SKETCH_GK_QUANTILES_H_

@@ -1,0 +1,22 @@
+#include "sketch/misra_gries.h"
+
+#include <algorithm>
+
+namespace sprofile {
+namespace sketch {
+
+std::vector<std::pair<uint64_t, uint64_t>> MisraGries::HeavyHitters() const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  out.reserve(counters_.size());
+  counters_.ForEach([&](const uint64_t& key, const uint64_t& count) {
+    out.emplace_back(key, count);
+  });
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace sketch
+}  // namespace sprofile

@@ -1,0 +1,82 @@
+// Misra–Gries frequent-elements summary.
+//
+// The paper's related work (§1) contrasts exact profiling with
+// space-efficient approximate frequency counting. Misra–Gries keeps k-1
+// counters and guarantees every estimate is within n/k of the true count
+// (n = stream length). Insertion-only — it is the classic comparator for
+// top-K on add-only streams, and the sketch bench (A5) measures what the
+// approximation buys and costs relative to exact S-Profile.
+
+#ifndef SPROFILE_SKETCH_MISRA_GRIES_H_
+#define SPROFILE_SKETCH_MISRA_GRIES_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/robin_hood_map.h"
+#include "util/logging.h"
+
+namespace sprofile {
+namespace sketch {
+
+class MisraGries {
+ public:
+  /// `num_counters` = k-1 in the classic formulation; error <= n / (k).
+  explicit MisraGries(uint32_t num_counters) : capacity_(num_counters) {
+    SPROFILE_CHECK(num_counters > 0);
+    counters_.Reserve(num_counters * 2);
+  }
+
+  /// Processes one arrival of `id`. O(1) amortized.
+  void Add(uint64_t id) {
+    ++stream_length_;
+    uint64_t* c = counters_.Find(id);
+    if (c != nullptr) {
+      *c += 1;
+      return;
+    }
+    if (counters_.size() < capacity_) {
+      counters_.Insert(id, 1);
+      return;
+    }
+    // Decrement-all step: every counter loses one; zeros are evicted.
+    std::vector<uint64_t> dead;
+    counters_.ForEach([&](const uint64_t& key, const uint64_t& count) {
+      if (count == 1) dead.push_back(key);
+    });
+    // Two passes because ForEach must not observe concurrent mutation.
+    std::vector<std::pair<uint64_t, uint64_t>> alive;
+    counters_.ForEach([&](const uint64_t& key, const uint64_t& count) {
+      if (count > 1) alive.emplace_back(key, count - 1);
+    });
+    for (uint64_t key : dead) counters_.Erase(key);
+    for (const auto& [key, count] : alive) counters_.Upsert(key, count);
+  }
+
+  /// Lower-bound estimate of id's frequency (0 when untracked).
+  /// True frequency is in [Estimate, Estimate + MaxError].
+  uint64_t Estimate(uint64_t id) const {
+    const uint64_t* c = counters_.Find(id);
+    return c == nullptr ? 0 : *c;
+  }
+
+  /// Worst-case undercount: n / (k+1) rounded up, by the MG analysis.
+  uint64_t MaxError() const { return stream_length_ / (capacity_ + 1); }
+
+  /// All tracked (id, estimate) pairs, descending by estimate.
+  std::vector<std::pair<uint64_t, uint64_t>> HeavyHitters() const;
+
+  uint64_t stream_length() const { return stream_length_; }
+  size_t num_tracked() const { return counters_.size(); }
+
+ private:
+  uint32_t capacity_;
+  uint64_t stream_length_ = 0;
+  RobinHoodMap<uint64_t, uint64_t> counters_;
+};
+
+}  // namespace sketch
+}  // namespace sprofile
+
+#endif  // SPROFILE_SKETCH_MISRA_GRIES_H_

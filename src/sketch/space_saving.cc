@@ -1,0 +1,23 @@
+#include "sketch/space_saving.h"
+
+#include <algorithm>
+
+namespace sprofile {
+namespace sketch {
+
+std::vector<std::pair<uint64_t, uint64_t>> SpaceSaving::HeavyHitters() const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  out.reserve(used_);
+  for (uint32_t s = 0; s < used_; ++s) {
+    if (!slot_used_[s]) continue;
+    out.emplace_back(slot_key_[s], static_cast<uint64_t>(profile_.Frequency(s)));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace sketch
+}  // namespace sprofile

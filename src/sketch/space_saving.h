@@ -1,0 +1,100 @@
+// Space-Saving (Metwally, Agrawal, El Abbadi 2005) heavy hitters.
+//
+// Keeps exactly k counters; on overflow the minimum counter is *reassigned*
+// to the new element with count min+1 and the displacement recorded as that
+// element's potential error. Estimates are upper bounds:
+//   true <= Estimate <= true + MaxError(id).
+// Insertion-only, like Misra–Gries. Uses S-Profile's own block-set idea in
+// miniature: counters move by ±1, so the "stream summary" bucket list gives
+// O(1) updates — which is why this sketch pairs naturally with the paper.
+
+#ifndef SPROFILE_SKETCH_SPACE_SAVING_H_
+#define SPROFILE_SKETCH_SPACE_SAVING_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/frequency_profile.h"
+#include "core/robin_hood_map.h"
+#include "util/logging.h"
+
+namespace sprofile {
+namespace sketch {
+
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(uint32_t num_counters)
+      : capacity_(num_counters), profile_(num_counters) {
+    SPROFILE_CHECK(num_counters > 0);
+    slot_key_.resize(num_counters, 0);
+    slot_error_.resize(num_counters, 0);
+    slot_used_.resize(num_counters, false);
+    key_to_slot_.Reserve(num_counters * 2);
+  }
+
+  /// Processes one arrival of `key`. O(1) amortized: the counter array is
+  /// itself maintained by a FrequencyProfile, so finding and bumping the
+  /// minimum counter is O(1) — the paper's structure applied to its own
+  /// related work.
+  void Add(uint64_t key) {
+    ++stream_length_;
+    uint32_t* slot = key_to_slot_.Find(key);
+    if (slot != nullptr) {
+      profile_.Add(*slot);
+      return;
+    }
+    if (used_ < capacity_) {
+      const uint32_t s = used_++;
+      slot_key_[s] = key;
+      slot_error_[s] = 0;
+      slot_used_[s] = true;
+      key_to_slot_.Insert(key, s);
+      profile_.Add(s);
+      return;
+    }
+    // Evict a minimum-count slot: its count becomes the new key's error.
+    const GroupView min_group = profile_.MinFrequent();
+    const uint32_t s = min_group[0];
+    key_to_slot_.Erase(slot_key_[s]);
+    slot_key_[s] = key;
+    slot_error_[s] = min_group.frequency;
+    key_to_slot_.Insert(key, s);
+    profile_.Add(s);
+  }
+
+  /// Upper-bound estimate (0 when untracked).
+  uint64_t Estimate(uint64_t key) const {
+    const uint32_t* slot = key_to_slot_.Find(key);
+    if (slot == nullptr) return 0;
+    return static_cast<uint64_t>(profile_.Frequency(*slot));
+  }
+
+  /// Per-key maximum overcount (the evicted count absorbed at takeover).
+  uint64_t ErrorBound(uint64_t key) const {
+    const uint32_t* slot = key_to_slot_.Find(key);
+    if (slot == nullptr) return 0;
+    return static_cast<uint64_t>(slot_error_[*slot]);
+  }
+
+  /// All tracked (key, estimate) pairs, descending by estimate.
+  std::vector<std::pair<uint64_t, uint64_t>> HeavyHitters() const;
+
+  uint64_t stream_length() const { return stream_length_; }
+  size_t num_tracked() const { return used_; }
+
+ private:
+  uint32_t capacity_;
+  uint32_t used_ = 0;
+  uint64_t stream_length_ = 0;
+  FrequencyProfile profile_;            // counter multiset, O(1) min + bump
+  std::vector<uint64_t> slot_key_;      // slot -> current key
+  std::vector<int64_t> slot_error_;     // slot -> absorbed error
+  std::vector<bool> slot_used_;
+  RobinHoodMap<uint64_t, uint32_t> key_to_slot_;
+};
+
+}  // namespace sketch
+}  // namespace sprofile
+
+#endif  // SPROFILE_SKETCH_SPACE_SAVING_H_

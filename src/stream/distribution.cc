@@ -1,0 +1,153 @@
+#include "stream/distribution.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace sprofile {
+namespace stream {
+
+namespace {
+
+/// Rounds and clamps a continuous sample into [0, num_ids).
+uint32_t ClampToIds(double x, uint32_t num_ids) {
+  if (x < 0.0) return 0;
+  const double max_id = static_cast<double>(num_ids - 1);
+  if (x > max_id) return num_ids - 1;
+  return static_cast<uint32_t>(std::llround(x));
+}
+
+/// log1p(x)/x with a Taylor fallback near 0 (Hörmann–Derflinger helper).
+double Helper1(double x) {
+  if (std::fabs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x * (0.5 - x * (1.0 / 3.0 - x * 0.25));
+}
+
+/// expm1(x)/x with a Taylor fallback near 0.
+double Helper2(double x) {
+  if (std::fabs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + x * 0.25));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// UniformIdDistribution
+// ---------------------------------------------------------------------------
+
+UniformIdDistribution::UniformIdDistribution(uint32_t num_ids) : num_ids_(num_ids) {
+  SPROFILE_CHECK(num_ids > 0);
+}
+
+uint32_t UniformIdDistribution::Sample(Xoshiro256PlusPlus* rng) const {
+  return static_cast<uint32_t>(rng->NextBounded(num_ids_));
+}
+
+std::string UniformIdDistribution::Describe() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "uniform[0,%u)", num_ids_);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// NormalIdDistribution
+// ---------------------------------------------------------------------------
+
+NormalIdDistribution::NormalIdDistribution(uint32_t num_ids, double mu, double sigma)
+    : num_ids_(num_ids), mu_(mu), sigma_(sigma) {
+  SPROFILE_CHECK(num_ids > 0);
+  SPROFILE_CHECK(sigma > 0.0);
+}
+
+uint32_t NormalIdDistribution::Sample(Xoshiro256PlusPlus* rng) const {
+  return ClampToIds(mu_ + sigma_ * rng->NextGaussian(), num_ids_);
+}
+
+std::string NormalIdDistribution::Describe() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "normal(mu=%.6g,sigma=%.6g)", mu_, sigma_);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// LogNormalIdDistribution
+// ---------------------------------------------------------------------------
+
+LogNormalIdDistribution::LogNormalIdDistribution(uint32_t num_ids, double mu,
+                                                 double sigma)
+    : num_ids_(num_ids), mu_(mu), sigma_(sigma) {
+  SPROFILE_CHECK(num_ids > 0);
+  SPROFILE_CHECK(mu > 0.0);
+  SPROFILE_CHECK(sigma > 0.0);
+  // Method of moments: lognormal with mean M and std S has underlying
+  // normal parameters sigma_ln^2 = ln(1 + S^2/M^2), mu_ln = ln M - sigma_ln^2/2.
+  const double variance_ratio = (sigma / mu) * (sigma / mu);
+  const double log_var = std::log1p(variance_ratio);
+  log_sigma_ = std::sqrt(log_var);
+  log_mu_ = std::log(mu) - 0.5 * log_var;
+}
+
+uint32_t LogNormalIdDistribution::Sample(Xoshiro256PlusPlus* rng) const {
+  const double x = std::exp(log_mu_ + log_sigma_ * rng->NextGaussian());
+  return ClampToIds(x, num_ids_);
+}
+
+std::string LogNormalIdDistribution::Describe() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "lognormal(mu=%.6g,sigma=%.6g)", mu_, sigma_);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// ZipfIdDistribution — Hörmann & Derflinger rejection-inversion (the
+// algorithm behind Apache Commons' RejectionInversionZipfSampler).
+// ---------------------------------------------------------------------------
+
+ZipfIdDistribution::ZipfIdDistribution(uint32_t num_ids, double exponent)
+    : num_ids_(num_ids), exponent_(exponent) {
+  SPROFILE_CHECK(num_ids > 0);
+  SPROFILE_CHECK(exponent > 0.0);
+  h_integral_x1_ = H(1.5) - 1.0;
+  h_integral_num_ = H(static_cast<double>(num_ids) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - Hx(2.0));
+}
+
+double ZipfIdDistribution::Hx(double x) const {
+  return std::exp(-exponent_ * std::log(x));
+}
+
+double ZipfIdDistribution::H(double x) const {
+  const double log_x = std::log(x);
+  return Helper2((1.0 - exponent_) * log_x) * log_x;
+}
+
+double ZipfIdDistribution::HInverse(double x) const {
+  double t = x * (1.0 - exponent_);
+  if (t < -1.0) t = -1.0;
+  return std::exp(Helper1(t) * x);
+}
+
+uint32_t ZipfIdDistribution::Sample(Xoshiro256PlusPlus* rng) const {
+  for (;;) {
+    const double u =
+        h_integral_num_ + rng->NextDouble() * (h_integral_x1_ - h_integral_num_);
+    const double x = HInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(num_ids_)) k = static_cast<double>(num_ids_);
+    if (k - x <= s_ || u >= H(k + 0.5) - Hx(k)) {
+      // Ranks are 1-based; ids 0-based.
+      return static_cast<uint32_t>(k) - 1;
+    }
+  }
+}
+
+std::string ZipfIdDistribution::Describe() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "zipf(n=%u,s=%.3g)", num_ids_, exponent_);
+  return buf;
+}
+
+}  // namespace stream
+}  // namespace sprofile

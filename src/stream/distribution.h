@@ -1,0 +1,111 @@
+// Object-id distributions for synthetic log streams.
+//
+// The paper's experiments draw object ids from uniform, normal and
+// lognormal distributions over the id space [0, m) (§3). Parameters are
+// given *in id space* (location mu, scale sigma, like the paper's
+// "normal with mu = 2m/3, sigma = m/6"); continuous samples are rounded
+// and clamped to the valid range. The lognormal's underlying parameters
+// are derived from the requested id-space mean/std by method of moments —
+// the paper does not specify its discretization, see DESIGN.md §4.
+//
+// A Zipf distribution (rejection-inversion sampling, O(1) expected, no
+// per-item tables) is provided beyond the paper because real log streams
+// are usually power-law.
+
+#ifndef SPROFILE_STREAM_DISTRIBUTION_H_
+#define SPROFILE_STREAM_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/random.h"
+
+namespace sprofile {
+namespace stream {
+
+/// Samples object ids in [0, num_ids).
+class IdDistribution {
+ public:
+  virtual ~IdDistribution() = default;
+
+  /// Draws one id. Thread-compatible: the RNG carries all mutable state.
+  virtual uint32_t Sample(Xoshiro256PlusPlus* rng) const = 0;
+
+  /// Human-readable description ("normal(mu=666666,sigma=166666)").
+  virtual std::string Describe() const = 0;
+
+  /// Id-space size m.
+  virtual uint32_t num_ids() const = 0;
+};
+
+/// Uniform over [0, m).
+class UniformIdDistribution final : public IdDistribution {
+ public:
+  explicit UniformIdDistribution(uint32_t num_ids);
+  uint32_t Sample(Xoshiro256PlusPlus* rng) const override;
+  std::string Describe() const override;
+  uint32_t num_ids() const override { return num_ids_; }
+
+ private:
+  uint32_t num_ids_;
+};
+
+/// Discretized normal: round(N(mu, sigma)) clamped to [0, m). Clamping
+/// (rather than rejection) concentrates boundary mass, matching the "hot
+/// head" effect of real streams; documented in DESIGN.md §4.
+class NormalIdDistribution final : public IdDistribution {
+ public:
+  NormalIdDistribution(uint32_t num_ids, double mu, double sigma);
+  uint32_t Sample(Xoshiro256PlusPlus* rng) const override;
+  std::string Describe() const override;
+  uint32_t num_ids() const override { return num_ids_; }
+
+ private:
+  uint32_t num_ids_;
+  double mu_;
+  double sigma_;
+};
+
+/// Discretized lognormal with *id-space* mean `mu` and std `sigma`
+/// (method-of-moments conversion to log-space parameters), clamped.
+class LogNormalIdDistribution final : public IdDistribution {
+ public:
+  LogNormalIdDistribution(uint32_t num_ids, double mu, double sigma);
+  uint32_t Sample(Xoshiro256PlusPlus* rng) const override;
+  std::string Describe() const override;
+  uint32_t num_ids() const override { return num_ids_; }
+
+ private:
+  uint32_t num_ids_;
+  double mu_;        // requested id-space mean
+  double sigma_;     // requested id-space std
+  double log_mu_;    // derived underlying-normal mean
+  double log_sigma_; // derived underlying-normal std
+};
+
+/// Zipf over ranks 1..m mapped to ids 0..m-1, exponent s > 0. Uses
+/// Hörmann–Derflinger rejection-inversion: O(1) expected time, O(1) space.
+class ZipfIdDistribution final : public IdDistribution {
+ public:
+  ZipfIdDistribution(uint32_t num_ids, double exponent);
+  uint32_t Sample(Xoshiro256PlusPlus* rng) const override;
+  std::string Describe() const override;
+  uint32_t num_ids() const override { return num_ids_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+  double Hx(double x) const;  // the density term h(x) = x^-s
+
+  uint32_t num_ids_;
+  double exponent_;
+  double h_integral_x1_;
+  double h_integral_num_;
+  double s_;
+};
+
+}  // namespace stream
+}  // namespace sprofile
+
+#endif  // SPROFILE_STREAM_DISTRIBUTION_H_

@@ -1,0 +1,147 @@
+#include "stream/log_stream.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace sprofile {
+namespace stream {
+
+Status StreamConfig::Validate() const {
+  if (num_objects == 0) {
+    return Status::InvalidArgument("num_objects must be positive");
+  }
+  if (add_probability < 0.0 || add_probability > 1.0) {
+    return Status::InvalidArgument("add_probability must be in [0, 1]");
+  }
+  if (positive == nullptr || negative == nullptr) {
+    return Status::InvalidArgument("posPDF and negPDF must both be set");
+  }
+  if (positive->num_ids() != num_objects || negative->num_ids() != num_objects) {
+    return Status::InvalidArgument("distribution id-space does not match num_objects");
+  }
+  return Status::OK();
+}
+
+LogStreamGenerator::LogStreamGenerator(StreamConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  const Status s = config_.Validate();
+  SPROFILE_CHECK_MSG(s.ok(), s.ToString().c_str());
+  if (config_.removal_policy == RemovalPolicy::kMultisetConsistent) {
+    per_id_slots_.resize(config_.num_objects);
+  }
+}
+
+void LogStreamGenerator::AddInstance(uint32_t id) {
+  std::vector<uint32_t>& slots = per_id_slots_[id];
+  bag_.push_back(Instance{id, static_cast<uint32_t>(slots.size())});
+  slots.push_back(static_cast<uint32_t>(bag_.size() - 1));
+}
+
+void LogStreamGenerator::RemoveInstanceAt(size_t bag_slot) {
+  const Instance victim = bag_[bag_slot];
+  // Unlink the victim from its per-id slot list (swap-pop inside the list;
+  // the displaced entry's back-pointer is patched through the bag).
+  std::vector<uint32_t>& slots = per_id_slots_[victim.id];
+  const uint32_t displaced_bag_slot = slots.back();
+  slots[victim.idx_in_id_list] = displaced_bag_slot;
+  bag_[displaced_bag_slot].idx_in_id_list = victim.idx_in_id_list;
+  slots.pop_back();
+  // Swap-pop the bag itself, patching the moved instance's slot entry.
+  // `moved` must be read after the list fixup above so its index is fresh.
+  if (bag_slot != bag_.size() - 1) {
+    const Instance moved = bag_.back();
+    bag_[bag_slot] = moved;
+    per_id_slots_[moved.id][moved.idx_in_id_list] = static_cast<uint32_t>(bag_slot);
+  }
+  bag_.pop_back();
+}
+
+LogTuple LogStreamGenerator::Next() {
+  ++position_;
+  if (config_.removal_policy == RemovalPolicy::kUnchecked) {
+    return NextUnchecked();
+  }
+  return NextConsistent();
+}
+
+LogTuple LogStreamGenerator::NextUnchecked() {
+  const bool is_add = rng_.NextDouble() < config_.add_probability;
+  const uint32_t id = is_add ? config_.positive->Sample(&rng_)
+                             : config_.negative->Sample(&rng_);
+  return LogTuple{id, is_add};
+}
+
+LogTuple LogStreamGenerator::NextConsistent() {
+  const bool want_add = rng_.NextDouble() < config_.add_probability;
+  if (want_add || bag_.empty()) {
+    // Nothing present to remove: the event degrades to an add so the
+    // stream keeps its length (documented in the header).
+    const uint32_t id = config_.positive->Sample(&rng_);
+    AddInstance(id);
+    return LogTuple{id, true};
+  }
+
+  // Prefer the negPDF candidate when it is actually present; otherwise
+  // remove a uniformly random present instance.
+  uint32_t id = config_.negative->Sample(&rng_);
+  if (!per_id_slots_[id].empty()) {
+    RemoveInstanceAt(per_id_slots_[id].back());
+  } else {
+    const size_t slot = static_cast<size_t>(rng_.NextBounded(bag_.size()));
+    id = bag_[slot].id;
+    RemoveInstanceAt(slot);
+  }
+  return LogTuple{id, false};
+}
+
+void LogStreamGenerator::Generate(uint64_t count, std::vector<LogTuple>* out) {
+  out->reserve(out->size() + count);
+  for (uint64_t i = 0; i < count; ++i) out->push_back(Next());
+}
+
+std::vector<LogTuple> LogStreamGenerator::Take(uint64_t count) {
+  std::vector<LogTuple> out;
+  Generate(count, &out);
+  return out;
+}
+
+StreamConfig MakePaperStreamConfig(int which, uint32_t num_objects, uint64_t seed,
+                                   RemovalPolicy policy) {
+  SPROFILE_CHECK_MSG(which >= 1 && which <= 3, "paper stream id must be 1, 2 or 3");
+  const double m = static_cast<double>(num_objects);
+  StreamConfig config;
+  config.num_objects = num_objects;
+  config.add_probability = 0.7;
+  config.removal_policy = policy;
+  config.seed = seed;
+  switch (which) {
+    case 1:
+      config.positive = std::make_shared<UniformIdDistribution>(num_objects);
+      config.negative = std::make_shared<UniformIdDistribution>(num_objects);
+      break;
+    case 2:
+      config.positive =
+          std::make_shared<NormalIdDistribution>(num_objects, 2.0 * m / 3.0, m / 6.0);
+      config.negative =
+          std::make_shared<NormalIdDistribution>(num_objects, m / 3.0, m / 6.0);
+      break;
+    case 3:
+      config.positive =
+          std::make_shared<NormalIdDistribution>(num_objects, 4.0 * m / 5.0, m);
+      config.negative =
+          std::make_shared<LogNormalIdDistribution>(num_objects, 3.0 * m / 5.0, m);
+      break;
+    default:
+      break;
+  }
+  return config;
+}
+
+std::string PaperStreamName(int which) {
+  SPROFILE_CHECK(which >= 1 && which <= 3);
+  return "stream" + std::to_string(which);
+}
+
+}  // namespace stream
+}  // namespace sprofile

@@ -1,0 +1,118 @@
+// Log-stream synthesis (paper §3).
+//
+// A stream is a sequence of tuples (x, c): object id and add/remove action.
+// The generator draws the action with probability `add_probability` (the
+// paper uses 70% add / 30% remove) and the id from posPDF or negPDF
+// respectively. Three presets reproduce the paper's Stream1/2/3.
+//
+// Removal policies:
+//   kUnchecked           — remove ids straight from negPDF; frequencies may
+//                          go negative (the paper's semantics, §2.2).
+//   kMultisetConsistent  — a remove must hit an object currently present:
+//                          the negPDF candidate is used when its count is
+//                          positive, otherwise a uniformly random present
+//                          instance is removed (and when nothing is present
+//                          the event becomes an add). What a production
+//                          system with real "unlike"/"unfollow" events sees.
+
+#ifndef SPROFILE_STREAM_LOG_STREAM_H_
+#define SPROFILE_STREAM_LOG_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/distribution.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace sprofile {
+namespace stream {
+
+/// One log event.
+struct LogTuple {
+  uint32_t id;
+  bool is_add;
+
+  bool operator==(const LogTuple&) const = default;
+};
+
+enum class RemovalPolicy {
+  kUnchecked,
+  kMultisetConsistent,
+};
+
+/// Generator configuration. `positive` / `negative` are the paper's posPDF
+/// and negPDF.
+struct StreamConfig {
+  uint32_t num_objects = 0;
+  double add_probability = 0.7;
+  RemovalPolicy removal_policy = RemovalPolicy::kUnchecked;
+  std::shared_ptr<const IdDistribution> positive;
+  std::shared_ptr<const IdDistribution> negative;
+  uint64_t seed = 42;
+
+  /// Validates field consistency (distributions present and sized to
+  /// num_objects, probability in [0, 1]).
+  Status Validate() const;
+};
+
+/// Streaming tuple source; deterministic given (config, seed).
+class LogStreamGenerator {
+ public:
+  /// The config must Validate(). Checked.
+  explicit LogStreamGenerator(StreamConfig config);
+
+  /// Produces the next tuple. O(1) amortized.
+  LogTuple Next();
+
+  /// Appends `count` tuples to *out (reserves up front).
+  void Generate(uint64_t count, std::vector<LogTuple>* out);
+
+  /// Convenience: materializes a fresh vector of `count` tuples.
+  std::vector<LogTuple> Take(uint64_t count);
+
+  const StreamConfig& config() const { return config_; }
+
+  /// Tuples produced so far.
+  uint64_t position() const { return position_; }
+
+ private:
+  LogTuple NextUnchecked();
+  LogTuple NextConsistent();
+
+  // kMultisetConsistent bookkeeping: a flat bag of present instances with
+  // a per-id slot index, so both "remove a uniform instance" and "remove
+  // one instance of id X" are O(1) swap-pops.
+  struct Instance {
+    uint32_t id;
+    uint32_t idx_in_id_list;  // position inside per_id_slots_[id]
+  };
+
+  void AddInstance(uint32_t id);
+  void RemoveInstanceAt(size_t bag_slot);
+
+  StreamConfig config_;
+  Xoshiro256PlusPlus rng_;
+  uint64_t position_ = 0;
+
+  std::vector<Instance> bag_;
+  std::vector<std::vector<uint32_t>> per_id_slots_;  // id -> bag slots
+};
+
+/// The paper's three test streams (§3) for id space [0, m):
+///   1: posPDF = negPDF = uniform
+///   2: posPDF = normal(2m/3, m/6), negPDF = normal(m/3, m/6)
+///   3: posPDF = normal(4m/5, m),   negPDF = lognormal(3m/5, m)
+/// `which` is 1, 2 or 3. Checked.
+StreamConfig MakePaperStreamConfig(int which, uint32_t num_objects, uint64_t seed,
+                                   RemovalPolicy policy = RemovalPolicy::kUnchecked);
+
+/// Short label for reports: "stream1", "stream2", "stream3".
+std::string PaperStreamName(int which);
+
+}  // namespace stream
+}  // namespace sprofile
+
+#endif  // SPROFILE_STREAM_LOG_STREAM_H_

@@ -1,0 +1,180 @@
+#include "stream/stream_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "util/crc32c.h"
+
+namespace sprofile {
+namespace stream {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x474c5053u;  // "SPLG" little-endian
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteAll(std::FILE* f, const void* data, size_t n, const std::string& path) {
+  if (std::fwrite(data, 1, n, f) != n) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Status ReadAll(std::FILE* f, void* data, size_t n, const std::string& path) {
+  if (std::fread(data, 1, n, f) != n) {
+    return Status::IOError("short read from " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteBinary(const StoredStream& stream, const std::string& path) {
+  for (const LogTuple& t : stream.tuples) {
+    if (t.id > 0x7fffffffu) {
+      return Status::InvalidArgument("id " + std::to_string(t.id) +
+                                     " exceeds 31-bit record limit");
+    }
+    if (t.id >= stream.num_objects) {
+      return Status::InvalidArgument("id " + std::to_string(t.id) +
+                                     " out of range for m=" +
+                                     std::to_string(stream.num_objects));
+    }
+  }
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Status::IOError("cannot open " + path + " for writing");
+
+  const uint64_t count = stream.tuples.size();
+  SPROFILE_RETURN_NOT_OK(WriteAll(f.get(), &kMagic, sizeof(kMagic), path));
+  SPROFILE_RETURN_NOT_OK(WriteAll(f.get(), &kVersion, sizeof(kVersion), path));
+  SPROFILE_RETURN_NOT_OK(
+      WriteAll(f.get(), &stream.num_objects, sizeof(stream.num_objects), path));
+  SPROFILE_RETURN_NOT_OK(WriteAll(f.get(), &count, sizeof(count), path));
+
+  uint32_t crc = 0;
+  // Buffered record emission: 64K records per flush.
+  std::vector<uint32_t> buffer;
+  buffer.reserve(65536);
+  for (const LogTuple& t : stream.tuples) {
+    buffer.push_back((t.id << 1) | (t.is_add ? 1u : 0u));
+    if (buffer.size() == buffer.capacity()) {
+      crc = crc32c::Extend(crc, buffer.data(), buffer.size() * sizeof(uint32_t));
+      SPROFILE_RETURN_NOT_OK(
+          WriteAll(f.get(), buffer.data(), buffer.size() * sizeof(uint32_t), path));
+      buffer.clear();
+    }
+  }
+  if (!buffer.empty()) {
+    crc = crc32c::Extend(crc, buffer.data(), buffer.size() * sizeof(uint32_t));
+    SPROFILE_RETURN_NOT_OK(
+        WriteAll(f.get(), buffer.data(), buffer.size() * sizeof(uint32_t), path));
+  }
+
+  const uint32_t masked = crc32c::Mask(crc);
+  SPROFILE_RETURN_NOT_OK(WriteAll(f.get(), &masked, sizeof(masked), path));
+  if (std::fflush(f.get()) != 0) return Status::IOError("flush failed for " + path);
+  return Status::OK();
+}
+
+Result<StoredStream> ReadBinary(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+
+  uint32_t magic = 0, version = 0;
+  StoredStream out;
+  uint64_t count = 0;
+  SPROFILE_RETURN_NOT_OK(ReadAll(f.get(), &magic, sizeof(magic), path));
+  if (magic != kMagic) return Status::Corruption(path + ": bad magic");
+  SPROFILE_RETURN_NOT_OK(ReadAll(f.get(), &version, sizeof(version), path));
+  if (version != kVersion) {
+    return Status::Corruption(path + ": unsupported version " +
+                              std::to_string(version));
+  }
+  SPROFILE_RETURN_NOT_OK(
+      ReadAll(f.get(), &out.num_objects, sizeof(out.num_objects), path));
+  SPROFILE_RETURN_NOT_OK(ReadAll(f.get(), &count, sizeof(count), path));
+
+  uint32_t crc = 0;
+  out.tuples.reserve(count);
+  std::vector<uint32_t> buffer(65536);
+  uint64_t remaining = count;
+  while (remaining > 0) {
+    const size_t chunk = static_cast<size_t>(
+        std::min<uint64_t>(remaining, buffer.size()));
+    SPROFILE_RETURN_NOT_OK(
+        ReadAll(f.get(), buffer.data(), chunk * sizeof(uint32_t), path));
+    crc = crc32c::Extend(crc, buffer.data(), chunk * sizeof(uint32_t));
+    for (size_t i = 0; i < chunk; ++i) {
+      const uint32_t rec = buffer[i];
+      out.tuples.push_back(LogTuple{rec >> 1, (rec & 1u) != 0});
+    }
+    remaining -= chunk;
+  }
+
+  uint32_t masked = 0;
+  SPROFILE_RETURN_NOT_OK(ReadAll(f.get(), &masked, sizeof(masked), path));
+  if (crc32c::Unmask(masked) != crc) {
+    return Status::Corruption(path + ": checksum mismatch");
+  }
+  return out;
+}
+
+Status WriteCsv(const StoredStream& stream, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) return Status::IOError("cannot open " + path + " for writing");
+  if (std::fprintf(f.get(), "# splg-csv m=%u\n", stream.num_objects) < 0) {
+    return Status::IOError("write failed for " + path);
+  }
+  for (const LogTuple& t : stream.tuples) {
+    if (std::fprintf(f.get(), "%c,%u\n", t.is_add ? 'a' : 'r', t.id) < 0) {
+      return Status::IOError("write failed for " + path);
+    }
+  }
+  if (std::fflush(f.get()) != 0) return Status::IOError("flush failed for " + path);
+  return Status::OK();
+}
+
+Result<StoredStream> ReadCsv(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+
+  StoredStream out;
+  char line[128];
+  if (std::fgets(line, sizeof(line), f.get()) == nullptr) {
+    return Status::Corruption(path + ": empty file");
+  }
+  if (std::sscanf(line, "# splg-csv m=%u", &out.num_objects) != 1) {
+    return Status::Corruption(path + ": missing splg-csv header");
+  }
+  size_t line_no = 1;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++line_no;
+    char action = 0;
+    uint32_t id = 0;
+    if (std::sscanf(line, "%c,%u", &action, &id) != 2 ||
+        (action != 'a' && action != 'r')) {
+      return Status::Corruption(path + ": bad record at line " +
+                                std::to_string(line_no));
+    }
+    if (id >= out.num_objects) {
+      return Status::Corruption(path + ": id out of range at line " +
+                                std::to_string(line_no));
+    }
+    out.tuples.push_back(LogTuple{id, action == 'a'});
+  }
+  return out;
+}
+
+}  // namespace stream
+}  // namespace sprofile

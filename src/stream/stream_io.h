@@ -1,0 +1,47 @@
+// Persisted log-stream formats.
+//
+// Binary format "SPLG" (little-endian):
+//   [magic u32 = 'SPLG'] [version u32 = 1] [num_objects u32] [count u64]
+//   count × [record u32 = id << 1 | is_add]
+//   [masked crc32c u32 of the record bytes]
+// Ids therefore fit 31 bits (m <= 2^31), checked at write time. The CRC is
+// masked the way RocksDB masks block checksums (util/crc32c.h).
+//
+// CSV format (one event per line): "a,<id>" / "r,<id>", with a "# splg-csv
+// m=<num_objects>" header line. For interchange with scripting tools.
+
+#ifndef SPROFILE_STREAM_STREAM_IO_H_
+#define SPROFILE_STREAM_STREAM_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/log_stream.h"
+#include "util/status.h"
+
+namespace sprofile {
+namespace stream {
+
+/// On-disk stream payload: the tuple sequence plus its id-space size.
+struct StoredStream {
+  uint32_t num_objects = 0;
+  std::vector<LogTuple> tuples;
+};
+
+/// Writes `stream` to `path` in the SPLG binary format.
+Status WriteBinary(const StoredStream& stream, const std::string& path);
+
+/// Reads an SPLG file; verifies magic, version and checksum.
+Result<StoredStream> ReadBinary(const std::string& path);
+
+/// Writes the CSV representation.
+Status WriteCsv(const StoredStream& stream, const std::string& path);
+
+/// Reads the CSV representation.
+Result<StoredStream> ReadCsv(const std::string& path);
+
+}  // namespace stream
+}  // namespace sprofile
+
+#endif  // SPROFILE_STREAM_STREAM_IO_H_

@@ -1,0 +1,151 @@
+#include "util/flags.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+namespace sprofile {
+
+namespace {
+
+std::string BoolRepr(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+void FlagParser::AddInt64(const std::string& name, int64_t* target, std::string help) {
+  flags_[name] = FlagInfo{Type::kInt64, target, std::move(help), std::to_string(*target)};
+}
+
+void FlagParser::AddUint64(const std::string& name, uint64_t* target,
+                           std::string help) {
+  flags_[name] =
+      FlagInfo{Type::kUint64, target, std::move(help), std::to_string(*target)};
+}
+
+void FlagParser::AddDouble(const std::string& name, double* target, std::string help) {
+  flags_[name] =
+      FlagInfo{Type::kDouble, target, std::move(help), std::to_string(*target)};
+}
+
+void FlagParser::AddBool(const std::string& name, bool* target, std::string help) {
+  flags_[name] = FlagInfo{Type::kBool, target, std::move(help), BoolRepr(*target)};
+}
+
+void FlagParser::AddString(const std::string& name, std::string* target,
+                           std::string help) {
+  flags_[name] = FlagInfo{Type::kString, target, std::move(help), *target};
+}
+
+Status FlagParser::SetValue(const std::string& name, FlagInfo* info,
+                            const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  switch (info->type) {
+    case Type::kInt64: {
+      long long v = std::strtoll(value.c_str(), &end, 10);
+      if (errno != 0 || end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name + ": bad integer '" + value +
+                                       "'");
+      }
+      *static_cast<int64_t*>(info->target) = v;
+      return Status::OK();
+    }
+    case Type::kUint64: {
+      if (!value.empty() && value[0] == '-') {
+        return Status::InvalidArgument("flag --" + name + ": negative value '" + value +
+                                       "' for unsigned flag");
+      }
+      unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+      if (errno != 0 || end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name + ": bad integer '" + value +
+                                       "'");
+      }
+      *static_cast<uint64_t*>(info->target) = v;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      double v = std::strtod(value.c_str(), &end);
+      if (errno != 0 || end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name + ": bad number '" + value +
+                                       "'");
+      }
+      *static_cast<double*>(info->target) = v;
+      return Status::OK();
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(info->target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(info->target) = false;
+      } else {
+        return Status::InvalidArgument("flag --" + name + ": bad bool '" + value + "'");
+      }
+      return Status::OK();
+    }
+    case Type::kString:
+      *static_cast<std::string*>(info->target) = value;
+      return Status::OK();
+  }
+  return Status::InvalidArgument("flag --" + name + ": unknown type");
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name, value;
+    bool has_value = false;
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      // `--no-foo` negates a registered boolean `foo`.
+      if (name.rfind("no-", 0) == 0) {
+        auto neg = flags_.find(name.substr(3));
+        if (neg != flags_.end() && neg->second.type == Type::kBool && !has_value) {
+          *static_cast<bool*>(neg->second.target) = false;
+          continue;
+        }
+      }
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+
+    FlagInfo& info = it->second;
+    if (!has_value) {
+      if (info.type == Type::kBool) {
+        *static_cast<bool*>(info.target) = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name + " expects a value");
+      }
+      value = argv[++i];
+    }
+    SPROFILE_RETURN_NOT_OK(SetValue(name, &info, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage(const std::string& program_name) const {
+  std::ostringstream out;
+  out << "Usage: " << program_name << " [flags]\n";
+  for (const auto& [name, info] : flags_) {
+    out << "  --" << name << " (default " << info.default_repr << ")\n      "
+        << info.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sprofile

@@ -1,0 +1,64 @@
+// A minimal command-line flag parser for the example and benchmark binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` /
+// `--no-name`. Unknown flags are an error so typos do not silently change an
+// experiment. Positional arguments are collected in order.
+
+#ifndef SPROFILE_UTIL_FLAGS_H_
+#define SPROFILE_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sprofile {
+
+/// Declarative flag registry + parser.
+///
+/// Usage:
+///   FlagParser flags;
+///   int64_t n = 1000000;
+///   bool verbose = false;
+///   flags.AddInt64("n", &n, "number of stream events");
+///   flags.AddBool("verbose", &verbose, "chatty output");
+///   Status s = flags.Parse(argc, argv);
+class FlagParser {
+ public:
+  void AddInt64(const std::string& name, int64_t* target, std::string help);
+  void AddUint64(const std::string& name, uint64_t* target, std::string help);
+  void AddDouble(const std::string& name, double* target, std::string help);
+  void AddBool(const std::string& name, bool* target, std::string help);
+  void AddString(const std::string& name, std::string* target, std::string help);
+
+  /// Parses argv; fills registered targets. Returns InvalidArgument on
+  /// unknown flags or malformed values.
+  Status Parse(int argc, char** argv);
+
+  /// Arguments that were not flags, in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders a usage block listing every registered flag with its default.
+  std::string Usage(const std::string& program_name) const;
+
+ private:
+  enum class Type { kInt64, kUint64, kDouble, kBool, kString };
+
+  struct FlagInfo {
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  Status SetValue(const std::string& name, FlagInfo* info, const std::string& value);
+
+  std::map<std::string, FlagInfo> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sprofile
+
+#endif  // SPROFILE_UTIL_FLAGS_H_

@@ -1,0 +1,42 @@
+// Lightweight check/assert macros used across the library.
+//
+// SPROFILE_CHECK(cond)   - always-on invariant check; aborts with location info.
+// SPROFILE_DCHECK(cond)  - debug-only check; compiles out in NDEBUG builds so the
+//                          O(1) hot path stays branch-free in release mode.
+//
+// Following the RocksDB/Arrow convention, these are for programmer errors
+// (precondition violations); recoverable conditions use util::Status instead.
+
+#ifndef SPROFILE_UTIL_LOGGING_H_
+#define SPROFILE_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SPROFILE_CHECK(cond)                                                      \
+  do {                                                                            \
+    if (!(cond)) {                                                                \
+      std::fprintf(stderr, "[sprofile] CHECK failed: %s at %s:%d\n", #cond,       \
+                   __FILE__, __LINE__);                                           \
+      std::abort();                                                               \
+    }                                                                             \
+  } while (0)
+
+#define SPROFILE_CHECK_MSG(cond, msg)                                             \
+  do {                                                                            \
+    if (!(cond)) {                                                                \
+      std::fprintf(stderr, "[sprofile] CHECK failed: %s (%s) at %s:%d\n", #cond,  \
+                   msg, __FILE__, __LINE__);                                      \
+      std::abort();                                                               \
+    }                                                                             \
+  } while (0)
+
+#ifdef NDEBUG
+#define SPROFILE_DCHECK(cond) \
+  do {                        \
+  } while (0)
+#else
+#define SPROFILE_DCHECK(cond) SPROFILE_CHECK(cond)
+#endif
+
+#endif  // SPROFILE_UTIL_LOGGING_H_

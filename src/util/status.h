@@ -1,0 +1,153 @@
+// Status / Result error-handling primitives, modelled on the idiom shared by
+// RocksDB (`rocksdb::Status`) and Arrow (`arrow::Status` / `arrow::Result<T>`).
+//
+// Hot-path operations in the core library (Add/Remove) do NOT return Status:
+// they are the O(1) claim of the paper and take debug asserts instead.
+// Everything fallible at the edges (IO, configuration validation, keyed
+// insertion at capacity) reports through these types.
+
+#ifndef SPROFILE_UTIL_STATUS_H_
+#define SPROFILE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+
+namespace sprofile {
+
+/// Error category carried by a non-OK Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kCapacityExhausted = 5,
+  kIOError = 6,
+  kCorruption = 7,
+  kFailedPrecondition = 8,
+  kUnimplemented = 9,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+///
+/// The OK state carries no allocation; error states carry a code and a
+/// message. Use the factory functions (`Status::InvalidArgument(...)`) rather
+/// than the constructor.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status CapacityExhausted(std::string msg) {
+    return Status(StatusCode::kCapacityExhausted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "InvalidArgument: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-Status, modelled on arrow::Result<T>.
+///
+/// Accessing the value of an errored Result is a checked programmer error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status (failure). Constructing from an OK status
+  /// is a programmer error (there would be no value to carry).
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT(runtime/explicit)
+    SPROFILE_CHECK_MSG(!std::get<Status>(payload_).ok(),
+                       "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  /// Returns the contained value; the Result must be ok().
+  const T& value() const& {
+    SPROFILE_CHECK_MSG(ok(), "value() on errored Result");
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    SPROFILE_CHECK_MSG(ok(), "value() on errored Result");
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    SPROFILE_CHECK_MSG(ok(), "value() on errored Result");
+    return std::get<T>(std::move(payload_));
+  }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(payload_);
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK Status from an expression (RocksDB's `s.ok()` ladder,
+/// Arrow's ARROW_RETURN_NOT_OK).
+#define SPROFILE_RETURN_NOT_OK(expr)              \
+  do {                                            \
+    ::sprofile::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace sprofile
+
+#endif  // SPROFILE_UTIL_STATUS_H_

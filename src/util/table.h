@@ -1,0 +1,50 @@
+// Fixed-width ASCII table rendering for benchmark output.
+//
+// The figure-reproduction binaries print the same series the paper plots;
+// this helper keeps columns aligned so the output reads like the paper's
+// tables (and stays grep-/awk-friendly for downstream plotting).
+
+#ifndef SPROFILE_UTIL_TABLE_H_
+#define SPROFILE_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sprofile {
+
+/// Column-aligned table builder.
+///
+///   TablePrinter t({"n", "heap (s)", "sprofile (s)", "speedup"});
+///   t.AddRow({"1e6", "0.41", "0.17", "2.4x"});
+///   std::cout << t.ToString();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with %.4g.
+  void AddNumericRow(const std::vector<double>& cells);
+
+  /// Renders the table with a separator line under the header.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a count with engineering suffixes: 1500000 -> "1.5e6"-style
+/// compact rendering used in series labels.
+std::string HumanCount(uint64_t v);
+
+/// Formats seconds adaptively ("123 ms", "4.56 s").
+std::string HumanSeconds(double seconds);
+
+}  // namespace sprofile
+
+#endif  // SPROFILE_UTIL_TABLE_H_

@@ -1,0 +1,36 @@
+// Wall-clock timing for the benchmark harnesses.
+
+#ifndef SPROFILE_UTIL_TIMER_H_
+#define SPROFILE_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sprofile {
+
+/// Monotonic stopwatch. Construction starts the clock.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Nanoseconds elapsed since construction or the last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sprofile
+
+#endif  // SPROFILE_UTIL_TIMER_H_

@@ -1,0 +1,112 @@
+// Exponential histogram (Datar, Gionis, Indyk, Motwani 2002) — the
+// classic approximate sliding-window counter from the paper's related
+// work ([5] in §1).
+//
+// Counts events inside a time horizon using O(log(W)/ε) buckets instead
+// of storing the window, at the price of a ≤ ε relative error on the
+// oldest bucket's contribution. The window module's exact profilers and
+// this sketch bracket the design space the paper positions S-Profile in:
+// exact-and-O(m) versus approximate-and-tiny.
+//
+// Invariants (for error parameter ε, k = ceil(1/ε)):
+//   - bucket sizes are powers of two, non-increasing from old to new;
+//   - at most k/2 + 2 buckets of each size; exceeding that merges the two
+//     oldest buckets of the size into one of twice the size;
+//   - Count(now) = (sum of unexpired bucket sizes) - half the oldest
+//     bucket (its events may be partially expired).
+
+#ifndef SPROFILE_WINDOW_EXPONENTIAL_HISTOGRAM_H_
+#define SPROFILE_WINDOW_EXPONENTIAL_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+
+#include "util/logging.h"
+
+namespace sprofile {
+namespace window {
+
+class ExponentialHistogram {
+ public:
+  /// `horizon` > 0: the window width in timestamp units. `epsilon` in
+  /// (0, 1]: target relative error.
+  ExponentialHistogram(int64_t horizon, double epsilon)
+      : horizon_(horizon),
+        max_per_size_(static_cast<uint32_t>(1.0 / epsilon) / 2 + 2) {
+    SPROFILE_CHECK_MSG(horizon > 0, "horizon must be positive");
+    SPROFILE_CHECK_MSG(epsilon > 0.0 && epsilon <= 1.0, "epsilon in (0, 1]");
+  }
+
+  /// Records one event at `timestamp` (non-decreasing).
+  void Add(int64_t timestamp) {
+    SPROFILE_DCHECK(buckets_.empty() || timestamp >= buckets_.back().newest);
+    Expire(timestamp);
+    buckets_.push_back(Bucket{timestamp, 1});
+    ++total_;
+    Cascade();
+  }
+
+  /// Estimated number of events with timestamp in (now - horizon, now].
+  /// Guarantee: |estimate - true| <= epsilon * true.
+  uint64_t Estimate(int64_t now) {
+    Expire(now);
+    if (buckets_.empty()) return 0;
+    // The oldest bucket straddles the boundary: count half of it.
+    return total_ - buckets_.front().size + (buckets_.front().size + 1) / 2;
+  }
+
+  /// Exact upper bound on the true count (every unexpired bucket in full).
+  uint64_t UpperBound(int64_t now) {
+    Expire(now);
+    return total_;
+  }
+
+  /// Buckets currently held — the memory footprint, O(log(W)·(1/ε)).
+  size_t num_buckets() const { return buckets_.size(); }
+
+ private:
+  struct Bucket {
+    int64_t newest;  // timestamp of the newest event in the bucket
+    uint64_t size;   // number of events (a power of two)
+  };
+
+  void Expire(int64_t now) {
+    const int64_t cutoff = now - horizon_;
+    while (!buckets_.empty() && buckets_.front().newest <= cutoff) {
+      total_ -= buckets_.front().size;
+      buckets_.pop_front();
+    }
+  }
+
+  void Cascade() {
+    // Merge from the newest end: count buckets of each size; when a size
+    // class overflows, merge its two *oldest* members (adjacent, since
+    // sizes are sorted) into the next class and continue there.
+    uint64_t size_class = 1;
+    size_t end = buckets_.size();  // exclusive upper index of current class
+    for (;;) {
+      size_t begin = end;
+      while (begin > 0 && buckets_[begin - 1].size == size_class) --begin;
+      const size_t count = end - begin;
+      if (count <= max_per_size_) break;
+      // Merge the two oldest of this class: buckets_[begin], begin+1.
+      buckets_[begin + 1].size *= 2;
+      buckets_[begin + 1].newest =
+          std::max(buckets_[begin].newest, buckets_[begin + 1].newest);
+      buckets_.erase(buckets_.begin() + static_cast<int64_t>(begin));
+      size_class *= 2;
+      end = begin + 1;  // the merged bucket now heads the next class
+    }
+  }
+
+  int64_t horizon_;
+  uint32_t max_per_size_;
+  std::deque<Bucket> buckets_;  // oldest first; sizes non-increasing new->old
+  uint64_t total_ = 0;          // sum of bucket sizes
+};
+
+}  // namespace window
+}  // namespace sprofile
+
+#endif  // SPROFILE_WINDOW_EXPONENTIAL_HISTOGRAM_H_

@@ -1,0 +1,70 @@
+// Sliding-window profiling (paper §2.3).
+//
+// "S-Profile can also deal with a sliding window on a log stream, by
+// letting every tuple (x, c) outdated from the window be a new incoming
+// tuple (x, c̄)": when the window slides past an old event, its opposite
+// action is applied. Each incoming event therefore costs at most two O(1)
+// profile updates, keeping the window-restricted statistics exact — in
+// contrast to the approximate sliding-window summaries of the related work
+// ([1, 2, 5, 8, 11] in the paper).
+//
+// SlidingWindowProfiler is generic over the profiler so the benches can run
+// the same window logic over FrequencyProfile, the heap and the tree.
+
+#ifndef SPROFILE_WINDOW_SLIDING_WINDOW_H_
+#define SPROFILE_WINDOW_SLIDING_WINDOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/log_stream.h"
+#include "util/logging.h"
+
+namespace sprofile {
+namespace window {
+
+/// Fixed-capacity ring buffer of the last W events, applying the opposite
+/// action as events expire. Profiler must provide Apply(id, is_add).
+template <typename Profiler>
+class SlidingWindowProfiler {
+ public:
+  /// `window_size` W >= 1: statistics cover the W most recent events.
+  SlidingWindowProfiler(Profiler profiler, size_t window_size)
+      : profiler_(std::move(profiler)), ring_(window_size) {
+    SPROFILE_CHECK_MSG(window_size >= 1, "window must hold at least one event");
+  }
+
+  /// Feeds one event; evicts (applies the opposite of) the event leaving
+  /// the window once it is full. At most two profile updates.
+  void Feed(stream::LogTuple tuple) {
+    if (count_ == ring_.size()) {
+      const stream::LogTuple expired = ring_[head_];
+      profiler_.Apply(expired.id, !expired.is_add);
+    } else {
+      ++count_;
+    }
+    ring_[head_] = tuple;
+    head_ = (head_ + 1) % ring_.size();
+    profiler_.Apply(tuple.id, tuple.is_add);
+  }
+
+  /// Events currently inside the window (== W once warmed up).
+  size_t size() const { return count_; }
+  size_t window_capacity() const { return ring_.size(); }
+  bool warmed_up() const { return count_ == ring_.size(); }
+
+  /// The wrapped profiler, reflecting exactly the windowed multiset.
+  const Profiler& profiler() const { return profiler_; }
+  Profiler& profiler() { return profiler_; }
+
+ private:
+  Profiler profiler_;
+  std::vector<stream::LogTuple> ring_;
+  size_t head_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace window
+}  // namespace sprofile
+
+#endif  // SPROFILE_WINDOW_SLIDING_WINDOW_H_

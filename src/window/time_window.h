@@ -1,0 +1,90 @@
+// Time-based sliding window.
+//
+// sliding_window.h keeps the last W *events*; production monitoring more
+// often wants the last H *seconds*. This adapter evicts by timestamp: on
+// every Feed/AdvanceTo, tuples older than `horizon` re-enter as their
+// opposite action (same §2.3 trick, time-triggered). Because evictions
+// are ±1 profile updates, a burst of expiries costs exactly one O(1)
+// update each — there is no rebuild cliff.
+//
+// Timestamps must be non-decreasing (log streams are ordered); a stale
+// timestamp is rejected with InvalidArgument rather than silently
+// reordering history.
+
+#ifndef SPROFILE_WINDOW_TIME_WINDOW_H_
+#define SPROFILE_WINDOW_TIME_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace sprofile {
+namespace window {
+
+/// One timestamped log event.
+struct TimedTuple {
+  int64_t timestamp;  ///< any monotone clock (µs, ms, sequence time)
+  uint32_t id;
+  bool is_add;
+
+  bool operator==(const TimedTuple&) const = default;
+};
+
+/// Keeps `profiler` equal to the multiset of events with
+/// timestamp > now - horizon. Profiler must provide Apply(id, is_add).
+template <typename Profiler>
+class TimeWindowProfiler {
+ public:
+  /// `horizon` > 0 in the same unit as the tuple timestamps.
+  TimeWindowProfiler(Profiler profiler, int64_t horizon)
+      : profiler_(std::move(profiler)), horizon_(horizon) {
+    SPROFILE_CHECK_MSG(horizon > 0, "window horizon must be positive");
+  }
+
+  /// Applies one event and evicts everything that fell out of
+  /// [t - horizon, t]. Amortized O(1) profile updates per event.
+  Status Feed(TimedTuple tuple) {
+    if (tuple.timestamp < clock_) {
+      return Status::InvalidArgument("timestamps must be non-decreasing");
+    }
+    AdvanceTo(tuple.timestamp);
+    pending_.push_back(tuple);
+    profiler_.Apply(tuple.id, tuple.is_add);
+    return Status::OK();
+  }
+
+  /// Moves the window forward without a new event (e.g. a periodic tick
+  /// so queries between events stay fresh). No-op for older `now`.
+  void AdvanceTo(int64_t now) {
+    if (now < clock_) return;
+    clock_ = now;
+    const int64_t cutoff = now - horizon_;
+    while (!pending_.empty() && pending_.front().timestamp <= cutoff) {
+      const TimedTuple& expired = pending_.front();
+      profiler_.Apply(expired.id, !expired.is_add);
+      pending_.pop_front();
+    }
+  }
+
+  /// Events currently inside the window.
+  size_t size() const { return pending_.size(); }
+
+  int64_t horizon() const { return horizon_; }
+  int64_t now() const { return clock_; }
+
+  const Profiler& profiler() const { return profiler_; }
+  Profiler& profiler() { return profiler_; }
+
+ private:
+  Profiler profiler_;
+  std::deque<TimedTuple> pending_;  // window contents, oldest first
+  int64_t horizon_;
+  int64_t clock_ = INT64_MIN / 2;   // far past so the first Feed always works
+};
+
+}  // namespace window
+}  // namespace sprofile
+
+#endif  // SPROFILE_WINDOW_TIME_WINDOW_H_

@@ -1,0 +1,126 @@
+#include "baselines/addressable_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/random.h"
+
+namespace sprofile {
+namespace baselines {
+namespace {
+
+TEST(AddressableHeapTest, FreshHeapAllZero) {
+  MaxHeapProfiler heap(8);
+  EXPECT_EQ(heap.capacity(), 8u);
+  EXPECT_EQ(heap.Top().frequency, 0);
+  EXPECT_TRUE(heap.IsValidHeap());
+}
+
+TEST(AddressableHeapTest, AddRaisesMode) {
+  MaxHeapProfiler heap(4);
+  heap.Add(2);
+  heap.Add(2);
+  heap.Add(1);
+  EXPECT_EQ(heap.Top().id, 2u);
+  EXPECT_EQ(heap.Top().frequency, 2);
+  EXPECT_TRUE(heap.IsValidHeap());
+}
+
+TEST(AddressableHeapTest, RemoveSinksMode) {
+  MaxHeapProfiler heap(4);
+  heap.Add(0);
+  heap.Add(0);
+  heap.Add(3);
+  heap.Remove(0);
+  heap.Remove(0);
+  EXPECT_EQ(heap.Top().id, 3u);
+  EXPECT_EQ(heap.Top().frequency, 1);
+  EXPECT_TRUE(heap.IsValidHeap());
+}
+
+TEST(AddressableHeapTest, NegativeFrequenciesAllowed) {
+  MaxHeapProfiler heap(3);
+  heap.Remove(1);
+  heap.Remove(1);
+  EXPECT_EQ(heap.Frequency(1), -2);
+  EXPECT_EQ(heap.Top().frequency, 0);
+  EXPECT_TRUE(heap.IsValidHeap());
+}
+
+TEST(AddressableHeapTest, MinHeapTracksMinimum) {
+  MinHeapProfiler heap(4);
+  heap.Add(0);
+  heap.Add(1);
+  heap.Add(2);
+  EXPECT_EQ(heap.Top().id, 3u);
+  EXPECT_EQ(heap.Top().frequency, 0);
+  heap.Add(3);
+  heap.Remove(2);
+  EXPECT_EQ(heap.Top().id, 2u);
+  EXPECT_EQ(heap.Top().frequency, 0);
+  EXPECT_TRUE(heap.IsValidHeap());
+}
+
+TEST(AddressableHeapTest, PopTopShrinksAndPreservesOrder) {
+  MinHeapProfiler heap(5);
+  // Frequencies: id i gets i adds -> min should pop 0, 1, 2, 3, 4.
+  for (uint32_t id = 0; id < 5; ++id) {
+    for (uint32_t i = 0; i < id; ++i) heap.Add(id);
+  }
+  std::vector<int64_t> popped;
+  while (heap.size() > 0) {
+    popped.push_back(heap.PopTop().frequency);
+    EXPECT_TRUE(heap.IsValidHeap());
+  }
+  EXPECT_EQ(popped, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(AddressableHeapTest, RandomChurnAgainstLinearScan) {
+  constexpr uint32_t kM = 64;
+  MaxHeapProfiler heap(kM);
+  std::vector<int64_t> freq(kM, 0);
+  Xoshiro256PlusPlus rng(4242);
+  for (int step = 0; step < 30000; ++step) {
+    const uint32_t id = static_cast<uint32_t>(rng.NextBounded(kM));
+    if (rng.NextDouble() < 0.7) {
+      heap.Add(id);
+      freq[id] += 1;
+    } else {
+      heap.Remove(id);
+      freq[id] -= 1;
+    }
+    const int64_t expected = *std::max_element(freq.begin(), freq.end());
+    ASSERT_EQ(heap.Top().frequency, expected) << "step " << step;
+  }
+  EXPECT_TRUE(heap.IsValidHeap());
+}
+
+TEST(AddressableHeapTest, QuaternaryHeapAgreesWithBinary) {
+  constexpr uint32_t kM = 32;
+  MaxHeapProfiler binary(kM);
+  QuaternaryMaxHeapProfiler quad(kM);
+  Xoshiro256PlusPlus rng(5);
+  for (int step = 0; step < 20000; ++step) {
+    const uint32_t id = static_cast<uint32_t>(rng.NextBounded(kM));
+    const bool is_add = rng.NextDouble() < 0.65;
+    binary.Apply(id, is_add);
+    quad.Apply(id, is_add);
+    ASSERT_EQ(binary.Top().frequency, quad.Top().frequency) << "step " << step;
+  }
+  EXPECT_TRUE(quad.IsValidHeap());
+}
+
+TEST(AddressableHeapTest, FrequencyQueryTracksUpdates) {
+  MaxHeapProfiler heap(4);
+  heap.Add(1);
+  heap.Add(1);
+  heap.Remove(1);
+  EXPECT_EQ(heap.Frequency(1), 1);
+  EXPECT_EQ(heap.Frequency(0), 0);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace sprofile

@@ -1,0 +1,63 @@
+#include "baselines/naive_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sprofile {
+namespace baselines {
+namespace {
+
+TEST(NaiveProfilerTest, BasicCounting) {
+  NaiveProfiler p(4);
+  p.Add(0);
+  p.Add(0);
+  p.Remove(3);
+  EXPECT_EQ(p.Frequency(0), 2);
+  EXPECT_EQ(p.Frequency(3), -1);
+  EXPECT_EQ(p.total_count(), 1);
+}
+
+TEST(NaiveProfilerTest, ModeAndMinWithTies) {
+  NaiveProfiler p({3, 1, 3, 0});
+  EXPECT_EQ(p.ModeFrequency(), 3);
+  EXPECT_EQ(p.ModeIds(), (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(p.MinFrequency(), 0);
+  EXPECT_EQ(p.MinIds(), (std::vector<uint32_t>{3}));
+}
+
+TEST(NaiveProfilerTest, OrderStatistics) {
+  NaiveProfiler p({5, 2, 8, 2});
+  EXPECT_EQ(p.KthSmallest(1), 2);
+  EXPECT_EQ(p.KthSmallest(2), 2);
+  EXPECT_EQ(p.KthSmallest(3), 5);
+  EXPECT_EQ(p.KthSmallest(4), 8);
+  EXPECT_EQ(p.KthLargest(1), 8);
+  EXPECT_EQ(p.MedianFrequency(), 2);
+}
+
+TEST(NaiveProfilerTest, CountsAndHistogram) {
+  NaiveProfiler p({0, 0, 1, 5});
+  EXPECT_EQ(p.CountAtLeast(1), 2u);
+  EXPECT_EQ(p.CountEqual(0), 2u);
+  EXPECT_EQ(p.Histogram(), (std::vector<GroupStat>{{0, 2}, {1, 1}, {5, 1}}));
+}
+
+TEST(NaiveProfilerTest, TopKFrequencies) {
+  NaiveProfiler p({4, 7, 1});
+  EXPECT_EQ(p.TopKFrequencies(2), (std::vector<int64_t>{7, 4}));
+  EXPECT_EQ(p.TopKFrequencies(10), (std::vector<int64_t>{7, 4, 1}));
+}
+
+TEST(OfflineTest, ModeBySortingPicksMax) {
+  EXPECT_EQ(offline::ModeBySorting({3, 9, 1}), 9);
+}
+
+TEST(OfflineTest, MedianBySelection) {
+  EXPECT_EQ(offline::MedianBySelection({5, 1, 3}), 3);
+  EXPECT_EQ(offline::MedianBySelection({4, 1, 3, 2}), 2) << "lower median";
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace sprofile

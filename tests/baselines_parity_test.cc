@@ -1,0 +1,84 @@
+// Cross-implementation parity: S-Profile, the heap, the balanced tree and
+// the naive oracle must report identical statistics on identical streams.
+// This is the test-side mirror of the paper's experimental setup — all the
+// benchmark contestants agree on answers, differing only in speed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "baselines/addressable_heap.h"
+#include "baselines/naive_profiler.h"
+#include "baselines/tree_profiler.h"
+#include "core/frequency_profile.h"
+#include "stream/log_stream.h"
+
+namespace sprofile {
+namespace {
+
+struct ParityCase {
+  int paper_stream;
+  uint32_t m;
+  uint64_t n;
+  uint64_t seed;
+};
+
+class ParityTest : public testing::TestWithParam<ParityCase> {};
+
+TEST_P(ParityTest, AllImplementationsAgree) {
+  const ParityCase& c = GetParam();
+  stream::LogStreamGenerator gen(
+      stream::MakePaperStreamConfig(c.paper_stream, c.m, c.seed));
+
+  FrequencyProfile sprofile(c.m);
+  baselines::MaxHeapProfiler heap(c.m);
+  baselines::TreeProfiler tree(c.m);
+  baselines::NaiveProfiler naive(c.m);
+
+  const uint64_t check_every = std::max<uint64_t>(1, c.n / 25);
+  for (uint64_t i = 0; i < c.n; ++i) {
+    const stream::LogTuple t = gen.Next();
+    sprofile.Apply(t.id, t.is_add);
+    heap.Apply(t.id, t.is_add);
+    tree.Apply(t.id, t.is_add);
+    naive.Apply(t.id, t.is_add);
+
+    if ((i + 1) % check_every == 0) {
+      // Mode frequency: everyone agrees (the heap and tree return one
+      // representative, so compare frequency not id).
+      const int64_t expected_mode = naive.ModeFrequency();
+      ASSERT_EQ(sprofile.Mode().frequency, expected_mode) << "event " << i;
+      ASSERT_EQ(heap.Top().frequency, expected_mode) << "event " << i;
+      ASSERT_EQ(tree.Mode().frequency, expected_mode) << "event " << i;
+
+      // Median: S-Profile vs tree vs oracle (heap cannot answer medians —
+      // the applicability gap the paper points out).
+      const int64_t expected_median = naive.MedianFrequency();
+      ASSERT_EQ(sprofile.MedianEntry().frequency, expected_median) << i;
+      ASSERT_EQ(tree.Median().frequency, expected_median) << i;
+
+      // Spot-check a top-K boundary.
+      const uint64_t k = std::min<uint64_t>(5, c.m);
+      ASSERT_EQ(sprofile.KthLargest(k).frequency, naive.KthLargest(k)) << i;
+      ASSERT_EQ(tree.KthLargest(k).frequency, naive.KthLargest(k)) << i;
+    }
+  }
+}
+
+std::string ParityName(const testing::TestParamInfo<ParityCase>& info) {
+  return "stream" + std::to_string(info.param.paper_stream) + "_m" +
+         std::to_string(info.param.m) + "_seed" + std::to_string(info.param.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStreams, ParityTest,
+                         testing::Values(ParityCase{1, 50, 5000, 101},
+                                         ParityCase{2, 75, 5000, 102},
+                                         ParityCase{3, 100, 5000, 103},
+                                         ParityCase{1, 8, 2000, 104},
+                                         ParityCase{2, 500, 10000, 105}),
+                         ParityName);
+
+}  // namespace
+}  // namespace sprofile

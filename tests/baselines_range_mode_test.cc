@@ -1,0 +1,107 @@
+#include "baselines/range_mode_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "util/random.h"
+
+namespace sprofile {
+namespace baselines {
+namespace {
+
+/// Brute-force range mode count for verification.
+uint32_t BruteModeCount(const std::vector<uint32_t>& values, size_t l, size_t r) {
+  std::map<uint32_t, uint32_t> freq;
+  uint32_t best = 0;
+  for (size_t i = l; i <= r; ++i) {
+    best = std::max(best, ++freq[values[i]]);
+  }
+  return best;
+}
+
+TEST(RangeModeIndexTest, SingleElementRanges) {
+  RangeModeIndex index({3, 1, 4, 1, 5}, 6);
+  for (size_t i = 0; i < 5; ++i) {
+    const auto m = index.Query(i, i);
+    EXPECT_EQ(m.count, 1u);
+  }
+  EXPECT_EQ(index.Query(2, 2).value, 4u);
+}
+
+TEST(RangeModeIndexTest, WholeArray) {
+  RangeModeIndex index({1, 2, 1, 3, 1, 2}, 4);
+  const auto m = index.Query(0, 5);
+  EXPECT_EQ(m.value, 1u);
+  EXPECT_EQ(m.count, 3u);
+}
+
+TEST(RangeModeIndexTest, SubrangeExcludesOutsideOccurrences) {
+  RangeModeIndex index({7, 7, 7, 0, 1, 2}, 8);
+  const auto m = index.Query(3, 5);
+  EXPECT_EQ(m.count, 1u) << "the 7s outside [3,5] must not count";
+}
+
+TEST(RangeModeIndexTest, ReportedCountIsAccurate) {
+  Xoshiro256PlusPlus rng(5);
+  std::vector<uint32_t> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(static_cast<uint32_t>(rng.NextBounded(20)));
+  }
+  RangeModeIndex index(values, 20);
+  for (int trial = 0; trial < 300; ++trial) {
+    size_t l = rng.NextBounded(values.size());
+    size_t r = rng.NextBounded(values.size());
+    if (l > r) std::swap(l, r);
+    const auto m = index.Query(l, r);
+    // The reported count must match the true max count AND the reported
+    // value must actually occur that many times in the range.
+    EXPECT_EQ(m.count, BruteModeCount(values, l, r)) << l << "," << r;
+    uint32_t occurrences = 0;
+    for (size_t i = l; i <= r; ++i) {
+      if (values[i] == m.value) ++occurrences;
+    }
+    EXPECT_EQ(occurrences, m.count) << l << "," << r;
+  }
+}
+
+TEST(RangeModeIndexTest, RandomizedAgainstBruteForceManyShapes) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Xoshiro256PlusPlus rng(seed);
+    const size_t n = 100 + rng.NextBounded(900);
+    const uint32_t domain = 2 + static_cast<uint32_t>(rng.NextBounded(50));
+    std::vector<uint32_t> values;
+    for (size_t i = 0; i < n; ++i) {
+      values.push_back(static_cast<uint32_t>(rng.NextBounded(domain)));
+    }
+    RangeModeIndex index(values, domain);
+    for (int trial = 0; trial < 200; ++trial) {
+      size_t l = rng.NextBounded(n);
+      size_t r = rng.NextBounded(n);
+      if (l > r) std::swap(l, r);
+      ASSERT_EQ(index.Query(l, r).count, BruteModeCount(values, l, r))
+          << "seed " << seed << " range [" << l << "," << r << "]";
+    }
+  }
+}
+
+TEST(RangeModeIndexTest, ConstantArray) {
+  RangeModeIndex index(std::vector<uint32_t>(257, 9), 10);
+  EXPECT_EQ(index.Query(0, 256), (RangeModeIndex::RangeMode{9, 257}));
+  EXPECT_EQ(index.Query(10, 20), (RangeModeIndex::RangeMode{9, 11}));
+}
+
+TEST(RangeModeIndexTest, BlockSizeNearSqrtN) {
+  Xoshiro256PlusPlus rng(2);
+  std::vector<uint32_t> values;
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(static_cast<uint32_t>(rng.NextBounded(100)));
+  }
+  RangeModeIndex index(values, 100);
+  EXPECT_NEAR(static_cast<double>(index.block_size()), 100.0, 5.0);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace sprofile

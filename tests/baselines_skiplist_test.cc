@@ -1,0 +1,134 @@
+#include "baselines/indexable_skiplist.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "baselines/tree_profiler.h"
+#include "util/random.h"
+
+namespace sprofile {
+namespace baselines {
+namespace {
+
+TEST(IndexableSkipListTest, InsertFindErase) {
+  IndexableSkipList list;
+  EXPECT_TRUE(list.Insert({5, 1}));
+  EXPECT_TRUE(list.Insert({3, 2}));
+  EXPECT_FALSE(list.Insert({5, 1})) << "duplicate rejected";
+  EXPECT_TRUE(list.Contains({5, 1}));
+  EXPECT_FALSE(list.Contains({4, 1}));
+  EXPECT_TRUE(list.Erase({5, 1}));
+  EXPECT_FALSE(list.Erase({5, 1}));
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_TRUE(list.Validate());
+}
+
+TEST(IndexableSkipListTest, EmptyListBehaviour) {
+  IndexableSkipList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_FALSE(list.Contains({0, 0}));
+  EXPECT_FALSE(list.Erase({0, 0}));
+  EXPECT_EQ(list.CountLess({100, 0}), 0u);
+  EXPECT_TRUE(list.Validate());
+}
+
+TEST(IndexableSkipListTest, KthSmallestAscending) {
+  IndexableSkipList list;
+  for (uint32_t i = 0; i < 100; ++i) {
+    list.Insert({static_cast<int64_t>(i), i});
+  }
+  for (uint64_t k = 1; k <= 100; ++k) {
+    EXPECT_EQ(list.KthSmallest(k).first, static_cast<int64_t>(k - 1));
+  }
+  EXPECT_TRUE(list.Validate());
+}
+
+TEST(IndexableSkipListTest, KthSmallestDescendingInserts) {
+  IndexableSkipList list;
+  for (int i = 99; i >= 0; --i) {
+    list.Insert({static_cast<int64_t>(i), static_cast<uint32_t>(i)});
+  }
+  for (uint64_t k = 1; k <= 100; ++k) {
+    EXPECT_EQ(list.KthSmallest(k).first, static_cast<int64_t>(k - 1));
+  }
+}
+
+TEST(IndexableSkipListTest, CountLessMatchesDefinition) {
+  IndexableSkipList list;
+  for (uint32_t i = 0; i < 50; ++i) {
+    list.Insert({static_cast<int64_t>(2 * i), i});  // evens 0..98
+  }
+  EXPECT_EQ(list.CountLess({0, 0}), 0u);
+  EXPECT_EQ(list.CountLess({50, 0}), 25u);
+  EXPECT_EQ(list.CountLess({99, 0}), 50u);
+}
+
+TEST(IndexableSkipListTest, RandomChurnAgainstStdSet) {
+  IndexableSkipList list;
+  std::set<FreqIdPair> oracle;
+  Xoshiro256PlusPlus rng(909);
+  for (int step = 0; step < 20000; ++step) {
+    const FreqIdPair e{static_cast<int64_t>(rng.NextBounded(60)) - 20,
+                       static_cast<uint32_t>(rng.NextBounded(25))};
+    if (rng.NextDouble() < 0.55) {
+      ASSERT_EQ(list.Insert(e), oracle.insert(e).second) << "step " << step;
+    } else {
+      ASSERT_EQ(list.Erase(e), oracle.erase(e) > 0) << "step " << step;
+    }
+    ASSERT_EQ(list.size(), oracle.size());
+    if (step % 500 == 0) {
+      ASSERT_TRUE(list.Validate()) << "step " << step;
+      // Spot-check order statistics mid-churn.
+      if (!oracle.empty()) {
+        uint64_t k = 1 + rng.NextBounded(oracle.size());
+        auto it = oracle.begin();
+        std::advance(it, static_cast<int64_t>(k - 1));
+        ASSERT_EQ(list.KthSmallest(k), *it) << "step " << step << " k=" << k;
+      }
+    }
+  }
+  // Final exhaustive order-statistic sweep.
+  uint64_t k = 1;
+  for (const FreqIdPair& e : oracle) {
+    ASSERT_EQ(list.KthSmallest(k), e) << "k=" << k;
+    ASSERT_EQ(list.CountLess(e), k - 1);
+    ++k;
+  }
+}
+
+TEST(IndexableSkipListTest, NodePoolRecyclesAfterErase) {
+  IndexableSkipList list;
+  for (int round = 0; round < 50; ++round) {
+    for (uint32_t i = 0; i < 64; ++i) {
+      list.Insert({static_cast<int64_t>(i), i});
+    }
+    for (uint32_t i = 0; i < 64; ++i) {
+      list.Erase({static_cast<int64_t>(i), i});
+    }
+  }
+  EXPECT_TRUE(list.empty());
+  EXPECT_TRUE(list.Validate());
+}
+
+TEST(IndexableSkipListTest, MedianDriverParityWithTreap) {
+  // The skip list can drive TreeProfilerT just like the treap and PBDS.
+  constexpr uint32_t kM = 64;
+  TreeProfilerT<IndexableSkipList> skip(kM);
+  TreeProfilerT<OrderStatisticTree> treap(kM);
+  Xoshiro256PlusPlus rng(17);
+  for (int step = 0; step < 15000; ++step) {
+    const uint32_t id = static_cast<uint32_t>(rng.NextBounded(kM));
+    const bool is_add = rng.NextDouble() < 0.7;
+    skip.Apply(id, is_add);
+    treap.Apply(id, is_add);
+    ASSERT_EQ(skip.Median().frequency, treap.Median().frequency) << step;
+    ASSERT_EQ(skip.Mode().frequency, treap.Mode().frequency) << step;
+  }
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace sprofile

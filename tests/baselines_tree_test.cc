@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "baselines/order_statistic_tree.h"
+#include "baselines/pbds_profiler.h"
+#include "baselines/tree_profiler.h"
+#include "util/random.h"
+
+namespace sprofile {
+namespace baselines {
+namespace {
+
+TEST(OrderStatisticTreeTest, InsertFindErase) {
+  OrderStatisticTree tree;
+  EXPECT_TRUE(tree.Insert({5, 1}));
+  EXPECT_TRUE(tree.Insert({3, 2}));
+  EXPECT_FALSE(tree.Insert({5, 1})) << "duplicate rejected";
+  EXPECT_TRUE(tree.Contains({5, 1}));
+  EXPECT_FALSE(tree.Contains({5, 2}));
+  EXPECT_TRUE(tree.Erase({5, 1}));
+  EXPECT_FALSE(tree.Erase({5, 1}));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.Validate());
+}
+
+TEST(OrderStatisticTreeTest, KthSmallestOrdersByFreqThenId) {
+  OrderStatisticTree tree;
+  tree.Insert({2, 9});
+  tree.Insert({1, 5});
+  tree.Insert({2, 3});
+  tree.Insert({0, 7});
+  EXPECT_EQ(tree.KthSmallest(1), (FreqIdPair{0, 7}));
+  EXPECT_EQ(tree.KthSmallest(2), (FreqIdPair{1, 5}));
+  EXPECT_EQ(tree.KthSmallest(3), (FreqIdPair{2, 3}));
+  EXPECT_EQ(tree.KthSmallest(4), (FreqIdPair{2, 9}));
+  EXPECT_EQ(tree.KthLargest(1), (FreqIdPair{2, 9}));
+}
+
+TEST(OrderStatisticTreeTest, RankAndCountLess) {
+  OrderStatisticTree tree;
+  for (uint32_t i = 0; i < 10; ++i) tree.Insert({static_cast<int64_t>(i), i});
+  EXPECT_EQ(tree.CountLess({5, 0}), 5u);
+  EXPECT_EQ(tree.Rank({5, 5}), 6u);
+  EXPECT_EQ(tree.CountLess({0, 0}), 0u);
+  EXPECT_EQ(tree.CountLess({100, 0}), 10u);
+}
+
+TEST(OrderStatisticTreeTest, RandomChurnAgainstStdSet) {
+  OrderStatisticTree tree;
+  std::set<FreqIdPair> oracle;
+  Xoshiro256PlusPlus rng(606);
+  for (int step = 0; step < 30000; ++step) {
+    const FreqIdPair e{static_cast<int64_t>(rng.NextBounded(50)) - 10,
+                       static_cast<uint32_t>(rng.NextBounded(20))};
+    if (rng.NextDouble() < 0.55) {
+      ASSERT_EQ(tree.Insert(e), oracle.insert(e).second) << "step " << step;
+    } else {
+      ASSERT_EQ(tree.Erase(e), oracle.erase(e) > 0) << "step " << step;
+    }
+    ASSERT_EQ(tree.size(), oracle.size());
+  }
+  ASSERT_TRUE(tree.Validate());
+  // Full order-statistic sweep at the end.
+  uint64_t k = 1;
+  for (const FreqIdPair& e : oracle) {
+    ASSERT_EQ(tree.KthSmallest(k), e) << "k=" << k;
+    ++k;
+  }
+}
+
+TEST(OrderStatisticTreeTest, InOrderTraversalIsSorted) {
+  OrderStatisticTree tree;
+  Xoshiro256PlusPlus rng(1);
+  for (int i = 0; i < 500; ++i) {
+    tree.Insert({static_cast<int64_t>(rng.NextBounded(100)),
+                 static_cast<uint32_t>(rng.NextBounded(100))});
+  }
+  std::vector<FreqIdPair> elements;
+  tree.InOrder([&](FreqIdPair e) { elements.push_back(e); });
+  EXPECT_TRUE(std::is_sorted(elements.begin(), elements.end()));
+  EXPECT_EQ(elements.size(), tree.size());
+}
+
+TEST(CompressedFrequencyTreeTest, CountsMultiplicity) {
+  CompressedFrequencyTree tree;
+  tree.Insert(5);
+  tree.Insert(5);
+  tree.Insert(3);
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.num_distinct(), 2u);
+  EXPECT_EQ(tree.KthSmallest(1), 3);
+  EXPECT_EQ(tree.KthSmallest(2), 5);
+  EXPECT_EQ(tree.KthSmallest(3), 5);
+  tree.Erase(5);
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_EQ(tree.KthSmallest(2), 5);
+  tree.Erase(5);
+  EXPECT_EQ(tree.num_distinct(), 1u);
+}
+
+TEST(CompressedFrequencyTreeTest, MedianUnderChurnMatchesSortedVector) {
+  CompressedFrequencyTree tree;
+  std::vector<int64_t> oracle;
+  Xoshiro256PlusPlus rng(77);
+  for (int i = 0; i < 200; ++i) {
+    const int64_t f = static_cast<int64_t>(rng.NextBounded(20)) - 5;
+    tree.Insert(f);
+    oracle.push_back(f);
+  }
+  std::sort(oracle.begin(), oracle.end());
+  for (size_t k = 1; k <= oracle.size(); ++k) {
+    ASSERT_EQ(tree.KthSmallest(k), oracle[k - 1]) << "k=" << k;
+  }
+}
+
+TEST(TreeProfilerTest, MedianMatchesDefinition) {
+  TreeProfiler profiler(5);
+  // freq: id0=4, id1=1, others 0 -> sorted [0,0,0,1,4], median 0.
+  for (int i = 0; i < 4; ++i) profiler.Add(0);
+  profiler.Add(1);
+  EXPECT_EQ(profiler.Median().frequency, 0);
+  // Push everyone to >= 1: sorted [1,1,1,1,4] -> median 1.
+  for (uint32_t id = 1; id < 5; ++id) profiler.Add(id);
+  EXPECT_EQ(profiler.Median().frequency, 1);
+}
+
+TEST(TreeProfilerTest, ModeAndKthLargest) {
+  TreeProfiler profiler(4);
+  for (int i = 0; i < 3; ++i) profiler.Add(2);
+  profiler.Add(1);
+  EXPECT_EQ(profiler.Mode().id, 2u);
+  EXPECT_EQ(profiler.Mode().frequency, 3);
+  EXPECT_EQ(profiler.KthLargest(2).frequency, 1);
+}
+
+#if SPROFILE_HAVE_PBDS
+TEST(PbdsProfilerTest, AgreesWithTreapProfiler) {
+  constexpr uint32_t kM = 48;
+  TreeProfiler treap(kM);
+  PbdsProfiler pbds(kM);
+  Xoshiro256PlusPlus rng(11);
+  for (int step = 0; step < 20000; ++step) {
+    const uint32_t id = static_cast<uint32_t>(rng.NextBounded(kM));
+    const bool is_add = rng.NextDouble() < 0.7;
+    treap.Apply(id, is_add);
+    pbds.Apply(id, is_add);
+    ASSERT_EQ(treap.Median().frequency, pbds.Median().frequency) << step;
+    ASSERT_EQ(treap.Mode().frequency, pbds.Mode().frequency) << step;
+  }
+}
+#endif
+
+}  // namespace
+}  // namespace baselines
+}  // namespace sprofile

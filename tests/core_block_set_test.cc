@@ -1,0 +1,85 @@
+#include "core/block_set.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sprofile {
+namespace {
+
+TEST(BlockPoolTest, AllocAssignsFields) {
+  BlockPool pool;
+  const BlockHandle h = pool.Alloc(2, 5, 7);
+  const Block& b = pool.Get(h);
+  EXPECT_EQ(b.l, 2u);
+  EXPECT_EQ(b.r, 5u);
+  EXPECT_EQ(b.f, 7);
+  EXPECT_EQ(pool.live(), 1u);
+}
+
+TEST(BlockPoolTest, FreeReturnsSlotForReuse) {
+  BlockPool pool;
+  const BlockHandle a = pool.Alloc(0, 0, 1);
+  pool.Free(a);
+  EXPECT_EQ(pool.live(), 0u);
+  const BlockHandle b = pool.Alloc(1, 1, 2);
+  EXPECT_EQ(a, b) << "free list should hand back the freed slot";
+  EXPECT_EQ(pool.slots(), 1u) << "no new storage should be consumed";
+}
+
+TEST(BlockPoolTest, LiveTracksAllocMinusFree) {
+  BlockPool pool;
+  std::vector<BlockHandle> handles;
+  for (int i = 0; i < 10; ++i) handles.push_back(pool.Alloc(i, i, i));
+  EXPECT_EQ(pool.live(), 10u);
+  for (int i = 0; i < 5; ++i) pool.Free(handles[i]);
+  EXPECT_EQ(pool.live(), 5u);
+}
+
+TEST(BlockPoolTest, GetIsMutable) {
+  BlockPool pool;
+  const BlockHandle h = pool.Alloc(0, 3, 0);
+  pool.Get(h).r = 9;
+  EXPECT_EQ(pool.Get(h).r, 9u);
+}
+
+TEST(BlockPoolTest, SlotsMeasurePeakNotLive) {
+  BlockPool pool;
+  const BlockHandle a = pool.Alloc(0, 0, 0);
+  const BlockHandle b = pool.Alloc(1, 1, 0);
+  pool.Free(a);
+  pool.Free(b);
+  EXPECT_EQ(pool.slots(), 2u);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(BlockPoolTest, ClearResetsEverything) {
+  BlockPool pool;
+  pool.Alloc(0, 0, 0);
+  pool.Clear();
+  EXPECT_EQ(pool.live(), 0u);
+  EXPECT_EQ(pool.slots(), 0u);
+}
+
+TEST(BlockPoolTest, ReserveDoesNotChangeObservableState) {
+  BlockPool pool;
+  pool.Reserve(1000);
+  EXPECT_EQ(pool.live(), 0u);
+  EXPECT_EQ(pool.slots(), 0u);
+}
+
+TEST(BlockPoolTest, HandlesStableAcrossGrowth) {
+  BlockPool pool;
+  const BlockHandle first = pool.Alloc(0, 0, 42);
+  for (int i = 0; i < 1000; ++i) pool.Alloc(i, i, i);
+  EXPECT_EQ(pool.Get(first).f, 42);
+}
+
+TEST(BlockPoolTest, NegativeFrequenciesSupported) {
+  BlockPool pool;
+  const BlockHandle h = pool.Alloc(0, 1, -3);
+  EXPECT_EQ(pool.Get(h).f, -3);
+}
+
+}  // namespace
+}  // namespace sprofile

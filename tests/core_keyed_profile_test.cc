@@ -1,0 +1,185 @@
+#include "core/keyed_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace sprofile {
+namespace {
+
+TEST(KeyedProfileTest, AddCreatesKeysOnFirstSight) {
+  KeyedProfile<std::string> p;
+  p.Add("apple");
+  p.Add("apple");
+  p.Add("pear");
+  EXPECT_EQ(p.num_keys(), 2u);
+  EXPECT_EQ(p.Frequency("apple").value(), 2);
+  EXPECT_EQ(p.Frequency("pear").value(), 1);
+  EXPECT_EQ(p.total_count(), 3);
+}
+
+TEST(KeyedProfileTest, FrequencyOfUnseenKeyIsNotFound) {
+  KeyedProfile<std::string> p;
+  p.Add("x");
+  EXPECT_EQ(p.Frequency("y").status().code(), StatusCode::kNotFound);
+}
+
+TEST(KeyedProfileTest, RemoveUnseenKeyPolicies) {
+  KeyedProfile<std::string> strict;
+  EXPECT_EQ(strict.Remove("ghost").code(), StatusCode::kNotFound);
+
+  KeyedProfileOptions opts;
+  opts.create_on_remove = true;
+  KeyedProfile<std::string> lax(opts);
+  ASSERT_TRUE(lax.Remove("ghost").ok());
+  EXPECT_EQ(lax.Frequency("ghost").value(), -1);
+}
+
+TEST(KeyedProfileTest, ModeReportsAllTiedKeys) {
+  KeyedProfile<std::string> p;
+  for (const char* k : {"a", "a", "b", "b", "c"}) p.Add(k);
+  auto mode = p.Mode();
+  ASSERT_TRUE(mode.ok());
+  EXPECT_EQ(mode.value().frequency, 2);
+  std::vector<std::string> keys = mode.value().keys;
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(KeyedProfileTest, ModeOnEmptyProfileFails) {
+  KeyedProfile<std::string> p;
+  EXPECT_EQ(p.Mode().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(KeyedProfileTest, TopKDescending) {
+  KeyedProfile<uint64_t> p;
+  for (int i = 0; i < 5; ++i) p.Add(100);
+  for (int i = 0; i < 3; ++i) p.Add(200);
+  p.Add(300);
+  auto top = p.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 100u);
+  EXPECT_EQ(top[0].second, 5);
+  EXPECT_EQ(top[1].first, 200u);
+  EXPECT_EQ(top[1].second, 3);
+}
+
+TEST(KeyedProfileTest, ReleaseZeroKeysRecyclesIds) {
+  KeyedProfileOptions opts;
+  opts.release_zero_keys = true;
+  KeyedProfile<std::string> p(opts);
+  p.Add("ephemeral");
+  ASSERT_TRUE(p.Remove("ephemeral").ok());
+  EXPECT_EQ(p.num_keys(), 0u);
+  EXPECT_EQ(p.Frequency("ephemeral").status().code(), StatusCode::kNotFound);
+
+  // The dense slot must be reused rather than growing the profile.
+  const uint32_t capacity_before = p.profile().capacity();
+  p.Add("next");
+  EXPECT_EQ(p.profile().capacity(), capacity_before);
+  EXPECT_EQ(p.Frequency("next").value(), 1);
+}
+
+TEST(KeyedProfileTest, WithoutReleaseZeroKeysKeptAtZero) {
+  KeyedProfile<std::string> p;  // default: keep zero keys
+  p.Add("k");
+  ASSERT_TRUE(p.Remove("k").ok());
+  EXPECT_EQ(p.num_keys(), 1u);
+  EXPECT_EQ(p.Frequency("k").value(), 0);
+}
+
+TEST(KeyedProfileTest, MinFrequentSkipsRecycledSlots) {
+  KeyedProfileOptions opts;
+  opts.release_zero_keys = true;
+  KeyedProfile<std::string> p(opts);
+  p.Add("a");
+  p.Add("a");
+  p.Add("b");
+  ASSERT_TRUE(p.Remove("b").ok());  // b released; its slot sits at 0
+  auto min = p.MinFrequent();
+  ASSERT_TRUE(min.ok());
+  EXPECT_EQ(min.value().frequency, 2);
+  EXPECT_EQ(min.value().keys, (std::vector<std::string>{"a"}));
+}
+
+TEST(KeyedProfileTest, MedianWithAndWithoutReleases) {
+  KeyedProfile<uint64_t> p;
+  for (uint64_t k = 1; k <= 5; ++k) {
+    for (uint64_t i = 0; i < k; ++i) p.Add(k);
+  }
+  // Frequencies {1,2,3,4,5}: median 3.
+  EXPECT_EQ(p.MedianFrequency().value(), 3);
+
+  KeyedProfileOptions opts;
+  opts.release_zero_keys = true;
+  KeyedProfile<uint64_t> q(opts);
+  for (uint64_t k = 1; k <= 5; ++k) {
+    for (uint64_t i = 0; i < k; ++i) q.Add(k);
+  }
+  // Release two keys: add a throwaway and remove it repeatedly.
+  q.Add(99);
+  ASSERT_TRUE(q.Remove(99).ok());
+  q.Add(98);
+  ASSERT_TRUE(q.Remove(98).ok());
+  EXPECT_EQ(q.num_keys(), 5u);
+  EXPECT_EQ(q.MedianFrequency().value(), 3);
+}
+
+TEST(KeyedProfileTest, KeyForIdRoundTrip) {
+  KeyedProfile<std::string> p;
+  p.Add("zeta");
+  auto mode = p.Mode();
+  ASSERT_TRUE(mode.ok());
+  const GroupView raw = p.profile().Mode();
+  EXPECT_EQ(p.KeyForId(raw[0]), "zeta");
+}
+
+TEST(KeyedProfileTest, ChurnMatchesOracleCounts) {
+  KeyedProfileOptions opts;
+  opts.release_zero_keys = true;
+  KeyedProfile<uint64_t> p(opts);
+  std::map<uint64_t, int64_t> oracle;
+  Xoshiro256PlusPlus rng(31337);
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t key = rng.NextBounded(64);
+    if (rng.NextDouble() < 0.6) {
+      p.Add(key);
+      oracle[key] += 1;
+    } else {
+      auto it = oracle.find(key);
+      const Status s = p.Remove(key);
+      if (it == oracle.end()) {
+        ASSERT_EQ(s.code(), StatusCode::kNotFound);
+      } else {
+        ASSERT_TRUE(s.ok());
+        it->second -= 1;
+        if (it->second == 0) oracle.erase(it);
+      }
+    }
+    ASSERT_TRUE(p.profile().Validate().ok()) << "step " << step;
+  }
+  // Final counts agree key-by-key.
+  uint32_t live = 0;
+  for (const auto& [key, count] : oracle) {
+    if (count == 0) continue;
+    ++live;
+    ASSERT_EQ(p.Frequency(key).value(), count) << "key " << key;
+  }
+  EXPECT_EQ(p.num_keys(), live);
+}
+
+TEST(KeyedProfileTest, InitialCapacityPreSizes) {
+  KeyedProfileOptions opts;
+  opts.initial_capacity = 1024;
+  KeyedProfile<uint64_t> p(opts);
+  for (uint64_t k = 0; k < 1000; ++k) p.Add(k);
+  EXPECT_EQ(p.num_keys(), 1000u);
+}
+
+}  // namespace
+}  // namespace sprofile

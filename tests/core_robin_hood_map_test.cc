@@ -1,0 +1,164 @@
+#include "core/robin_hood_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/random.h"
+
+namespace sprofile {
+namespace {
+
+TEST(RobinHoodMapTest, InsertAndFind) {
+  RobinHoodMap<uint64_t, int> map;
+  EXPECT_TRUE(map.Insert(10, 100));
+  EXPECT_TRUE(map.Insert(20, 200));
+  ASSERT_NE(map.Find(10), nullptr);
+  EXPECT_EQ(*map.Find(10), 100);
+  ASSERT_NE(map.Find(20), nullptr);
+  EXPECT_EQ(*map.Find(20), 200);
+  EXPECT_EQ(map.Find(30), nullptr);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(RobinHoodMapTest, DuplicateInsertKeepsOriginal) {
+  RobinHoodMap<uint64_t, int> map;
+  EXPECT_TRUE(map.Insert(1, 10));
+  EXPECT_FALSE(map.Insert(1, 99));
+  EXPECT_EQ(*map.Find(1), 10);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(RobinHoodMapTest, UpsertOverwrites) {
+  RobinHoodMap<uint64_t, int> map;
+  map.Upsert(1, 10);
+  map.Upsert(1, 20);
+  EXPECT_EQ(*map.Find(1), 20);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(RobinHoodMapTest, EraseRemovesAndReturnsPresence) {
+  RobinHoodMap<uint64_t, int> map;
+  map.Insert(5, 50);
+  EXPECT_TRUE(map.Erase(5));
+  EXPECT_EQ(map.Find(5), nullptr);
+  EXPECT_FALSE(map.Erase(5));
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(RobinHoodMapTest, GrowthPreservesEntries) {
+  RobinHoodMap<uint64_t, uint64_t> map;
+  for (uint64_t i = 0; i < 10000; ++i) map.Insert(i, i * 3);
+  EXPECT_EQ(map.size(), 10000u);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_NE(map.Find(i), nullptr) << i;
+    EXPECT_EQ(*map.Find(i), i * 3);
+  }
+}
+
+TEST(RobinHoodMapTest, ChurnMatchesStdUnorderedMap) {
+  RobinHoodMap<uint64_t, uint64_t> map;
+  std::unordered_map<uint64_t, uint64_t> oracle;
+  Xoshiro256PlusPlus rng(2024);
+  for (int step = 0; step < 50000; ++step) {
+    const uint64_t key = rng.NextBounded(512);
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        const uint64_t value = rng.Next();
+        const bool inserted_new = map.Insert(key, value);
+        const bool oracle_new = oracle.emplace(key, value).second;
+        ASSERT_EQ(inserted_new, oracle_new) << "step " << step;
+        break;
+      }
+      case 1: {
+        ASSERT_EQ(map.Erase(key), oracle.erase(key) > 0) << "step " << step;
+        break;
+      }
+      case 2: {
+        const uint64_t* found = map.Find(key);
+        auto it = oracle.find(key);
+        ASSERT_EQ(found != nullptr, it != oracle.end()) << "step " << step;
+        if (found != nullptr) {
+          ASSERT_EQ(*found, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), oracle.size());
+  }
+}
+
+TEST(RobinHoodMapTest, ForEachVisitsExactlyLiveEntries) {
+  RobinHoodMap<uint64_t, int> map;
+  for (uint64_t i = 0; i < 100; ++i) map.Insert(i, static_cast<int>(i));
+  for (uint64_t i = 0; i < 100; i += 2) map.Erase(i);
+  std::vector<uint64_t> seen;
+  map.ForEach([&](const uint64_t& k, const int& v) {
+    EXPECT_EQ(static_cast<int>(k), v);
+    seen.push_back(k);
+  });
+  EXPECT_EQ(seen.size(), 50u);
+  for (uint64_t k : seen) EXPECT_EQ(k % 2, 1u);
+}
+
+TEST(RobinHoodMapTest, StringKeys) {
+  RobinHoodMap<std::string, int> map;
+  map.Insert("alice", 1);
+  map.Insert("bob", 2);
+  map.Insert("", 3);  // empty string is a valid key
+  EXPECT_EQ(*map.Find("alice"), 1);
+  EXPECT_EQ(*map.Find("bob"), 2);
+  EXPECT_EQ(*map.Find(""), 3);
+  EXPECT_EQ(map.Find("carol"), nullptr);
+  EXPECT_TRUE(map.Erase("alice"));
+  EXPECT_EQ(map.Find("alice"), nullptr);
+}
+
+TEST(RobinHoodMapTest, ReserveAvoidsMidStreamIssues) {
+  RobinHoodMap<uint64_t, int> map;
+  map.Reserve(100000);
+  for (uint64_t i = 0; i < 100000; ++i) map.Insert(i, 1);
+  EXPECT_EQ(map.size(), 100000u);
+}
+
+TEST(RobinHoodMapTest, ContainsAgreesWithFind) {
+  RobinHoodMap<uint64_t, int> map;
+  map.Insert(7, 70);
+  EXPECT_TRUE(map.Contains(7));
+  EXPECT_FALSE(map.Contains(8));
+}
+
+TEST(RobinHoodMapTest, ProbeLengthsStayBoundedUnderChurn) {
+  RobinHoodMap<uint64_t, int> map;
+  Xoshiro256PlusPlus rng(9);
+  for (int i = 0; i < 20000; ++i) {
+    map.Insert(rng.Next(), 1);
+    if (i % 3 == 0) map.Erase(rng.Next());
+  }
+  // Robin Hood with backward-shift deletion keeps probe sequences short;
+  // 64 is a very generous ceiling at 0.75 load.
+  EXPECT_LT(map.max_probe_length(), 64u);
+}
+
+TEST(RobinHoodMapTest, CollidingHashesStillResolve) {
+  // Force collisions: hasher maps everything to one bucket.
+  struct DegenerateHash {
+    uint64_t operator()(const uint64_t&) const { return 42; }
+  };
+  RobinHoodMap<uint64_t, int, DegenerateHash> map;
+  for (uint64_t i = 0; i < 100; ++i) map.Insert(i, static_cast<int>(i * 2));
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_NE(map.Find(i), nullptr) << i;
+    EXPECT_EQ(*map.Find(i), static_cast<int>(i * 2));
+  }
+  for (uint64_t i = 0; i < 100; i += 2) EXPECT_TRUE(map.Erase(i));
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(map.Find(i) != nullptr, i % 2 == 1) << i;
+  }
+}
+
+}  // namespace
+}  // namespace sprofile

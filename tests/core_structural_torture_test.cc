@@ -1,0 +1,193 @@
+// Structural torture: random interleavings of ALL profile operations —
+// Add, Remove, PeelMin, InsertSlot — diffed against a simple oracle that
+// models the same semantics (frequencies + frozen set), with the full
+// structural validator run continuously. This is the test that guards the
+// frozen-boundary and growth interactions no single-feature test reaches.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/frequency_profile.h"
+#include "util/random.h"
+
+namespace sprofile {
+namespace {
+
+/// Reference semantics: plain arrays, O(m) queries.
+class TortureOracle {
+ public:
+  explicit TortureOracle(uint32_t m) : freq_(m, 0), frozen_(m, false) {}
+
+  uint32_t capacity() const { return static_cast<uint32_t>(freq_.size()); }
+
+  uint32_t num_active() const {
+    uint32_t n = 0;
+    for (bool f : frozen_) {
+      if (!f) ++n;
+    }
+    return n;
+  }
+
+  void Add(uint32_t id) { freq_[id] += 1; }
+  void Remove(uint32_t id) { freq_[id] -= 1; }
+  bool IsFrozen(uint32_t id) const { return frozen_[id]; }
+
+  /// Minimum frequency among active objects.
+  int64_t MinActiveFrequency() const {
+    int64_t best = 0;
+    bool found = false;
+    for (uint32_t id = 0; id < capacity(); ++id) {
+      if (frozen_[id]) continue;
+      if (!found || freq_[id] < best) {
+        best = freq_[id];
+        found = true;
+      }
+    }
+    return best;
+  }
+
+  /// Freezes a specific id (the one the profile chose among ties).
+  void Freeze(uint32_t id) { frozen_[id] = true; }
+
+  uint32_t InsertSlot() {
+    freq_.push_back(0);
+    frozen_.push_back(false);
+    return capacity() - 1;
+  }
+
+  int64_t Frequency(uint32_t id) const { return freq_[id]; }
+
+  int64_t ActiveKthSmallest(uint64_t k) const {
+    std::vector<int64_t> active;
+    for (uint32_t id = 0; id < capacity(); ++id) {
+      if (!frozen_[id]) active.push_back(freq_[id]);
+    }
+    std::sort(active.begin(), active.end());
+    return active[k - 1];
+  }
+
+  std::vector<GroupStat> ActiveHistogram() const {
+    std::vector<int64_t> active;
+    for (uint32_t id = 0; id < capacity(); ++id) {
+      if (!frozen_[id]) active.push_back(freq_[id]);
+    }
+    std::sort(active.begin(), active.end());
+    std::vector<GroupStat> hist;
+    size_t i = 0;
+    while (i < active.size()) {
+      size_t j = i;
+      while (j < active.size() && active[j] == active[i]) ++j;
+      hist.push_back(GroupStat{active[i], static_cast<uint32_t>(j - i)});
+      i = j;
+    }
+    return hist;
+  }
+
+ private:
+  std::vector<int64_t> freq_;
+  std::vector<bool> frozen_;
+};
+
+struct TortureCase {
+  uint32_t initial_m;
+  int steps;
+  uint64_t seed;
+  // Operation mix weights out of 100.
+  int add_weight;
+  int remove_weight;
+  int peel_weight;
+  int grow_weight;
+};
+
+class StructuralTortureTest : public testing::TestWithParam<TortureCase> {};
+
+TEST_P(StructuralTortureTest, ProfileMatchesOracleUnderAllOperations) {
+  const TortureCase& c = GetParam();
+  FrequencyProfile profile(c.initial_m);
+  TortureOracle oracle(c.initial_m);
+  Xoshiro256PlusPlus rng(c.seed);
+
+  auto random_active_id = [&]() -> uint32_t {
+    // Uniform over active ids via the profile's own rank table.
+    const uint32_t rank =
+        profile.num_frozen() +
+        static_cast<uint32_t>(rng.NextBounded(profile.num_active()));
+    return profile.IdAtRank(rank);
+  };
+
+  for (int step = 0; step < c.steps; ++step) {
+    const int dice = static_cast<int>(rng.NextBounded(100));
+    if (dice < c.add_weight) {
+      if (profile.num_active() == 0) continue;
+      const uint32_t id = random_active_id();
+      profile.Add(id);
+      oracle.Add(id);
+    } else if (dice < c.add_weight + c.remove_weight) {
+      if (profile.num_active() == 0) continue;
+      const uint32_t id = random_active_id();
+      profile.Remove(id);
+      oracle.Remove(id);
+    } else if (dice < c.add_weight + c.remove_weight + c.peel_weight) {
+      if (profile.num_active() == 0) continue;
+      const int64_t expected_min = oracle.MinActiveFrequency();
+      const FrequencyEntry peeled = profile.PeelMin();
+      ASSERT_EQ(peeled.frequency, expected_min) << "peel at step " << step;
+      ASSERT_FALSE(oracle.IsFrozen(peeled.id)) << "peel at step " << step;
+      ASSERT_EQ(oracle.Frequency(peeled.id), expected_min) << "step " << step;
+      oracle.Freeze(peeled.id);
+    } else {
+      const uint32_t a = profile.InsertSlot();
+      const uint32_t b = oracle.InsertSlot();
+      ASSERT_EQ(a, b) << "grow at step " << step;
+    }
+
+    ASSERT_TRUE(profile.Validate().ok())
+        << "step " << step << ": " << profile.Validate().ToString();
+    ASSERT_EQ(profile.capacity(), oracle.capacity());
+    ASSERT_EQ(profile.num_active(), oracle.num_active());
+
+    if (step % 64 == 0) {
+      // Frequencies and frozen flags agree id-by-id.
+      for (uint32_t id = 0; id < profile.capacity(); ++id) {
+        ASSERT_EQ(profile.Frequency(id), oracle.Frequency(id))
+            << "step " << step << " id " << id;
+        ASSERT_EQ(profile.IsFrozen(id), oracle.IsFrozen(id))
+            << "step " << step << " id " << id;
+      }
+      if (profile.num_active() > 0) {
+        ASSERT_EQ(profile.Histogram(), oracle.ActiveHistogram()) << step;
+        const uint64_t k = 1 + rng.NextBounded(profile.num_active());
+        ASSERT_EQ(profile.KthSmallest(k).frequency, oracle.ActiveKthSmallest(k))
+            << "step " << step << " k=" << k;
+      }
+    }
+  }
+}
+
+std::string TortureName(const testing::TestParamInfo<TortureCase>& info) {
+  const TortureCase& c = info.param;
+  return "m" + std::to_string(c.initial_m) + "_mix" + std::to_string(c.add_weight) +
+         "_" + std::to_string(c.remove_weight) + "_" + std::to_string(c.peel_weight) +
+         "_" + std::to_string(c.grow_weight) + "_seed" + std::to_string(c.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, StructuralTortureTest,
+    testing::Values(
+        // Update-heavy with occasional structure changes.
+        TortureCase{32, 4000, 1, 45, 40, 5, 10},
+        // Peel-heavy (shaving-like) with regrowth.
+        TortureCase{64, 4000, 2, 30, 20, 30, 20},
+        // Growth-dominated from a tiny start.
+        TortureCase{1, 3000, 3, 35, 25, 10, 30},
+        // Remove-heavy: deep negative frequencies while peeling.
+        TortureCase{48, 4000, 4, 15, 55, 15, 15},
+        // Near-total freeze pressure.
+        TortureCase{16, 2500, 5, 25, 25, 45, 5}),
+    TortureName);
+
+}  // namespace
+}  // namespace sprofile

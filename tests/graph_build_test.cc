@@ -1,0 +1,88 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sprofile {
+namespace graph {
+namespace {
+
+TEST(GraphBuilderTest, BuildsSortedAdjacency) {
+  GraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdge(2, 0).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(3, 0).ok());
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  const auto n0 = g.Neighbors(0);
+  EXPECT_EQ(std::vector<uint32_t>(n0.begin(), n0.end()),
+            (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_EQ(g.Degree(0), 3u);
+  EXPECT_EQ(g.Degree(1), 1u);
+}
+
+TEST(GraphBuilderTest, DeduplicatesParallelEdges) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 0).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_EQ(b.num_queued(), 3u);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 1u);
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoopsAndOutOfRange) {
+  GraphBuilder b(3);
+  EXPECT_EQ(b.AddEdge(1, 1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(b.AddEdge(0, 3).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(b.AddEdge(5, 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, EmptyGraph) {
+  GraphBuilder b(0);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.AverageDegree(), 0.0);
+}
+
+TEST(GraphTest, IsolatedVerticesHaveEmptyNeighborhoods) {
+  GraphBuilder b(5);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  const Graph g = b.Build();
+  EXPECT_EQ(g.Degree(4), 0u);
+  EXPECT_TRUE(g.Neighbors(4).empty());
+}
+
+TEST(GraphTest, DegreeVectorMatchesDegrees) {
+  GraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(0, 2).ok());
+  ASSERT_TRUE(b.AddEdge(0, 3).ok());
+  const Graph g = b.Build();
+  EXPECT_EQ(g.DegreeVector(), (std::vector<int64_t>{3, 1, 1, 1}));
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 1.5);
+}
+
+TEST(GraphTest, AdjacencyIsSymmetric) {
+  GraphBuilder b(6);
+  ASSERT_TRUE(b.AddEdge(0, 5).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3).ok());
+  ASSERT_TRUE(b.AddEdge(5, 2).ok());
+  const Graph g = b.Build();
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    for (uint32_t u : g.Neighbors(v)) {
+      const auto back = g.Neighbors(u);
+      EXPECT_TRUE(std::find(back.begin(), back.end(), v) != back.end())
+          << u << " -> " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace sprofile

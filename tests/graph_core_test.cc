@@ -1,0 +1,112 @@
+#include "graph/core_decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.h"
+
+namespace sprofile {
+namespace graph {
+namespace {
+
+Graph Triangle() {
+  GraphBuilder b(3);
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2).ok());
+  EXPECT_TRUE(b.AddEdge(0, 2).ok());
+  return b.Build();
+}
+
+Graph TriangleWithPendant() {
+  GraphBuilder b(4);
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2).ok());
+  EXPECT_TRUE(b.AddEdge(0, 2).ok());
+  EXPECT_TRUE(b.AddEdge(2, 3).ok());
+  return b.Build();
+}
+
+TEST(CoreDecompositionTest, TriangleIsTwoCore) {
+  const std::vector<uint32_t> expected{2, 2, 2};
+  EXPECT_EQ(CoreNumbersSProfile(Triangle()), expected);
+  EXPECT_EQ(CoreNumbersHeap(Triangle()), expected);
+  EXPECT_EQ(CoreNumbersBucket(Triangle()), expected);
+}
+
+TEST(CoreDecompositionTest, PendantStaysOneCore) {
+  const std::vector<uint32_t> expected{2, 2, 2, 1};
+  EXPECT_EQ(CoreNumbersSProfile(TriangleWithPendant()), expected);
+  EXPECT_EQ(CoreNumbersHeap(TriangleWithPendant()), expected);
+  EXPECT_EQ(CoreNumbersBucket(TriangleWithPendant()), expected);
+}
+
+TEST(CoreDecompositionTest, StarIsOneCore) {
+  GraphBuilder b(6);
+  for (uint32_t leaf = 1; leaf < 6; ++leaf) ASSERT_TRUE(b.AddEdge(0, leaf).ok());
+  const Graph g = b.Build();
+  const std::vector<uint32_t> expected(6, 1);
+  EXPECT_EQ(CoreNumbersSProfile(g), expected);
+  EXPECT_EQ(CoreNumbersBucket(g), expected);
+}
+
+TEST(CoreDecompositionTest, PathCores) {
+  GraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3).ok());
+  const Graph g = b.Build();
+  EXPECT_EQ(CoreNumbersSProfile(g), (std::vector<uint32_t>{1, 1, 1, 1}));
+}
+
+TEST(CoreDecompositionTest, EmptyAndEdgelessGraphs) {
+  GraphBuilder b(0);
+  EXPECT_TRUE(CoreNumbersSProfile(b.Build()).empty());
+  GraphBuilder b2(5);
+  EXPECT_EQ(CoreNumbersSProfile(b2.Build()), (std::vector<uint32_t>(5, 0)));
+}
+
+TEST(CoreDecompositionTest, CliquePlusTail) {
+  // K5 (core 4) with a tail of degree-1 vertices hanging off it.
+  GraphBuilder b(8);
+  for (uint32_t u = 0; u < 5; ++u) {
+    for (uint32_t v = u + 1; v < 5; ++v) ASSERT_TRUE(b.AddEdge(u, v).ok());
+  }
+  ASSERT_TRUE(b.AddEdge(4, 5).ok());
+  ASSERT_TRUE(b.AddEdge(5, 6).ok());
+  ASSERT_TRUE(b.AddEdge(6, 7).ok());
+  const Graph g = b.Build();
+  const std::vector<uint32_t> expected{4, 4, 4, 4, 4, 1, 1, 1};
+  EXPECT_EQ(CoreNumbersSProfile(g), expected);
+  EXPECT_EQ(CoreNumbersHeap(g), expected);
+  EXPECT_EQ(CoreNumbersBucket(g), expected);
+  EXPECT_EQ(Degeneracy(expected), 4u);
+}
+
+TEST(CoreDecompositionTest, AllThreeAgreeOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph er = ErdosRenyi(300, 1200, seed);
+    const auto a = CoreNumbersSProfile(er);
+    EXPECT_EQ(a, CoreNumbersHeap(er)) << "ER seed " << seed;
+    EXPECT_EQ(a, CoreNumbersBucket(er)) << "ER seed " << seed;
+
+    const Graph ba = BarabasiAlbert(300, 3, seed);
+    const auto c = CoreNumbersSProfile(ba);
+    EXPECT_EQ(c, CoreNumbersHeap(ba)) << "BA seed " << seed;
+    EXPECT_EQ(c, CoreNumbersBucket(ba)) << "BA seed " << seed;
+  }
+}
+
+TEST(CoreDecompositionTest, BarabasiAlbertCoreEqualsAttachment) {
+  // In a BA graph every vertex has core number == attachment parameter k
+  // (each new vertex arrives with degree k and peeling proceeds inward).
+  const Graph g = BarabasiAlbert(400, 3, 21);
+  const auto cores = CoreNumbersSProfile(g);
+  EXPECT_EQ(Degeneracy(cores), 3u);
+}
+
+TEST(DegeneracyTest, EmptyInput) { EXPECT_EQ(Degeneracy({}), 0u); }
+
+}  // namespace
+}  // namespace graph
+}  // namespace sprofile

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/core_decomposition.h"
+#include "graph/generators.h"
+
+namespace sprofile {
+namespace graph {
+namespace {
+
+TEST(DensestSubgraphTest, CliqueWithTailFindsClique) {
+  // K6 (density (15)/6 = 2.5) plus a sparse tail.
+  GraphBuilder b(10);
+  for (uint32_t u = 0; u < 6; ++u) {
+    for (uint32_t v = u + 1; v < 6; ++v) ASSERT_TRUE(b.AddEdge(u, v).ok());
+  }
+  ASSERT_TRUE(b.AddEdge(5, 6).ok());
+  ASSERT_TRUE(b.AddEdge(6, 7).ok());
+  ASSERT_TRUE(b.AddEdge(7, 8).ok());
+  ASSERT_TRUE(b.AddEdge(8, 9).ok());
+  const Graph g = b.Build();
+
+  const DensestSubgraphResult result = DensestSubgraphGreedy(g);
+  EXPECT_DOUBLE_EQ(result.density, 2.5);
+  std::vector<uint32_t> expected{0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(result.vertices, expected);
+}
+
+TEST(DensestSubgraphTest, SingleEdgeDensityHalf) {
+  GraphBuilder b(2);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  const DensestSubgraphResult result = DensestSubgraphGreedy(b.Build());
+  EXPECT_DOUBLE_EQ(result.density, 0.5);
+}
+
+TEST(DensestSubgraphTest, EmptyGraphHasZeroDensity) {
+  GraphBuilder b(3);
+  const DensestSubgraphResult result = DensestSubgraphGreedy(b.Build());
+  EXPECT_DOUBLE_EQ(result.density, 0.0);
+}
+
+TEST(DensestSubgraphTest, GreedyIsHalfApproximationOnTinyGraphs) {
+  // Charikar guarantee: greedy density >= optimum / 2. Verify against the
+  // exponential oracle on many small random graphs.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const Graph g = ErdosRenyi(12, 22, seed);
+    const double greedy = DensestSubgraphGreedy(g).density;
+    const double opt = DensestSubgraphBruteForce(g);
+    EXPECT_GE(greedy + 1e-9, opt / 2.0) << "seed " << seed;
+    EXPECT_LE(greedy, opt + 1e-9) << "greedy cannot beat the optimum";
+  }
+}
+
+TEST(DensestSubgraphTest, ReportedDensityMatchesReportedVertexSet) {
+  const Graph g = BarabasiAlbert(60, 3, 13);
+  const DensestSubgraphResult result = DensestSubgraphGreedy(g);
+  // Recount edges inside the returned set.
+  std::vector<bool> in_set(g.num_vertices(), false);
+  for (uint32_t v : result.vertices) in_set[v] = true;
+  uint64_t edges = 0;
+  for (uint32_t v : result.vertices) {
+    for (uint32_t u : g.Neighbors(v)) {
+      if (u > v && in_set[u]) ++edges;
+    }
+  }
+  ASSERT_FALSE(result.vertices.empty());
+  EXPECT_NEAR(result.density,
+              static_cast<double>(edges) / result.vertices.size(), 1e-12);
+}
+
+TEST(DensestSubgraphTest, DenserPlantedSubgraphBeatsBackground) {
+  // Plant a K8 into a sparse ER background; the greedy peel must find a
+  // subgraph at least as dense as the planted clique's 3.5.
+  GraphBuilder b(100);
+  for (uint32_t u = 0; u < 8; ++u) {
+    for (uint32_t v = u + 1; v < 8; ++v) ASSERT_TRUE(b.AddEdge(u, v).ok());
+  }
+  const Graph sparse = ErdosRenyi(100, 120, 3);
+  for (uint32_t v = 0; v < sparse.num_vertices(); ++v) {
+    for (uint32_t u : sparse.Neighbors(v)) {
+      if (u > v) {
+        ASSERT_TRUE(b.AddEdge(u, v).ok());
+      }
+    }
+  }
+  const DensestSubgraphResult result = DensestSubgraphGreedy(b.Build());
+  EXPECT_GE(result.density, 3.5 / 2.0);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace sprofile

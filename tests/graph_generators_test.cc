@@ -1,0 +1,71 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace sprofile {
+namespace graph {
+namespace {
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  const Graph g = ErdosRenyi(100, 500, 1);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 500u);
+}
+
+TEST(ErdosRenyiTest, DeterministicPerSeed) {
+  const Graph a = ErdosRenyi(50, 100, 7);
+  const Graph b = ErdosRenyi(50, 100, 7);
+  EXPECT_EQ(a.DegreeVector(), b.DegreeVector());
+  const Graph c = ErdosRenyi(50, 100, 8);
+  EXPECT_NE(a.DegreeVector(), c.DegreeVector());
+}
+
+TEST(ErdosRenyiTest, FullCliquePossible) {
+  const Graph g = ErdosRenyi(6, 15, 3);  // K6 has 15 edges
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (uint32_t v = 0; v < 6; ++v) EXPECT_EQ(g.Degree(v), 5u);
+}
+
+TEST(ErdosRenyiTest, DegreesConcentrateAroundMean) {
+  const Graph g = ErdosRenyi(2000, 20000, 5);  // mean degree 20
+  const std::vector<int64_t> degrees = g.DegreeVector();
+  const int64_t max_deg = *std::max_element(degrees.begin(), degrees.end());
+  // Poisson(20) tail: degree above 60 is astronomically unlikely.
+  EXPECT_LT(max_deg, 60);
+}
+
+TEST(BarabasiAlbertTest, EdgeCountFormula) {
+  constexpr uint32_t kN = 200, kK = 3;
+  const Graph g = BarabasiAlbert(kN, kK, 2);
+  // Seed clique (k+1 choose 2) + k edges per remaining vertex.
+  const uint64_t expected = (kK + 1) * kK / 2 + (kN - kK - 1) * kK;
+  EXPECT_EQ(g.num_edges(), expected);
+}
+
+TEST(BarabasiAlbertTest, ProducesHeavyTail) {
+  const Graph g = BarabasiAlbert(3000, 2, 9);
+  const std::vector<int64_t> degrees = g.DegreeVector();
+  const int64_t max_deg = *std::max_element(degrees.begin(), degrees.end());
+  const double avg = g.AverageDegree();
+  // Preferential attachment: hubs far above the mean (ER would cap ~3x).
+  EXPECT_GT(static_cast<double>(max_deg), 8.0 * avg);
+}
+
+TEST(BarabasiAlbertTest, MinimumDegreeIsAttachmentCount) {
+  const Graph g = BarabasiAlbert(500, 4, 4);
+  const std::vector<int64_t> degrees = g.DegreeVector();
+  EXPECT_GE(*std::min_element(degrees.begin(), degrees.end()), 4);
+}
+
+TEST(BarabasiAlbertTest, DeterministicPerSeed) {
+  const Graph a = BarabasiAlbert(100, 2, 11);
+  const Graph b = BarabasiAlbert(100, 2, 11);
+  EXPECT_EQ(a.DegreeVector(), b.DegreeVector());
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace sprofile

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/core_decomposition.h"
+#include "graph/generators.h"
+
+namespace sprofile {
+namespace graph {
+namespace {
+
+TEST(DegeneracyOrderingTest, IsAPermutation) {
+  const Graph g = ErdosRenyi(200, 800, 1);
+  const auto order = DegeneracyOrdering(g);
+  std::vector<uint32_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (uint32_t v = 0; v < 200; ++v) EXPECT_EQ(sorted[v], v);
+}
+
+TEST(DegeneracyOrderingTest, ForwardDegreeBoundedByDegeneracy) {
+  // Defining property: each vertex has <= degeneracy neighbours appearing
+  // later in the ordering.
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const Graph g = BarabasiAlbert(500, 4, seed);
+    const auto cores = CoreNumbersSProfile(g);
+    const uint32_t degeneracy = Degeneracy(cores);
+    const auto order = DegeneracyOrdering(g);
+    std::vector<uint32_t> position(g.num_vertices());
+    for (uint32_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+    for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+      uint32_t later = 0;
+      for (uint32_t u : g.Neighbors(v)) {
+        if (position[u] > position[v]) ++later;
+      }
+      ASSERT_LE(later, degeneracy) << "vertex " << v << " seed " << seed;
+    }
+  }
+}
+
+TEST(DegeneracyOrderingTest, EmptyGraph) {
+  GraphBuilder b(0);
+  EXPECT_TRUE(DegeneracyOrdering(b.Build()).empty());
+}
+
+TEST(KCoreVerticesTest, ExtractsCliqueCore) {
+  // K5 + tail: the 4-core is exactly the clique.
+  GraphBuilder b(8);
+  for (uint32_t u = 0; u < 5; ++u) {
+    for (uint32_t v = u + 1; v < 5; ++v) ASSERT_TRUE(b.AddEdge(u, v).ok());
+  }
+  ASSERT_TRUE(b.AddEdge(4, 5).ok());
+  ASSERT_TRUE(b.AddEdge(5, 6).ok());
+  ASSERT_TRUE(b.AddEdge(6, 7).ok());
+  const auto cores = CoreNumbersSProfile(b.Build());
+  EXPECT_EQ(KCoreVertices(cores, 4), (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(KCoreVertices(cores, 1).size(), 8u);
+  EXPECT_TRUE(KCoreVertices(cores, 5).empty());
+}
+
+TEST(KCoreVerticesTest, KCoreIsActuallyACore) {
+  // Every vertex of the k-core must have >= k neighbours inside it.
+  const Graph g = BarabasiAlbert(300, 3, 9);
+  const auto cores = CoreNumbersSProfile(g);
+  const uint32_t k = Degeneracy(cores);
+  const auto members = KCoreVertices(cores, k);
+  ASSERT_FALSE(members.empty());
+  std::vector<bool> in_core(g.num_vertices(), false);
+  for (uint32_t v : members) in_core[v] = true;
+  for (uint32_t v : members) {
+    uint32_t internal = 0;
+    for (uint32_t u : g.Neighbors(v)) {
+      if (in_core[u]) ++internal;
+    }
+    ASSERT_GE(internal, k) << "vertex " << v;
+  }
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace sprofile

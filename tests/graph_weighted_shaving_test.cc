@@ -1,0 +1,108 @@
+#include "graph/weighted_shaving.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/core_decomposition.h"
+#include "graph/generators.h"
+
+namespace sprofile {
+namespace graph {
+namespace {
+
+TEST(WeightedShavingTest, ZeroWeightsReduceToDensestSubgraph) {
+  const Graph g = BarabasiAlbert(80, 3, 1);
+  const std::vector<int64_t> zeros(g.num_vertices(), 0);
+  const WeightedShavingResult weighted = WeightedGreedyShaving(g, zeros);
+  const DensestSubgraphResult plain = DensestSubgraphGreedy(g);
+  // Same objective when weights vanish; tie-breaking may differ so compare
+  // the achieved score, not the vertex set.
+  EXPECT_DOUBLE_EQ(weighted.score, plain.density);
+}
+
+TEST(WeightedShavingTest, HeavyWeightPullsVertexIn) {
+  // A sparse path plus one isolated-but-suspicious vertex: with a huge
+  // weight the best set is that single vertex.
+  GraphBuilder b(5);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3).ok());
+  const Graph g = b.Build();
+  std::vector<int64_t> weights{0, 0, 0, 0, 100};
+  const WeightedShavingResult result = WeightedGreedyShaving(g, weights);
+  EXPECT_DOUBLE_EQ(result.score, 100.0);
+  EXPECT_EQ(result.vertices, (std::vector<uint32_t>{4}));
+}
+
+TEST(WeightedShavingTest, ReportedScoreMatchesReportedSet) {
+  const Graph g = ErdosRenyi(60, 240, 3);
+  std::vector<int64_t> weights(g.num_vertices());
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) weights[v] = v % 4;
+  const WeightedShavingResult result = WeightedGreedyShaving(g, weights);
+  ASSERT_FALSE(result.vertices.empty());
+
+  std::vector<bool> in_set(g.num_vertices(), false);
+  for (uint32_t v : result.vertices) in_set[v] = true;
+  int64_t value = 0;
+  for (uint32_t v : result.vertices) {
+    value += weights[v];
+    for (uint32_t u : g.Neighbors(v)) {
+      if (u > v && in_set[u]) ++value;
+    }
+  }
+  EXPECT_NEAR(result.score,
+              static_cast<double>(value) / result.vertices.size(), 1e-12);
+}
+
+TEST(WeightedShavingTest, GreedyIsHalfApproximation) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    const Graph g = ErdosRenyi(10, 18, seed);
+    std::vector<int64_t> weights(10);
+    for (uint32_t v = 0; v < 10; ++v) weights[v] = (v * seed) % 5;
+    const double greedy = WeightedGreedyShaving(g, weights).score;
+    const double opt = WeightedShavingBruteForce(g, weights);
+    EXPECT_GE(greedy + 1e-9, opt / 2.0) << "seed " << seed;
+    EXPECT_LE(greedy, opt + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(WeightedShavingTest, PlantedFraudBlockRecovered) {
+  // Background ER graph + a dense "fraud" block with elevated weights:
+  // the classic Fraudar scenario. The block must dominate the result.
+  GraphBuilder b(100);
+  for (uint32_t u = 90; u < 100; ++u) {
+    for (uint32_t v = u + 1; v < 100; ++v) ASSERT_TRUE(b.AddEdge(u, v).ok());
+  }
+  const Graph background = ErdosRenyi(100, 150, 7);
+  for (uint32_t v = 0; v < 100; ++v) {
+    for (uint32_t u : background.Neighbors(v)) {
+      if (u > v) {
+        ASSERT_TRUE(b.AddEdge(u, v).ok());
+      }
+    }
+  }
+  const Graph g = b.Build();
+  std::vector<int64_t> weights(100, 0);
+  for (uint32_t v = 90; v < 100; ++v) weights[v] = 3;  // suspicious accounts
+  const WeightedShavingResult result = WeightedGreedyShaving(g, weights);
+  // Count how many planted vertices survive in the answer.
+  uint32_t planted = 0;
+  for (uint32_t v : result.vertices) {
+    if (v >= 90) ++planted;
+  }
+  EXPECT_EQ(planted, 10u) << "the whole fraud block should be in the set";
+  // Clique alone scores (45 + 30)/10 = 7.5; result can only be better.
+  EXPECT_GE(result.score, 7.5);
+}
+
+TEST(WeightedShavingTest, EmptyGraph) {
+  GraphBuilder b(0);
+  const WeightedShavingResult result = WeightedGreedyShaving(b.Build(), {});
+  EXPECT_TRUE(result.vertices.empty());
+  EXPECT_DOUBLE_EQ(result.score, 0.0);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace sprofile

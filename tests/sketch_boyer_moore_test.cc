@@ -1,0 +1,87 @@
+#include "sketch/boyer_moore.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/frequency_profile.h"
+#include "util/random.h"
+
+namespace sprofile {
+namespace sketch {
+namespace {
+
+TEST(BoyerMooreTest, FindsClearMajority) {
+  BoyerMooreMajority bm;
+  for (int i = 0; i < 7; ++i) bm.Add(42);
+  for (int i = 0; i < 3; ++i) bm.Add(static_cast<uint64_t>(i));
+  EXPECT_TRUE(bm.has_candidate());
+  EXPECT_EQ(bm.candidate(), 42u);
+}
+
+TEST(BoyerMooreTest, SurvivesAdversarialInterleaving) {
+  // Majority element alternated with distinct distractors: the vote dips
+  // to zero repeatedly but the majority must still win.
+  BoyerMooreMajority bm;
+  for (uint64_t i = 0; i < 100; ++i) {
+    bm.Add(7);
+    if (i < 49) bm.Add(1000 + i);
+  }
+  EXPECT_EQ(bm.candidate(), 7u);
+}
+
+TEST(BoyerMooreTest, NoMajorityCandidateIsJustAClaim) {
+  BoyerMooreMajority bm;
+  bm.Add(1);
+  bm.Add(2);
+  bm.Add(3);  // no majority exists; candidate is whatever survived
+  EXPECT_TRUE(bm.has_candidate());
+  EXPECT_EQ(bm.stream_length(), 3u);
+}
+
+TEST(BoyerMooreTest, ResetClearsState) {
+  BoyerMooreMajority bm;
+  bm.Add(5);
+  bm.Reset();
+  EXPECT_FALSE(bm.has_candidate());
+  EXPECT_EQ(bm.stream_length(), 0u);
+}
+
+TEST(BoyerMooreTest, VerificationAgainstProfile) {
+  // The classic pairing: the vote nominates, the profile verifies in O(1)
+  // — and the profile also answers when there is NO majority, which the
+  // vote alone cannot.
+  constexpr uint32_t kM = 32;
+  Xoshiro256PlusPlus rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    BoyerMooreMajority bm;
+    FrequencyProfile profile(kM);
+    const bool plant_majority = trial % 2 == 0;
+    const uint32_t planted = static_cast<uint32_t>(rng.NextBounded(kM));
+    for (int i = 0; i < 1001; ++i) {
+      uint32_t id;
+      if (plant_majority && i % 2 == 0) {
+        id = planted;  // 501 of 1001 events -> strict majority
+      } else {
+        id = static_cast<uint32_t>(rng.NextBounded(kM));
+      }
+      bm.Add(id);
+      profile.Add(id);
+    }
+    if (plant_majority) {
+      ASSERT_TRUE(profile.HasMajority()) << "trial " << trial;
+      ASSERT_EQ(bm.candidate(), planted) << "trial " << trial;
+      // Verify the claim through the profile's O(1) lookup.
+      ASSERT_GT(2 * profile.Frequency(static_cast<uint32_t>(bm.candidate())),
+                profile.total_count());
+    } else if (!profile.HasMajority()) {
+      // The vote's candidate must FAIL verification.
+      ASSERT_LE(2 * profile.Frequency(static_cast<uint32_t>(bm.candidate())),
+                profile.total_count());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace sprofile

@@ -1,0 +1,80 @@
+#include "sketch/count_min.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/random.h"
+
+namespace sprofile {
+namespace sketch {
+namespace {
+
+TEST(CountMinTest, PointEstimateUpperBound) {
+  CountMinSketch cm(256, 4);
+  std::map<uint64_t, int64_t> truth;
+  Xoshiro256PlusPlus rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = rng.NextBounded(1000);
+    cm.Add(key);
+    truth[key] += 1;
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(cm.Estimate(key), count) << "key " << key;
+  }
+}
+
+TEST(CountMinTest, ExactForIsolatedKeys) {
+  CountMinSketch cm(1024, 4);
+  cm.Add(5);
+  cm.Add(5);
+  cm.Add(5);
+  EXPECT_GE(cm.Estimate(5), 3);
+  // With a nearly-empty sketch the estimate is exact.
+  EXPECT_EQ(cm.Estimate(5), 3);
+}
+
+TEST(CountMinTest, RemoveSupportsTurnstile) {
+  CountMinSketch cm(512, 4);
+  for (int i = 0; i < 10; ++i) cm.Add(9);
+  for (int i = 0; i < 4; ++i) cm.Remove(9);
+  EXPECT_GE(cm.Estimate(9), 6);
+  EXPECT_EQ(cm.Estimate(9), 6) << "no collisions expected at this load";
+}
+
+TEST(CountMinTest, ErrorShrinksWithWidth) {
+  // Same stream into a narrow and a wide sketch: total overestimate must
+  // not grow with width.
+  Xoshiro256PlusPlus rng(17);
+  std::map<uint64_t, int64_t> truth;
+  CountMinSketch narrow(16, 4, /*seed=*/7);
+  CountMinSketch wide(4096, 4, /*seed=*/7);
+  for (int i = 0; i < 30000; ++i) {
+    const uint64_t key = rng.NextBounded(2000);
+    narrow.Add(key);
+    wide.Add(key);
+    truth[key] += 1;
+  }
+  int64_t narrow_err = 0, wide_err = 0;
+  for (const auto& [key, count] : truth) {
+    narrow_err += narrow.Estimate(key) - count;
+    wide_err += wide.Estimate(key) - count;
+  }
+  EXPECT_LT(wide_err, narrow_err);
+  EXPECT_EQ(wide.MemoryBytes(), 4096u * 4 * 8);
+}
+
+TEST(CountMinTest, DeterministicForFixedSeed) {
+  CountMinSketch a(64, 3, 99), b(64, 3, 99);
+  for (uint64_t k = 0; k < 100; ++k) {
+    a.Add(k);
+    b.Add(k);
+  }
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(a.Estimate(k), b.Estimate(k));
+  }
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace sprofile

@@ -1,0 +1,135 @@
+#include "sketch/gk_quantiles.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "util/random.h"
+
+namespace sprofile {
+namespace sketch {
+namespace {
+
+/// True rank error of `answer` for quantile phi over sorted data.
+double RankError(const std::vector<int64_t>& sorted, double phi, int64_t answer) {
+  const double target = phi * static_cast<double>(sorted.size());
+  // Rank range occupied by `answer` in the sorted data.
+  const auto lo = std::lower_bound(sorted.begin(), sorted.end(), answer);
+  const auto hi = std::upper_bound(sorted.begin(), sorted.end(), answer);
+  const double rank_lo = static_cast<double>(lo - sorted.begin());
+  const double rank_hi = static_cast<double>(hi - sorted.begin());
+  if (target < rank_lo) return rank_lo - target;
+  if (target > rank_hi) return target - rank_hi;
+  return 0.0;
+}
+
+TEST(GkQuantilesTest, ExactForTinyStreams) {
+  GkQuantileSummary gk(0.1);
+  for (int64_t v : {5, 1, 9, 3, 7}) gk.Add(v);
+  EXPECT_EQ(gk.stream_length(), 5u);
+  // With only 5 elements everything is within slack, but the median must
+  // be one of the actual values near the middle.
+  const int64_t med = gk.Median();
+  EXPECT_TRUE(med == 3 || med == 5 || med == 7) << med;
+}
+
+TEST(GkQuantilesTest, RankErrorWithinEpsilonUniform) {
+  constexpr double kEps = 0.01;
+  GkQuantileSummary gk(kEps);
+  Xoshiro256PlusPlus rng(42);
+  std::vector<int64_t> data;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.NextBounded(1000000));
+    gk.Add(v);
+    data.push_back(v);
+  }
+  std::sort(data.begin(), data.end());
+  for (double phi : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const int64_t answer = gk.Quantile(phi);
+    // Allow 2x the nominal bound: the query itself is slack-tolerant.
+    EXPECT_LE(RankError(data, phi, answer), 2.0 * kEps * kN) << "phi=" << phi;
+  }
+}
+
+TEST(GkQuantilesTest, RankErrorWithinEpsilonSkewed) {
+  constexpr double kEps = 0.02;
+  GkQuantileSummary gk(kEps);
+  Xoshiro256PlusPlus rng(7);
+  std::vector<int64_t> data;
+  constexpr int kN = 30000;
+  for (int i = 0; i < kN; ++i) {
+    // Heavily skewed: squared uniform.
+    const uint64_t u = rng.NextBounded(3000);
+    const int64_t v = static_cast<int64_t>(u * u);
+    gk.Add(v);
+    data.push_back(v);
+  }
+  std::sort(data.begin(), data.end());
+  for (double phi : {0.1, 0.5, 0.9}) {
+    EXPECT_LE(RankError(data, phi, gk.Quantile(phi)), 2.0 * kEps * kN)
+        << "phi=" << phi;
+  }
+}
+
+TEST(GkQuantilesTest, SortedAndReverseSortedInput) {
+  for (bool reverse : {false, true}) {
+    GkQuantileSummary gk(0.05);
+    std::vector<int64_t> data;
+    for (int i = 0; i < 10000; ++i) {
+      const int64_t v = reverse ? 10000 - i : i;
+      gk.Add(v);
+      data.push_back(v);
+    }
+    std::sort(data.begin(), data.end());
+    EXPECT_LE(RankError(data, 0.5, gk.Median()), 2.0 * 0.05 * 10000)
+        << "reverse=" << reverse;
+    EXPECT_TRUE(gk.CheckInvariant());
+  }
+}
+
+TEST(GkQuantilesTest, SummaryIsSublinear) {
+  GkQuantileSummary gk(0.01);
+  Xoshiro256PlusPlus rng(9);
+  for (int i = 0; i < 200000; ++i) {
+    gk.Add(static_cast<int64_t>(rng.Next() % 1000000));
+  }
+  // 200k observations; a 1% summary should hold only hundreds of tuples.
+  EXPECT_LT(gk.summary_size(), 2000u);
+  EXPECT_TRUE(gk.CheckInvariant());
+}
+
+TEST(GkQuantilesTest, ExtremeQuantilesAreExact) {
+  GkQuantileSummary gk(0.05);
+  Xoshiro256PlusPlus rng(3);
+  int64_t true_min = INT64_MAX, true_max = INT64_MIN;
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.NextBounded(1 << 30)) - (1 << 29);
+    gk.Add(v);
+    true_min = std::min(true_min, v);
+    true_max = std::max(true_max, v);
+  }
+  // GK never merges away the first and last tuples.
+  EXPECT_EQ(gk.Quantile(0.0), true_min);
+  EXPECT_EQ(gk.Quantile(1.0), true_max);
+}
+
+TEST(GkQuantilesTest, DuplicateHeavyStream) {
+  GkQuantileSummary gk(0.02);
+  std::vector<int64_t> data;
+  for (int i = 0; i < 30000; ++i) {
+    const int64_t v = i % 3;  // only three distinct values
+    gk.Add(v);
+    data.push_back(v);
+  }
+  std::sort(data.begin(), data.end());
+  EXPECT_LE(RankError(data, 0.5, gk.Median()), 2.0 * 0.02 * 30000);
+  EXPECT_LT(gk.summary_size(), 200u);
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace sprofile

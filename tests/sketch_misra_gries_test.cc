@@ -1,0 +1,98 @@
+#include "sketch/misra_gries.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "stream/distribution.h"
+#include "util/random.h"
+
+namespace sprofile {
+namespace sketch {
+namespace {
+
+TEST(MisraGriesTest, ExactWhenUnderCapacity) {
+  MisraGries mg(10);
+  for (int i = 0; i < 5; ++i) mg.Add(1);
+  for (int i = 0; i < 3; ++i) mg.Add(2);
+  EXPECT_EQ(mg.Estimate(1), 5u);
+  EXPECT_EQ(mg.Estimate(2), 3u);
+  EXPECT_EQ(mg.Estimate(99), 0u);
+  EXPECT_EQ(mg.MaxError(), 0u);
+}
+
+TEST(MisraGriesTest, ErrorBoundHoldsOnAdversarialStream) {
+  constexpr uint32_t kCounters = 9;
+  MisraGries mg(kCounters);
+  std::map<uint64_t, uint64_t> truth;
+  // One heavy key + a long tail of distinct keys forcing decrements.
+  for (int i = 0; i < 3000; ++i) {
+    mg.Add(7);
+    truth[7] += 1;
+    const uint64_t tail_key = 1000 + (i % 500);
+    mg.Add(tail_key);
+    truth[tail_key] += 1;
+  }
+  for (const auto& [key, count] : truth) {
+    const uint64_t est = mg.Estimate(key);
+    EXPECT_LE(est, count) << "MG never overcounts, key " << key;
+    EXPECT_LE(count - est, mg.MaxError()) << "undercount bound, key " << key;
+  }
+}
+
+TEST(MisraGriesTest, HeavyHitterSurvives) {
+  // A key holding > n/(k+1) of the stream must be tracked at the end.
+  MisraGries mg(4);
+  Xoshiro256PlusPlus rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    if (i % 2 == 0) {
+      mg.Add(42);  // 50% of stream
+    } else {
+      mg.Add(rng.Next() | (1ULL << 60));  // unique-ish tail
+    }
+  }
+  EXPECT_GT(mg.Estimate(42), 0u);
+  const auto hh = mg.HeavyHitters();
+  ASSERT_FALSE(hh.empty());
+  EXPECT_EQ(hh[0].first, 42u);
+}
+
+TEST(MisraGriesTest, HeavyHittersSortedDescending) {
+  MisraGries mg(8);
+  for (int i = 0; i < 9; ++i) mg.Add(1);
+  for (int i = 0; i < 5; ++i) mg.Add(2);
+  for (int i = 0; i < 2; ++i) mg.Add(3);
+  const auto hh = mg.HeavyHitters();
+  for (size_t i = 1; i < hh.size(); ++i) {
+    EXPECT_GE(hh[i - 1].second, hh[i].second);
+  }
+}
+
+TEST(MisraGriesTest, TracksAtMostCapacityCounters) {
+  MisraGries mg(5);
+  for (uint64_t k = 0; k < 1000; ++k) mg.Add(k);
+  EXPECT_LE(mg.num_tracked(), 5u);
+  EXPECT_EQ(mg.stream_length(), 1000u);
+}
+
+TEST(MisraGriesTest, ZipfStreamTopElementRecovered) {
+  stream::ZipfIdDistribution zipf(1000, 1.2);
+  Xoshiro256PlusPlus rng(8);
+  MisraGries mg(32);
+  std::map<uint32_t, uint64_t> truth;
+  for (int i = 0; i < 50000; ++i) {
+    const uint32_t id = zipf.Sample(&rng);
+    mg.Add(id);
+    truth[id] += 1;
+  }
+  // Rank-0 under Zipf(1.2) dominates; MG must rank it first.
+  const auto hh = mg.HeavyHitters();
+  ASSERT_FALSE(hh.empty());
+  EXPECT_EQ(hh[0].first, 0u);
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace sprofile

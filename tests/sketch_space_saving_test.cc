@@ -1,0 +1,75 @@
+#include "sketch/space_saving.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/random.h"
+
+namespace sprofile {
+namespace sketch {
+namespace {
+
+TEST(SpaceSavingTest, ExactWhenUnderCapacity) {
+  SpaceSaving ss(8);
+  for (int i = 0; i < 4; ++i) ss.Add(11);
+  for (int i = 0; i < 2; ++i) ss.Add(22);
+  EXPECT_EQ(ss.Estimate(11), 4u);
+  EXPECT_EQ(ss.Estimate(22), 2u);
+  EXPECT_EQ(ss.ErrorBound(11), 0u);
+  EXPECT_EQ(ss.num_tracked(), 2u);
+}
+
+TEST(SpaceSavingTest, EstimatesNeverUndercount) {
+  SpaceSaving ss(6);
+  std::map<uint64_t, uint64_t> truth;
+  Xoshiro256PlusPlus rng(21);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = rng.NextBounded(40);
+    ss.Add(key);
+    truth[key] += 1;
+  }
+  for (const auto& [key, count] : truth) {
+    const uint64_t est = ss.Estimate(key);
+    if (est > 0) {
+      EXPECT_GE(est, count) << "SS estimates are upper bounds, key " << key;
+      EXPECT_LE(est - count, ss.ErrorBound(key)) << "key " << key;
+    }
+  }
+}
+
+TEST(SpaceSavingTest, SumOfCountsEqualsStreamLength) {
+  SpaceSaving ss(5);
+  Xoshiro256PlusPlus rng(4);
+  constexpr uint64_t kN = 5000;
+  for (uint64_t i = 0; i < kN; ++i) ss.Add(rng.NextBounded(100));
+  uint64_t sum = 0;
+  for (const auto& [key, est] : ss.HeavyHitters()) sum += est;
+  // Space-Saving invariant: counter total equals items processed.
+  EXPECT_EQ(sum, kN);
+}
+
+TEST(SpaceSavingTest, HeavyKeyAlwaysTracked) {
+  SpaceSaving ss(4);
+  Xoshiro256PlusPlus rng(13);
+  for (int i = 0; i < 30000; ++i) {
+    if (i % 3 == 0) {
+      ss.Add(777);  // one third of the stream
+    } else {
+      ss.Add(rng.Next() | (1ULL << 59));
+    }
+  }
+  // Any key above n/k of the stream is guaranteed present.
+  EXPECT_GT(ss.Estimate(777), 0u);
+  EXPECT_GE(ss.Estimate(777), 10000u);
+}
+
+TEST(SpaceSavingTest, CapacityNeverExceeded) {
+  SpaceSaving ss(7);
+  for (uint64_t k = 0; k < 500; ++k) ss.Add(k);
+  EXPECT_LE(ss.num_tracked(), 7u);
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace sprofile

@@ -1,0 +1,156 @@
+#include "stream/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace sprofile {
+namespace stream {
+namespace {
+
+TEST(UniformIdDistributionTest, RangeAndMean) {
+  UniformIdDistribution dist(1000);
+  Xoshiro256PlusPlus rng(1);
+  double sum = 0.0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint32_t id = dist.Sample(&rng);
+    ASSERT_LT(id, 1000u);
+    sum += id;
+  }
+  EXPECT_NEAR(sum / kSamples, 499.5, 10.0);
+}
+
+TEST(UniformIdDistributionTest, DescribeMentionsRange) {
+  UniformIdDistribution dist(64);
+  EXPECT_EQ(dist.Describe(), "uniform[0,64)");
+}
+
+TEST(NormalIdDistributionTest, MomentsMatchParameters) {
+  // Stream2's posPDF: mu = 2m/3, sigma = m/6 with m = 6000 keeps nearly all
+  // mass interior, so sample moments should match the parameters.
+  constexpr uint32_t kM = 6000;
+  NormalIdDistribution dist(kM, 2.0 * kM / 3.0, kM / 6.0);
+  Xoshiro256PlusPlus rng(2);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kSamples = 60000;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint32_t id = dist.Sample(&rng);
+    ASSERT_LT(id, kM);
+    sum += id;
+    sum_sq += static_cast<double>(id) * id;
+  }
+  const double mean = sum / kSamples;
+  const double stddev = std::sqrt(sum_sq / kSamples - mean * mean);
+  EXPECT_NEAR(mean, 4000.0, 40.0);
+  EXPECT_NEAR(stddev, 1000.0, 30.0);
+}
+
+TEST(NormalIdDistributionTest, WideSigmaClampsToBoundaries) {
+  // Stream3's posPDF (sigma = m) sends a large fraction of samples to the
+  // clamped edges; both edges must be reachable and all samples in range.
+  constexpr uint32_t kM = 100;
+  NormalIdDistribution dist(kM, 0.8 * kM, kM);
+  Xoshiro256PlusPlus rng(3);
+  bool saw_low = false, saw_high = false;
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t id = dist.Sample(&rng);
+    ASSERT_LT(id, kM);
+    saw_low = saw_low || id == 0;
+    saw_high = saw_high || id == kM - 1;
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+}
+
+TEST(LogNormalIdDistributionTest, SkewsRight) {
+  constexpr uint32_t kM = 100000;
+  LogNormalIdDistribution dist(kM, kM * 0.01, kM * 0.02);
+  Xoshiro256PlusPlus rng(4);
+  double sum = 0.0;
+  uint64_t below_mean = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint32_t id = dist.Sample(&rng);
+    ASSERT_LT(id, kM);
+    sum += id;
+    if (id < kM * 0.01) ++below_mean;
+  }
+  // Lognormal: median < mean, so more than half the samples sit below the
+  // requested mean.
+  EXPECT_GT(below_mean, kSamples / 2);
+  EXPECT_NEAR(sum / kSamples, kM * 0.01, kM * 0.002);
+}
+
+TEST(LogNormalIdDistributionTest, MatchesRequestedMoments) {
+  // Interior parameters (little clamping): sample mean/std near requested.
+  constexpr uint32_t kM = 1000000;
+  const double mu = 5000.0, sigma = 2000.0;
+  LogNormalIdDistribution dist(kM, mu, sigma);
+  Xoshiro256PlusPlus rng(5);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double id = dist.Sample(&rng);
+    sum += id;
+    sum_sq += id * id;
+  }
+  const double mean = sum / kSamples;
+  const double stddev = std::sqrt(sum_sq / kSamples - mean * mean);
+  EXPECT_NEAR(mean, mu, mu * 0.02);
+  EXPECT_NEAR(stddev, sigma, sigma * 0.05);
+}
+
+TEST(ZipfIdDistributionTest, RanksDecreaseInFrequency) {
+  constexpr uint32_t kM = 1000;
+  ZipfIdDistribution dist(kM, 1.1);
+  Xoshiro256PlusPlus rng(6);
+  std::vector<uint64_t> counts(kM, 0);
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint32_t id = dist.Sample(&rng);
+    ASSERT_LT(id, kM);
+    counts[id] += 1;
+  }
+  // Zipf: head ranks strictly dominate; compare a few well-separated ranks.
+  EXPECT_GT(counts[0], counts[9]);
+  EXPECT_GT(counts[9], counts[99]);
+  EXPECT_GT(counts[99], counts[999]);
+}
+
+TEST(ZipfIdDistributionTest, HeadProbabilityMatchesTheory) {
+  // For s = 1.0 and n = 100, P(rank 1) = 1/H(100) ≈ 0.1928.
+  constexpr uint32_t kM = 100;
+  ZipfIdDistribution dist(kM, 1.0);
+  Xoshiro256PlusPlus rng(7);
+  uint64_t head = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (dist.Sample(&rng) == 0) ++head;
+  }
+  double harmonic = 0.0;
+  for (uint32_t k = 1; k <= kM; ++k) harmonic += 1.0 / k;
+  EXPECT_NEAR(static_cast<double>(head) / kSamples, 1.0 / harmonic, 0.01);
+}
+
+TEST(ZipfIdDistributionTest, SingleElementAlwaysZero) {
+  ZipfIdDistribution dist(1, 1.5);
+  Xoshiro256PlusPlus rng(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist.Sample(&rng), 0u);
+}
+
+TEST(DistributionTest, DeterministicGivenSameRngSeed) {
+  NormalIdDistribution dist(1000, 500, 100);
+  Xoshiro256PlusPlus a(9), b(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(dist.Sample(&a), dist.Sample(&b));
+  }
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace sprofile

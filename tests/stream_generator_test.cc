@@ -1,0 +1,128 @@
+#include "stream/log_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace sprofile {
+namespace stream {
+namespace {
+
+TEST(StreamConfigTest, ValidateCatchesMistakes) {
+  StreamConfig config;
+  EXPECT_FALSE(config.Validate().ok()) << "empty config";
+
+  config = MakePaperStreamConfig(1, 100, 1);
+  EXPECT_TRUE(config.Validate().ok());
+
+  config.add_probability = 1.5;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+
+  config = MakePaperStreamConfig(1, 100, 1);
+  config.num_objects = 50;  // now mismatches the distributions
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LogStreamGeneratorTest, DeterministicForFixedSeed) {
+  LogStreamGenerator a(MakePaperStreamConfig(2, 500, 77));
+  LogStreamGenerator b(MakePaperStreamConfig(2, 500, 77));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(LogStreamGeneratorTest, DifferentSeedsDiffer) {
+  LogStreamGenerator a(MakePaperStreamConfig(1, 500, 1));
+  LogStreamGenerator b(MakePaperStreamConfig(1, 500, 2));
+  int same = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 150);
+}
+
+TEST(LogStreamGeneratorTest, AddFractionNearConfigured) {
+  LogStreamGenerator gen(MakePaperStreamConfig(1, 100, 5));
+  int adds = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    if (gen.Next().is_add) ++adds;
+  }
+  EXPECT_NEAR(static_cast<double>(adds) / kN, 0.7, 0.01);
+}
+
+TEST(LogStreamGeneratorTest, IdsAlwaysInRange) {
+  for (int which = 1; which <= 3; ++which) {
+    LogStreamGenerator gen(MakePaperStreamConfig(which, 64, 11));
+    for (int i = 0; i < 5000; ++i) {
+      EXPECT_LT(gen.Next().id, 64u) << "stream " << which;
+    }
+  }
+}
+
+TEST(LogStreamGeneratorTest, UncheckedModeCanGoNegative) {
+  LogStreamGenerator gen(MakePaperStreamConfig(1, 4, 3));
+  std::map<uint32_t, int64_t> counts;
+  bool went_negative = false;
+  for (int i = 0; i < 2000; ++i) {
+    const LogTuple t = gen.Next();
+    counts[t.id] += t.is_add ? 1 : -1;
+    if (counts[t.id] < 0) went_negative = true;
+  }
+  EXPECT_TRUE(went_negative) << "tiny id space with 30% removes must dip below 0";
+}
+
+TEST(LogStreamGeneratorTest, ConsistentModeNeverGoesNegative) {
+  LogStreamGenerator gen(MakePaperStreamConfig(
+      1, 16, 9, RemovalPolicy::kMultisetConsistent));
+  std::map<uint32_t, int64_t> counts;
+  for (int i = 0; i < 20000; ++i) {
+    const LogTuple t = gen.Next();
+    counts[t.id] += t.is_add ? 1 : -1;
+    ASSERT_GE(counts[t.id], 0) << "event " << i;
+  }
+}
+
+TEST(LogStreamGeneratorTest, ConsistentModeRemovesTrackPresence) {
+  // Every remove must target a present object even under heavy removal
+  // pressure (add probability 0.5 with a tiny id space).
+  StreamConfig config = MakePaperStreamConfig(
+      2, 8, 13, RemovalPolicy::kMultisetConsistent);
+  config.add_probability = 0.5;
+  LogStreamGenerator gen(config);
+  std::map<uint32_t, int64_t> counts;
+  for (int i = 0; i < 20000; ++i) {
+    const LogTuple t = gen.Next();
+    if (!t.is_add) {
+      ASSERT_GT(counts[t.id], 0) << "removed an absent object at event " << i;
+    }
+    counts[t.id] += t.is_add ? 1 : -1;
+  }
+}
+
+TEST(LogStreamGeneratorTest, GenerateAndTakeProduceSameAsNext) {
+  LogStreamGenerator a(MakePaperStreamConfig(3, 200, 21));
+  LogStreamGenerator b(MakePaperStreamConfig(3, 200, 21));
+  const std::vector<LogTuple> bulk = a.Take(500);
+  for (const LogTuple& expected : bulk) {
+    EXPECT_EQ(b.Next(), expected);
+  }
+  EXPECT_EQ(a.position(), 500u);
+}
+
+TEST(MakePaperStreamConfigTest, NamesAndPresets) {
+  EXPECT_EQ(PaperStreamName(1), "stream1");
+  EXPECT_EQ(PaperStreamName(3), "stream3");
+  const StreamConfig s1 = MakePaperStreamConfig(1, 100, 1);
+  EXPECT_EQ(s1.positive->Describe(), "uniform[0,100)");
+  const StreamConfig s2 = MakePaperStreamConfig(2, 600, 1);
+  EXPECT_NE(s2.positive->Describe().find("normal(mu=400"), std::string::npos);
+  EXPECT_NE(s2.negative->Describe().find("normal(mu=200"), std::string::npos);
+  const StreamConfig s3 = MakePaperStreamConfig(3, 1000, 1);
+  EXPECT_NE(s3.negative->Describe().find("lognormal"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace sprofile

@@ -1,0 +1,160 @@
+#include "stream/stream_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "stream/log_stream.h"
+
+namespace sprofile {
+namespace stream {
+namespace {
+
+class StreamIoTest : public testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/sprofile_io_" + name;
+  }
+
+  void TearDown() override {
+    for (const std::string& p : created_) std::remove(p.c_str());
+  }
+
+  std::string Track(const std::string& p) {
+    created_.push_back(p);
+    return p;
+  }
+
+  std::vector<std::string> created_;
+};
+
+StoredStream MakeSample(uint64_t n, uint32_t m, uint64_t seed) {
+  LogStreamGenerator gen(MakePaperStreamConfig(1, m, seed));
+  StoredStream s;
+  s.num_objects = m;
+  s.tuples = gen.Take(n);
+  return s;
+}
+
+TEST_F(StreamIoTest, BinaryRoundTrip) {
+  const StoredStream original = MakeSample(10000, 512, 1);
+  const std::string path = Track(TempPath("roundtrip.splg"));
+  ASSERT_TRUE(WriteBinary(original, path).ok());
+  auto read = ReadBinary(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().num_objects, original.num_objects);
+  EXPECT_EQ(read.value().tuples, original.tuples);
+}
+
+TEST_F(StreamIoTest, BinaryEmptyStream) {
+  StoredStream empty;
+  empty.num_objects = 10;
+  const std::string path = Track(TempPath("empty.splg"));
+  ASSERT_TRUE(WriteBinary(empty, path).ok());
+  auto read = ReadBinary(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read.value().tuples.empty());
+}
+
+TEST_F(StreamIoTest, BinaryDetectsCorruption) {
+  const StoredStream original = MakeSample(1000, 64, 2);
+  const std::string path = Track(TempPath("corrupt.splg"));
+  ASSERT_TRUE(WriteBinary(original, path).ok());
+  // Flip one byte in the middle of the records region.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(100);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(100);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+  auto read = ReadBinary(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(StreamIoTest, BinaryRejectsBadMagic) {
+  const std::string path = Track(TempPath("notsplg.bin"));
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a stream file at all";
+  }
+  auto read = ReadBinary(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(StreamIoTest, BinaryRejectsTruncation) {
+  const StoredStream original = MakeSample(1000, 64, 3);
+  const std::string path = Track(TempPath("trunc.splg"));
+  ASSERT_TRUE(WriteBinary(original, path).ok());
+  // Truncate the checksum off the end.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size() - 6));
+  }
+  EXPECT_FALSE(ReadBinary(path).ok());
+}
+
+TEST_F(StreamIoTest, WriteRejectsOutOfRangeIds) {
+  StoredStream bad;
+  bad.num_objects = 4;
+  bad.tuples.push_back(LogTuple{9, true});
+  const std::string path = Track(TempPath("badid.splg"));
+  EXPECT_EQ(WriteBinary(bad, path).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(StreamIoTest, MissingFileIsIOError) {
+  EXPECT_EQ(ReadBinary("/nonexistent/dir/x.splg").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(StreamIoTest, CsvRoundTrip) {
+  const StoredStream original = MakeSample(500, 32, 4);
+  const std::string path = Track(TempPath("roundtrip.csv"));
+  ASSERT_TRUE(WriteCsv(original, path).ok());
+  auto read = ReadCsv(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().num_objects, original.num_objects);
+  EXPECT_EQ(read.value().tuples, original.tuples);
+}
+
+TEST_F(StreamIoTest, CsvRejectsMissingHeader) {
+  const std::string path = Track(TempPath("noheader.csv"));
+  {
+    std::ofstream f(path);
+    f << "a,1\nr,2\n";
+  }
+  EXPECT_EQ(ReadCsv(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(StreamIoTest, CsvRejectsBadRecords) {
+  const std::string path = Track(TempPath("badrec.csv"));
+  {
+    std::ofstream f(path);
+    f << "# splg-csv m=8\n";
+    f << "x,1\n";
+  }
+  EXPECT_EQ(ReadCsv(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(StreamIoTest, CsvRejectsOutOfRangeId) {
+  const std::string path = Track(TempPath("badcsvid.csv"));
+  {
+    std::ofstream f(path);
+    f << "# splg-csv m=8\n";
+    f << "a,100\n";
+  }
+  EXPECT_EQ(ReadCsv(path).status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace sprofile

@@ -1,0 +1,44 @@
+#include "util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace sprofile {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 / standard CRC32C test vectors.
+  EXPECT_EQ(crc32c::Value("", 0), 0x00000000u);
+  const char* digits = "123456789";
+  EXPECT_EQ(crc32c::Value(digits, 9), 0xe3069283u);
+  std::string zeros(32, '\0');
+  EXPECT_EQ(crc32c::Value(zeros.data(), zeros.size()), 0x8a9136aau);
+}
+
+TEST(Crc32cTest, ExtendIsComposable) {
+  const char* data = "hello, sprofile";
+  const size_t n = std::strlen(data);
+  const uint32_t whole = crc32c::Value(data, n);
+  for (size_t split = 0; split <= n; ++split) {
+    uint32_t crc = crc32c::Extend(0, data, split);
+    crc = crc32c::Extend(crc, data + split, n - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DifferentInputsDiffer) {
+  EXPECT_NE(crc32c::Value("abc", 3), crc32c::Value("abd", 3));
+  EXPECT_NE(crc32c::Value("abc", 3), crc32c::Value("abc", 2));
+}
+
+TEST(Crc32cTest, MaskRoundTrips) {
+  for (uint32_t crc : {0u, 1u, 0xdeadbeefu, 0xffffffffu, 0xe3069283u}) {
+    EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
+    EXPECT_NE(crc32c::Mask(crc), crc);
+  }
+}
+
+}  // namespace
+}  // namespace sprofile

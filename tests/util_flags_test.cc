@@ -1,0 +1,147 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sprofile {
+namespace {
+
+/// Builds an argv array from string literals (argv[0] = program name).
+class ArgvFixture {
+ public:
+  explicit ArgvFixture(std::vector<std::string> args) : storage_(std::move(args)) {
+    storage_.insert(storage_.begin(), "prog");
+    for (std::string& s : storage_) argv_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(argv_.size()); }
+  char** argv() { return argv_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> argv_;
+};
+
+TEST(FlagParserTest, ParsesEqualsForm) {
+  FlagParser flags;
+  int64_t n = 0;
+  flags.AddInt64("n", &n, "count");
+  ArgvFixture args({"--n=123"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(n, 123);
+}
+
+TEST(FlagParserTest, ParsesSpaceForm) {
+  FlagParser flags;
+  int64_t n = 0;
+  flags.AddInt64("n", &n, "count");
+  ArgvFixture args({"--n", "456"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(n, 456);
+}
+
+TEST(FlagParserTest, ParsesNegativeInt64) {
+  FlagParser flags;
+  int64_t n = 0;
+  flags.AddInt64("n", &n, "count");
+  ArgvFixture args({"--n=-5"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(n, -5);
+}
+
+TEST(FlagParserTest, RejectsNegativeUint64) {
+  FlagParser flags;
+  uint64_t n = 0;
+  flags.AddUint64("n", &n, "count");
+  ArgvFixture args({"--n=-5"});
+  EXPECT_EQ(flags.Parse(args.argc(), args.argv()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, ParsesDouble) {
+  FlagParser flags;
+  double p = 0.0;
+  flags.AddDouble("p", &p, "probability");
+  ArgvFixture args({"--p=0.75"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_DOUBLE_EQ(p, 0.75);
+}
+
+TEST(FlagParserTest, BoolBareAndNegated) {
+  FlagParser flags;
+  bool verbose = false, color = true;
+  flags.AddBool("verbose", &verbose, "chatty");
+  flags.AddBool("color", &color, "ansi");
+  ArgvFixture args({"--verbose", "--no-color"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(verbose);
+  EXPECT_FALSE(color);
+}
+
+TEST(FlagParserTest, BoolExplicitValues) {
+  FlagParser flags;
+  bool a = false, b = true;
+  flags.AddBool("a", &a, "");
+  flags.AddBool("b", &b, "");
+  ArgvFixture args({"--a=true", "--b=false"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(a);
+  EXPECT_FALSE(b);
+}
+
+TEST(FlagParserTest, StringFlag) {
+  FlagParser flags;
+  std::string path = "default";
+  flags.AddString("out", &path, "output path");
+  ArgvFixture args({"--out=/tmp/x.bin"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(path, "/tmp/x.bin");
+}
+
+TEST(FlagParserTest, UnknownFlagIsError) {
+  FlagParser flags;
+  ArgvFixture args({"--mystery=1"});
+  EXPECT_EQ(flags.Parse(args.argc(), args.argv()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, MalformedIntegerIsError) {
+  FlagParser flags;
+  int64_t n = 0;
+  flags.AddInt64("n", &n, "");
+  ArgvFixture args({"--n=12x"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagParserTest, MissingValueIsError) {
+  FlagParser flags;
+  int64_t n = 0;
+  flags.AddInt64("n", &n, "");
+  ArgvFixture args({"--n"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagParserTest, CollectsPositionalArguments) {
+  FlagParser flags;
+  int64_t n = 0;
+  flags.AddInt64("n", &n, "");
+  ArgvFixture args({"input.bin", "--n=3", "output.bin"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.bin");
+  EXPECT_EQ(flags.positional()[1], "output.bin");
+}
+
+TEST(FlagParserTest, UsageListsFlagsAndDefaults) {
+  FlagParser flags;
+  int64_t n = 42;
+  flags.AddInt64("n", &n, "number of events");
+  const std::string usage = flags.Usage("prog");
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("42"), std::string::npos);
+  EXPECT_NE(usage.find("number of events"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sprofile

@@ -1,0 +1,108 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace sprofile {
+namespace {
+
+TEST(SplitMix64Test, MatchesReferenceSequence) {
+  // Reference values from the public-domain splitmix64.c with seed 0.
+  uint64_t state = 0;
+  EXPECT_EQ(SplitMix64(&state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(SplitMix64(&state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(SplitMix64(&state), 0x06c45d188009454fULL);
+}
+
+TEST(SplitMix64Test, Mix64IsStateless) {
+  EXPECT_EQ(Mix64(123), Mix64(123));
+  EXPECT_NE(Mix64(123), Mix64(124));
+}
+
+TEST(XoshiroTest, DeterministicForFixedSeed) {
+  Xoshiro256PlusPlus a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(XoshiroTest, DifferentSeedsDiverge) {
+  Xoshiro256PlusPlus a(1), b(2);
+  int agree = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++agree;
+  }
+  EXPECT_LT(agree, 2);
+}
+
+TEST(XoshiroTest, ReseedReproduces) {
+  Xoshiro256PlusPlus rng(99);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(rng.Next());
+  rng.Seed(99);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.Next(), first[i]);
+}
+
+TEST(XoshiroTest, NextBoundedStaysInRange) {
+  Xoshiro256PlusPlus rng(5);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(XoshiroTest, NextBoundedOneAlwaysZero) {
+  Xoshiro256PlusPlus rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(XoshiroTest, NextBoundedIsRoughlyUniform) {
+  Xoshiro256PlusPlus rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kSamples; ++i) counts[rng.NextBounded(kBuckets)] += 1;
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, expected * 0.1) << "bucket " << b;
+  }
+}
+
+TEST(XoshiroTest, NextDoubleInUnitInterval) {
+  Xoshiro256PlusPlus rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(XoshiroTest, GaussianMomentsMatchStandardNormal) {
+  Xoshiro256PlusPlus rng(17);
+  constexpr int kSamples = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / kSamples;
+  const double variance = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(variance, 1.0, 0.03);
+}
+
+TEST(XoshiroTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256PlusPlus::min() == 0);
+  static_assert(Xoshiro256PlusPlus::max() == ~0ULL);
+  Xoshiro256PlusPlus rng(3);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace sprofile

@@ -1,0 +1,93 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace sprofile {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad m");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad m");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad m");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::CapacityExhausted("x").code(), StatusCode::kCapacityExhausted);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("k"), Status::NotFound("k"));
+  EXPECT_FALSE(Status::NotFound("k") == Status::NotFound("j"));
+  EXPECT_FALSE(Status::NotFound("k") == Status::IOError("k"));
+}
+
+TEST(StatusTest, CodeToStringCoversEveryCode) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrPassesThroughOnSuccess) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r.value_or("fallback"), "hello");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+Status Halve(int x, int* out) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  *out = x / 2;
+  return Status::OK();
+}
+
+Status HalveTwice(int x, int* out) {
+  int mid = 0;
+  SPROFILE_RETURN_NOT_OK(Halve(x, &mid));
+  SPROFILE_RETURN_NOT_OK(Halve(mid, out));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkMacroPropagates) {
+  int out = 0;
+  EXPECT_TRUE(HalveTwice(8, &out).ok());
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(HalveTwice(6, &out).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sprofile

@@ -1,0 +1,87 @@
+// Cross-validation between the two window implementations: with unit
+// timestamps (t = 1, 2, 3, ...) a time window of horizon W holds exactly
+// the last W events, so it must agree with the count-based window
+// event-for-event. Also sweeps exact profile quantiles against a sorted
+// oracle inside the windows.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/frequency_profile.h"
+#include "stream/log_stream.h"
+#include "window/sliding_window.h"
+#include "window/time_window.h"
+
+namespace sprofile {
+namespace window {
+namespace {
+
+TEST(WindowEquivalenceTest, UnitTimestampsMatchCountWindow) {
+  constexpr uint32_t kM = 24;
+  constexpr size_t kW = 64;
+  SlidingWindowProfiler<FrequencyProfile> count_w(FrequencyProfile(kM), kW);
+  TimeWindowProfiler<FrequencyProfile> time_w(FrequencyProfile(kM), kW);
+
+  stream::LogStreamGenerator gen(stream::MakePaperStreamConfig(1, kM, 77));
+  for (int64_t t = 1; t <= 3000; ++t) {
+    const auto e = gen.Next();
+    count_w.Feed(e);
+    ASSERT_TRUE(time_w.Feed({t, e.id, e.is_add}).ok());
+    ASSERT_EQ(count_w.size(), time_w.size()) << "t=" << t;
+    for (uint32_t id = 0; id < kM; ++id) {
+      ASSERT_EQ(count_w.profiler().Frequency(id), time_w.profiler().Frequency(id))
+          << "t=" << t << " id=" << id;
+    }
+  }
+}
+
+class WindowQuantileSweepTest : public testing::TestWithParam<double> {};
+
+TEST_P(WindowQuantileSweepTest, ProfileQuantileMatchesSortedOracle) {
+  const double q = GetParam();
+  constexpr uint32_t kM = 40;
+  SlidingWindowProfiler<FrequencyProfile> w(FrequencyProfile(kM), 150);
+  stream::LogStreamGenerator gen(stream::MakePaperStreamConfig(2, kM, 5));
+  for (int i = 0; i < 2000; ++i) {
+    w.Feed(gen.Next());
+    if (i % 100 != 0) continue;
+    std::vector<int64_t> freqs = w.profiler().ToFrequencies();
+    std::sort(freqs.begin(), freqs.end());
+    const size_t rank = static_cast<size_t>(q * (freqs.size() - 1));
+    ASSERT_EQ(w.profiler().Quantile(q).frequency, freqs[rank])
+        << "event " << i << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, WindowQuantileSweepTest,
+                         testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99,
+                                         1.0),
+                         [](const testing::TestParamInfo<double>& info) {
+                           return "q" + std::to_string(
+                                            static_cast<int>(info.param * 100));
+                         });
+
+TEST(WindowEquivalenceTest, TimeWindowWithGapsDivergesFromCountWindow) {
+  // Sanity for the *difference*: with bursty timestamps the two windows
+  // legitimately disagree — the time window drops whole bursts at once.
+  constexpr uint32_t kM = 8;
+  SlidingWindowProfiler<FrequencyProfile> count_w(FrequencyProfile(kM), 4);
+  TimeWindowProfiler<FrequencyProfile> time_w(FrequencyProfile(kM), 4);
+  // Four events at t=1..4, then a jump to t=100.
+  for (int64_t t = 1; t <= 4; ++t) {
+    count_w.Feed({0, true});
+    ASSERT_TRUE(time_w.Feed({t, 0, true}).ok());
+  }
+  count_w.Feed({1, true});
+  ASSERT_TRUE(time_w.Feed({100, 1, true}).ok());
+  // Count window: still 3 adds of object 0 inside. Time window: none.
+  EXPECT_EQ(count_w.profiler().Frequency(0), 3);
+  EXPECT_EQ(time_w.profiler().Frequency(0), 0);
+  EXPECT_EQ(time_w.profiler().Frequency(1), 1);
+}
+
+}  // namespace
+}  // namespace window
+}  // namespace sprofile

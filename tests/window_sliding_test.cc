@@ -1,0 +1,115 @@
+#include "window/sliding_window.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <vector>
+
+#include "baselines/addressable_heap.h"
+#include "baselines/naive_profiler.h"
+#include "core/frequency_profile.h"
+#include "stream/log_stream.h"
+
+namespace sprofile {
+namespace window {
+namespace {
+
+using stream::LogTuple;
+
+TEST(SlidingWindowTest, WarmupPhaseAppliesEverything) {
+  SlidingWindowProfiler<FrequencyProfile> w(FrequencyProfile(4), 10);
+  w.Feed({1, true});
+  w.Feed({1, true});
+  w.Feed({2, true});
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_FALSE(w.warmed_up());
+  EXPECT_EQ(w.profiler().Frequency(1), 2);
+  EXPECT_EQ(w.profiler().Frequency(2), 1);
+}
+
+TEST(SlidingWindowTest, EvictionAppliesOppositeAction) {
+  SlidingWindowProfiler<FrequencyProfile> w(FrequencyProfile(4), 2);
+  w.Feed({0, true});
+  w.Feed({1, true});
+  EXPECT_TRUE(w.warmed_up());
+  // Third event evicts the add of 0 -> its frequency returns to 0.
+  w.Feed({2, true});
+  EXPECT_EQ(w.profiler().Frequency(0), 0);
+  EXPECT_EQ(w.profiler().Frequency(1), 1);
+  EXPECT_EQ(w.profiler().Frequency(2), 1);
+}
+
+TEST(SlidingWindowTest, EvictedRemoveReAdds) {
+  SlidingWindowProfiler<FrequencyProfile> w(FrequencyProfile(4), 1);
+  w.Feed({3, false});  // freq(3) = -1
+  EXPECT_EQ(w.profiler().Frequency(3), -1);
+  w.Feed({2, true});  // evicts the remove of 3: +1 cancels it
+  EXPECT_EQ(w.profiler().Frequency(3), 0);
+  EXPECT_EQ(w.profiler().Frequency(2), 1);
+}
+
+TEST(SlidingWindowTest, WindowOfOneTracksOnlyLastEvent) {
+  SlidingWindowProfiler<FrequencyProfile> w(FrequencyProfile(8), 1);
+  for (uint32_t id = 0; id < 8; ++id) {
+    w.Feed({id, true});
+    for (uint32_t other = 0; other < 8; ++other) {
+      EXPECT_EQ(w.profiler().Frequency(other), other == id ? 1 : 0);
+    }
+  }
+}
+
+TEST(SlidingWindowTest, MatchesBruteForceRecomputation) {
+  constexpr uint32_t kM = 32;
+  constexpr size_t kW = 100;
+  stream::LogStreamGenerator gen(stream::MakePaperStreamConfig(1, kM, 55));
+
+  SlidingWindowProfiler<FrequencyProfile> w(FrequencyProfile(kM), kW);
+  std::deque<LogTuple> window_contents;
+
+  for (int i = 0; i < 5000; ++i) {
+    const LogTuple t = gen.Next();
+    w.Feed(t);
+    window_contents.push_back(t);
+    if (window_contents.size() > kW) window_contents.pop_front();
+
+    if (i % 250 == 0 || i == 4999) {
+      baselines::NaiveProfiler oracle(kM);
+      for (const LogTuple& e : window_contents) oracle.Apply(e.id, e.is_add);
+      ASSERT_TRUE(w.profiler().Validate().ok());
+      for (uint32_t id = 0; id < kM; ++id) {
+        ASSERT_EQ(w.profiler().Frequency(id), oracle.Frequency(id))
+            << "event " << i << " id " << id;
+      }
+      ASSERT_EQ(w.profiler().Mode().frequency, oracle.ModeFrequency());
+      ASSERT_EQ(w.profiler().MedianEntry().frequency, oracle.MedianFrequency());
+    }
+  }
+}
+
+TEST(SlidingWindowTest, WorksWithHeapProfilerToo) {
+  // The window adapter is generic; drive the paper's heap baseline with it.
+  SlidingWindowProfiler<baselines::MaxHeapProfiler> w(
+      baselines::MaxHeapProfiler(8), 3);
+  w.Feed({1, true});
+  w.Feed({1, true});
+  w.Feed({1, true});
+  EXPECT_EQ(w.profiler().Top().frequency, 3);
+  w.Feed({2, true});  // evicts one add of 1
+  EXPECT_EQ(w.profiler().Top().frequency, 2);
+}
+
+TEST(SlidingWindowTest, SteadyStateSizeConstant) {
+  SlidingWindowProfiler<FrequencyProfile> w(FrequencyProfile(16), 64);
+  stream::LogStreamGenerator gen(stream::MakePaperStreamConfig(2, 16, 5));
+  for (int i = 0; i < 1000; ++i) w.Feed(gen.Next());
+  EXPECT_EQ(w.size(), 64u);
+  EXPECT_EQ(w.window_capacity(), 64u);
+  // Total count within the window is bounded by the window size.
+  EXPECT_LE(std::abs(w.profiler().total_count()), 64);
+}
+
+}  // namespace
+}  // namespace window
+}  // namespace sprofile

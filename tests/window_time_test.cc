@@ -1,0 +1,152 @@
+#include "window/time_window.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <deque>
+
+#include "baselines/naive_profiler.h"
+#include "core/frequency_profile.h"
+#include "util/random.h"
+#include "window/exponential_histogram.h"
+
+namespace sprofile {
+namespace window {
+namespace {
+
+using Profiler = FrequencyProfile;
+
+TEST(TimeWindowTest, KeepsEventsWithinHorizon) {
+  TimeWindowProfiler<Profiler> w(Profiler(4), /*horizon=*/10);
+  ASSERT_TRUE(w.Feed({0, 1, true}).ok());
+  ASSERT_TRUE(w.Feed({5, 1, true}).ok());
+  EXPECT_EQ(w.profiler().Frequency(1), 2);
+  // t=11: the t=0 event (11 - 10 = 1 > 0) expires; t=5 stays.
+  ASSERT_TRUE(w.Feed({11, 2, true}).ok());
+  EXPECT_EQ(w.profiler().Frequency(1), 1);
+  EXPECT_EQ(w.profiler().Frequency(2), 1);
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(TimeWindowTest, RejectsTimeTravel) {
+  TimeWindowProfiler<Profiler> w(Profiler(4), 10);
+  ASSERT_TRUE(w.Feed({100, 0, true}).ok());
+  EXPECT_EQ(w.Feed({99, 0, true}).code(), StatusCode::kInvalidArgument);
+  // Equal timestamps are fine (burst of events in one tick).
+  EXPECT_TRUE(w.Feed({100, 1, true}).ok());
+}
+
+TEST(TimeWindowTest, AdvanceToEvictsWithoutNewEvents) {
+  TimeWindowProfiler<Profiler> w(Profiler(4), 10);
+  ASSERT_TRUE(w.Feed({0, 3, true}).ok());
+  EXPECT_EQ(w.profiler().Frequency(3), 1);
+  w.AdvanceTo(100);
+  EXPECT_EQ(w.profiler().Frequency(3), 0);
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_EQ(w.now(), 100);
+}
+
+TEST(TimeWindowTest, AdvanceBackwardsIsNoOp) {
+  TimeWindowProfiler<Profiler> w(Profiler(2), 10);
+  ASSERT_TRUE(w.Feed({50, 0, true}).ok());
+  w.AdvanceTo(20);  // ignored
+  EXPECT_EQ(w.profiler().Frequency(0), 1);
+}
+
+TEST(TimeWindowTest, RemoveEventsEvictAsReAdds) {
+  TimeWindowProfiler<Profiler> w(Profiler(4), 5);
+  ASSERT_TRUE(w.Feed({0, 2, false}).ok());  // windowed frequency -1
+  EXPECT_EQ(w.profiler().Frequency(2), -1);
+  w.AdvanceTo(50);
+  EXPECT_EQ(w.profiler().Frequency(2), 0) << "expiring a remove re-adds";
+}
+
+TEST(TimeWindowTest, BurstExpiryMatchesBruteForce) {
+  constexpr uint32_t kM = 16;
+  constexpr int64_t kHorizon = 100;
+  TimeWindowProfiler<Profiler> w(Profiler(kM), kHorizon);
+  std::deque<TimedTuple> contents;
+  Xoshiro256PlusPlus rng(99);
+  int64_t clock = 0;
+  for (int i = 0; i < 5000; ++i) {
+    // Irregular arrivals including long gaps (burst expiry).
+    clock += static_cast<int64_t>(rng.NextBounded(20));
+    const TimedTuple t{clock, static_cast<uint32_t>(rng.NextBounded(kM)),
+                       rng.NextDouble() < 0.7};
+    ASSERT_TRUE(w.Feed(t).ok());
+    contents.push_back(t);
+    while (!contents.empty() && contents.front().timestamp <= clock - kHorizon) {
+      contents.pop_front();
+    }
+    if (i % 200 == 0) {
+      baselines::NaiveProfiler oracle(kM);
+      for (const TimedTuple& e : contents) oracle.Apply(e.id, e.is_add);
+      ASSERT_TRUE(w.profiler().Validate().ok());
+      ASSERT_EQ(w.size(), contents.size());
+      for (uint32_t id = 0; id < kM; ++id) {
+        ASSERT_EQ(w.profiler().Frequency(id), oracle.Frequency(id))
+            << "step " << i << " id " << id;
+      }
+    }
+  }
+}
+
+TEST(ExponentialHistogramTest, ExactWhileBucketsAreSmall) {
+  ExponentialHistogram eh(/*horizon=*/1000, /*epsilon=*/0.5);
+  for (int64_t t = 0; t < 10; ++t) eh.Add(t);
+  // All events within horizon; estimate within the EH guarantee of 10.
+  const uint64_t est = eh.Estimate(10);
+  EXPECT_GE(est, 7u);
+  EXPECT_LE(est, 10u);
+}
+
+TEST(ExponentialHistogramTest, ExpiryDropsOldBuckets) {
+  ExponentialHistogram eh(100, 0.2);
+  for (int64_t t = 0; t < 50; ++t) eh.Add(t);
+  EXPECT_GT(eh.Estimate(50), 0u);
+  EXPECT_EQ(eh.Estimate(1000), 0u) << "everything expired";
+  EXPECT_EQ(eh.num_buckets(), 0u);
+}
+
+TEST(ExponentialHistogramTest, RelativeErrorBoundHolds) {
+  constexpr double kEps = 0.1;
+  constexpr int64_t kHorizon = 1000;
+  ExponentialHistogram eh(kHorizon, kEps);
+  std::deque<int64_t> truth;
+  Xoshiro256PlusPlus rng(7);
+  int64_t clock = 0;
+  for (int i = 0; i < 20000; ++i) {
+    clock += static_cast<int64_t>(rng.NextBounded(3));
+    eh.Add(clock);
+    truth.push_back(clock);
+    while (!truth.empty() && truth.front() <= clock - kHorizon) truth.pop_front();
+    if (i % 500 == 0 && !truth.empty()) {
+      const double exact = static_cast<double>(truth.size());
+      const double est = static_cast<double>(eh.Estimate(clock));
+      ASSERT_LE(std::abs(est - exact), kEps * exact + 1.0)
+          << "step " << i << " exact=" << exact << " est=" << est;
+    }
+  }
+}
+
+TEST(ExponentialHistogramTest, MemoryIsLogarithmic) {
+  ExponentialHistogram eh(1 << 20, 0.1);
+  for (int64_t t = 0; t < 100000; ++t) eh.Add(t);
+  // 100k events, yet only O(log(n)/eps) buckets.
+  EXPECT_LT(eh.num_buckets(), 200u);
+}
+
+TEST(ExponentialHistogramTest, UpperBoundNeverBelowTruth) {
+  ExponentialHistogram eh(500, 0.25);
+  std::deque<int64_t> truth;
+  for (int64_t t = 0; t < 3000; t += 2) {
+    eh.Add(t);
+    truth.push_back(t);
+    while (!truth.empty() && truth.front() <= t - 500) truth.pop_front();
+    ASSERT_GE(eh.UpperBound(t), truth.size()) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace window
+}  // namespace sprofile

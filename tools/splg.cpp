@@ -1,0 +1,225 @@
+// splg — command-line companion for SPLG log-stream files.
+//
+// Subcommands:
+//   generate  synthesize a stream (paper presets or custom Zipf) to a file
+//   info      print header metadata and integrity status of a file
+//   stats     replay a file through S-Profile and report the statistics
+//   convert   binary <-> CSV
+//
+// Examples:
+//   splg generate --out=s1.splg --stream=1 --m=100000 --n=1000000 --seed=7
+//   splg info s1.splg
+//   splg stats s1.splg --topk=10
+//   splg convert s1.splg s1.csv
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/frequency_profile.h"
+#include "stream/log_stream.h"
+#include "stream/stream_io.h"
+#include "util/flags.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using sprofile::FlagParser;
+using sprofile::Status;
+using sprofile::stream::StoredStream;
+
+bool HasSuffix(const std::string& s, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+sprofile::Result<StoredStream> ReadAny(const std::string& path) {
+  if (HasSuffix(path, ".csv")) return sprofile::stream::ReadCsv(path);
+  return sprofile::stream::ReadBinary(path);
+}
+
+Status WriteAny(const StoredStream& s, const std::string& path) {
+  if (HasSuffix(path, ".csv")) return sprofile::stream::WriteCsv(s, path);
+  return sprofile::stream::WriteBinary(s, path);
+}
+
+int CmdGenerate(int argc, char** argv) {
+  std::string out;
+  int64_t which = 1;
+  int64_t m = 100000;
+  int64_t n = 1000000;
+  int64_t seed = 42;
+  double zipf_s = 0.0;
+  bool consistent = false;
+  FlagParser flags;
+  flags.AddString("out", &out, "output path (.splg binary or .csv)");
+  flags.AddInt64("stream", &which, "paper preset: 1, 2 or 3");
+  flags.AddInt64("m", &m, "id-space size");
+  flags.AddInt64("n", &n, "number of events");
+  flags.AddInt64("seed", &seed, "generator seed");
+  flags.AddDouble("zipf", &zipf_s, "use Zipf(s) posPDF/negPDF instead of a preset");
+  flags.AddBool("consistent", &consistent,
+                "multiset-consistent removals (never remove an absent object)");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
+                 flags.Usage("splg generate").c_str());
+    return 1;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "--out is required\n");
+    return 1;
+  }
+
+  auto policy = consistent ? sprofile::stream::RemovalPolicy::kMultisetConsistent
+                           : sprofile::stream::RemovalPolicy::kUnchecked;
+  sprofile::stream::StreamConfig config;
+  if (zipf_s > 0.0) {
+    config.num_objects = static_cast<uint32_t>(m);
+    config.removal_policy = policy;
+    config.seed = static_cast<uint64_t>(seed);
+    config.positive = std::make_shared<sprofile::stream::ZipfIdDistribution>(
+        static_cast<uint32_t>(m), zipf_s);
+    config.negative = config.positive;
+  } else {
+    config = sprofile::stream::MakePaperStreamConfig(
+        static_cast<int>(which), static_cast<uint32_t>(m),
+        static_cast<uint64_t>(seed), policy);
+  }
+
+  sprofile::stream::LogStreamGenerator gen(config);
+  StoredStream stored;
+  stored.num_objects = static_cast<uint32_t>(m);
+  stored.tuples = gen.Take(static_cast<uint64_t>(n));
+  if (Status s = WriteAny(stored, out); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu events (m=%lld) to %s\n", stored.tuples.size(),
+              static_cast<long long>(m), out.c_str());
+  return 0;
+}
+
+int CmdInfo(int argc, char** argv) {
+  FlagParser flags;
+  if (Status s = flags.Parse(argc, argv); !s.ok() || flags.positional().empty()) {
+    std::fprintf(stderr, "usage: splg info <file>\n");
+    return 1;
+  }
+  const std::string& path = flags.positional()[0];
+  auto stream = ReadAny(path);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
+    return 1;
+  }
+  const StoredStream& s = stream.value();
+  uint64_t adds = 0;
+  for (const auto& t : s.tuples) {
+    if (t.is_add) ++adds;
+  }
+  std::printf("file:        %s\n", path.c_str());
+  std::printf("id space m:  %u\n", s.num_objects);
+  std::printf("events:      %zu (%llu adds, %llu removes)\n", s.tuples.size(),
+              static_cast<unsigned long long>(adds),
+              static_cast<unsigned long long>(s.tuples.size() - adds));
+  std::printf("integrity:   checksum OK\n");
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  int64_t topk = 5;
+  FlagParser flags;
+  flags.AddInt64("topk", &topk, "how many top entries to print");
+  if (Status s = flags.Parse(argc, argv); !s.ok() || flags.positional().empty()) {
+    std::fprintf(stderr, "usage: splg stats <file> [--topk=K]\n");
+    return 1;
+  }
+  auto stream = ReadAny(flags.positional()[0]);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
+    return 1;
+  }
+  const StoredStream& s = stream.value();
+
+  sprofile::WallTimer timer;
+  sprofile::FrequencyProfile profile(s.num_objects);
+  for (const auto& t : s.tuples) profile.Apply(t.id, t.is_add);
+  const double replay_s = timer.ElapsedSeconds();
+
+  std::printf("replayed %zu events in %s (%.1f ns/event)\n\n", s.tuples.size(),
+              sprofile::HumanSeconds(replay_s).c_str(),
+              s.tuples.empty() ? 0.0 : 1e9 * replay_s / s.tuples.size());
+
+  const auto mode = profile.Mode();
+  std::printf("mode:    frequency %lld (%u object(s) tied)\n",
+              static_cast<long long>(mode.frequency), mode.count());
+  std::printf("min:     frequency %lld\n",
+              static_cast<long long>(profile.MinFrequent().frequency));
+  std::printf("median:  %lld    p90: %lld    p99: %lld\n",
+              static_cast<long long>(profile.MedianEntry().frequency),
+              static_cast<long long>(profile.Quantile(0.9).frequency),
+              static_cast<long long>(profile.Quantile(0.99).frequency));
+  std::printf("objects with positive frequency: %u of %u\n",
+              profile.CountAtLeast(1), profile.capacity());
+
+  sprofile::TablePrinter table({"rank", "object", "frequency"});
+  std::vector<sprofile::FrequencyEntry> top;
+  profile.TopK(static_cast<uint32_t>(topk), &top);
+  for (size_t i = 0; i < top.size(); ++i) {
+    table.AddRow({std::to_string(i + 1), std::to_string(top[i].id),
+                  std::to_string(top[i].frequency)});
+  }
+  std::printf("\n%s", table.ToString().c_str());
+  return 0;
+}
+
+int CmdConvert(int argc, char** argv) {
+  FlagParser flags;
+  if (Status s = flags.Parse(argc, argv); !s.ok() || flags.positional().size() != 2) {
+    std::fprintf(stderr, "usage: splg convert <in> <out>   (.splg or .csv)\n");
+    return 1;
+  }
+  auto stream = ReadAny(flags.positional()[0]);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = WriteAny(stream.value(), flags.positional()[1]); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("converted %zu events: %s -> %s\n", stream.value().tuples.size(),
+              flags.positional()[0].c_str(), flags.positional()[1].c_str());
+  return 0;
+}
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "splg — log-stream toolkit\n"
+               "  splg generate --out=FILE [--stream=1|2|3] [--m=M] [--n=N]\n"
+               "                [--seed=S] [--zipf=EXP] [--consistent]\n"
+               "  splg info FILE\n"
+               "  splg stats FILE [--topk=K]\n"
+               "  splg convert IN OUT\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  // Shift argv so each subcommand parses only its own arguments.
+  int sub_argc = argc - 1;
+  char** sub_argv = argv + 1;
+  if (cmd == "generate") return CmdGenerate(sub_argc, sub_argv);
+  if (cmd == "info") return CmdInfo(sub_argc, sub_argv);
+  if (cmd == "stats") return CmdStats(sub_argc, sub_argv);
+  if (cmd == "convert") return CmdConvert(sub_argc, sub_argv);
+  PrintUsage();
+  return 1;
+}
