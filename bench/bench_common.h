@@ -16,12 +16,14 @@
 #ifndef SPROFILE_BENCH_BENCH_COMMON_H_
 #define SPROFILE_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "sprofile/event.h"
 #include "stream/log_stream.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -84,6 +86,34 @@ double ReplaySeconds(const stream::StreamConfig& config, uint64_t n,
     const stream::LogTuple t = gen.Next();
     profiler->Apply(t.id, t.is_add);
     acc += query(*profiler);
+  }
+  Sink(acc);
+  return timer.ElapsedSeconds();
+}
+
+/// Replays n tuples in ApplyBatch chunks of `batch_size`, invoking
+/// `query(profiler)` once per batch (the serving regime: ingestion batched,
+/// statistics read between batches). Works with any facade adapter or
+/// backend exposing ApplyBatch(std::span<const Event>). Returns wall
+/// seconds for generation + replay, like ReplaySeconds; subtract the
+/// generation-only baseline for net update cost.
+template <typename Profiler, typename QueryFn>
+double ReplayBatchSeconds(const stream::StreamConfig& config, uint64_t n,
+                          uint64_t batch_size, Profiler* profiler,
+                          QueryFn query) {
+  stream::LogStreamGenerator gen(config);
+  WallTimer timer;
+  int64_t acc = 0;
+  std::vector<Event> batch;
+  batch.reserve(batch_size);
+  uint64_t remaining = n;
+  while (remaining > 0) {
+    const uint64_t take = std::min(batch_size, remaining);
+    batch.clear();
+    gen.GenerateEvents(take, &batch);
+    profiler->ApplyBatch(batch);
+    acc += query(*profiler);
+    remaining -= take;
   }
   Sink(acc);
   return timer.ElapsedSeconds();

@@ -1,26 +1,31 @@
-// Quickstart: profile a log stream and query mode / top-K / median.
+// Quickstart: profile a log stream through the unified sprofile:: API —
+// batch ingestion, O(1) statistics, and the checked serving tier.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
+//   cmake -B build && cmake --build build -j
 //   ./build/examples/quickstart
+//
+// See docs/API.md for the full facade tour.
 
 #include <cstdio>
 
-#include "core/frequency_profile.h"
+#include "sprofile/sprofile.h"
 #include "stream/log_stream.h"
 
 int main() {
   // A profile over m = 8 objects, everything starting at frequency 0.
   sprofile::FrequencyProfile profile(8);
 
-  // Feed some log events: (object, add/remove). Each update is O(1).
+  // Feed log events. Single updates are O(1); a batch coalesces per-id
+  // deltas before touching the structure.
   profile.Add(3);
-  profile.Add(3);
-  profile.Add(3);
-  profile.Add(5);
-  profile.Add(5);
-  profile.Add(1);
-  profile.Remove(7);  // removals may drive frequencies negative (paper §2.2)
+  profile.ApplyBatch(std::vector<sprofile::Event>{
+      {3, +2},                     // two more likes for object 3
+      sprofile::Event::Add(5),
+      sprofile::Event::Add(5),
+      sprofile::Event::Add(1),
+      sprofile::Event::Remove(7),  // may drive frequencies negative (§2.2)
+  });
 
   // Mode: all objects tied at the maximum frequency, O(1).
   const sprofile::GroupView mode = profile.Mode();
@@ -47,14 +52,27 @@ int main() {
   }
   std::printf("\n");
 
-  // Replaying one of the paper's synthetic streams end to end.
+  // The checked tier: same structure, errors instead of asserts — what a
+  // serving edge exposes to untrusted requests.
+  sprofile::CheckedProfile checked(8);
+  if (sprofile::Status s = checked.TryAdd(99); !s.ok()) {
+    std::printf("checked tier rejected bad id: %s\n", s.ToString().c_str());
+  }
+  if (const auto q = checked.TryQuantile(2.5); !q.ok()) {
+    std::printf("checked tier rejected bad quantile: %s\n",
+                q.status().ToString().c_str());
+  }
+
+  // Replaying one of the paper's synthetic streams batch-wise end to end.
   constexpr uint32_t kM = 1000;
   sprofile::FrequencyProfile big(kM);
   sprofile::stream::LogStreamGenerator gen(
       sprofile::stream::MakePaperStreamConfig(/*which=*/2, kM, /*seed=*/42));
-  for (int i = 0; i < 100000; ++i) {
-    const sprofile::stream::LogTuple t = gen.Next();
-    big.Apply(t.id, t.is_add);
+  std::vector<sprofile::Event> batch;
+  for (int i = 0; i < 100; ++i) {
+    batch.clear();
+    gen.GenerateEvents(1000, &batch);
+    big.ApplyBatch(batch);
   }
   std::printf("after 100k stream2 events over m=%u: mode=%lld ties=%u "
               "median=%lld blocks=%zu\n",

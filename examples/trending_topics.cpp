@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "core/keyed_profile.h"
+#include "sprofile/sprofile.h"
 #include "util/flags.h"
 #include "util/random.h"
 
@@ -47,10 +47,18 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  sprofile::KeyedProfileOptions opts;
-  opts.initial_capacity = static_cast<uint32_t>(num_topics);
-  opts.create_on_remove = true;  // an unlike may reach us before the like
-  sprofile::KeyedProfile<std::string> trends(opts);
+  // Facade construction: validated options, one surface for every backend.
+  // kAllow == the paper's semantics: an unlike may reach us before the like.
+  auto trends_or = sprofile::MakeKeyedProfile<std::string>(
+      sprofile::ProfilerOptions()
+          .SetInitialCapacity(static_cast<uint32_t>(num_topics))
+          .SetNegativeFrequencyPolicy(
+              sprofile::NegativeFrequencyPolicy::kAllow));
+  if (!trends_or.ok()) {
+    std::fprintf(stderr, "%s\n", trends_or.status().ToString().c_str());
+    return 1;
+  }
+  sprofile::KeyedProfile<std::string>& trends = *trends_or;
 
   sprofile::Xoshiro256PlusPlus rng(7);
   std::vector<Topic> topics;

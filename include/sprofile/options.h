@@ -1,0 +1,124 @@
+// ProfilerOptions — one builder-style configuration surface for every
+// sprofile:: construction path.
+//
+// The seed grew configuration ad hoc: KeyedProfile took a
+// KeyedProfileOptions struct, FrequencyProfile a bare constructor argument,
+// and the negative-frequency policy hid behind a bool named after its
+// implementation (`create_on_remove`). This header unifies them; the
+// Make* factories validate before constructing and return StatusOr, so a
+// bad configuration is an error value, not a crash or a silently odd
+// profile.
+
+#ifndef SPROFILE_SPROFILE_OPTIONS_H_
+#define SPROFILE_SPROFILE_OPTIONS_H_
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "core/frequency_profile.h"
+#include "core/keyed_profile.h"
+#include "sprofile/checked.h"
+#include "util/status.h"
+
+namespace sprofile {
+
+/// What a Remove of an unseen key (or an already-zero object) means.
+enum class NegativeFrequencyPolicy {
+  /// The paper's §2.2 semantics: frequencies may go negative; removing an
+  /// unseen key creates it at -1.
+  kAllow,
+  /// A keyed Remove of an unseen key fails with NotFound instead.
+  kRejectUnseen,
+};
+
+/// Builder for profile construction. All setters return *this, so
+/// configuration chains:
+///
+///   auto profile = MakeCheckedProfile(
+///       ProfilerOptions().SetInitialCapacity(1 << 20));
+class ProfilerOptions {
+ public:
+  /// Object slots for dense profiles; pre-sized key budget for keyed ones.
+  ProfilerOptions& SetInitialCapacity(uint32_t n) {
+    initial_capacity_ = n;
+    return *this;
+  }
+
+  /// Keyed profiles only: recycle the dense id of a key whose frequency
+  /// returns to 0, bounding memory by keys *currently present*.
+  ProfilerOptions& SetReleaseZeroKeys(bool on) {
+    release_zero_keys_ = on;
+    return *this;
+  }
+
+  ProfilerOptions& SetNegativeFrequencyPolicy(NegativeFrequencyPolicy p) {
+    negative_frequency_policy_ = p;
+    return *this;
+  }
+
+  uint32_t initial_capacity() const { return initial_capacity_; }
+  bool release_zero_keys() const { return release_zero_keys_; }
+  NegativeFrequencyPolicy negative_frequency_policy() const {
+    return negative_frequency_policy_;
+  }
+
+  /// Field consistency. The id space must leave headroom for InsertSlot
+  /// (ids are uint32, and growth assigns id == old capacity).
+  Status Validate() const {
+    if (initial_capacity_ == std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument(
+          "initial_capacity must be < 2^32 - 1 to leave id headroom for "
+          "InsertSlot growth");
+    }
+    if (release_zero_keys_ &&
+        negative_frequency_policy_ == NegativeFrequencyPolicy::kAllow) {
+      return Status::InvalidArgument(
+          "release_zero_keys requires NegativeFrequencyPolicy::kRejectUnseen: "
+          "keys driven negative are never released, defeating the "
+          "bounded-by-present-keys memory contract");
+    }
+    return Status::OK();
+  }
+
+  /// The keyed backend's native option struct.
+  KeyedProfileOptions ToKeyedOptions() const {
+    KeyedProfileOptions o;
+    o.initial_capacity = initial_capacity_;
+    o.release_zero_keys = release_zero_keys_;
+    o.create_on_remove =
+        negative_frequency_policy_ == NegativeFrequencyPolicy::kAllow;
+    return o;
+  }
+
+ private:
+  uint32_t initial_capacity_ = 0;
+  bool release_zero_keys_ = false;
+  NegativeFrequencyPolicy negative_frequency_policy_ =
+      NegativeFrequencyPolicy::kAllow;
+};
+
+/// Dense unchecked profile over [0, initial_capacity).
+inline StatusOr<FrequencyProfile> MakeProfile(const ProfilerOptions& options) {
+  SPROFILE_RETURN_NOT_OK(options.Validate());
+  return FrequencyProfile(options.initial_capacity());
+}
+
+/// Dense checked profile (the Try* tier).
+inline StatusOr<CheckedProfile> MakeCheckedProfile(
+    const ProfilerOptions& options) {
+  SPROFILE_RETURN_NOT_OK(options.Validate());
+  return CheckedProfile(options.initial_capacity());
+}
+
+/// Keyed profile over arbitrary keys.
+template <typename Key, typename Hash = ProfileHash<Key>>
+StatusOr<KeyedProfile<Key, Hash>> MakeKeyedProfile(
+    const ProfilerOptions& options) {
+  SPROFILE_RETURN_NOT_OK(options.Validate());
+  return KeyedProfile<Key, Hash>(options.ToKeyedOptions());
+}
+
+}  // namespace sprofile
+
+#endif  // SPROFILE_SPROFILE_OPTIONS_H_

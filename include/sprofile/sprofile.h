@@ -1,0 +1,39 @@
+// sprofile — unified public API umbrella.
+//
+// One include gives the whole stable surface (see docs/API.md):
+//
+//   Event                       the batched-ingestion unit
+//   Profiler / RankedProfiler   the concept tiers backends model
+//   / HistogramProfiler
+//   / FullProfiler
+//   ProfilerBase                CRTP adapter base
+//   adapters::*                 every backend behind the concept vocabulary
+//   CheckedProfile              the Status-returning Try* tier
+//   ProfilerOptions, Make*      validated construction
+//   Status / StatusOr<T>        the error model (util/status.h)
+//
+// The unchecked core (FrequencyProfile, KeyedProfile) is re-exported via
+// these includes; its O(1) hot-path contract is unchanged.
+
+#ifndef SPROFILE_SPROFILE_SPROFILE_H_
+#define SPROFILE_SPROFILE_SPROFILE_H_
+
+#define SPROFILE_VERSION_MAJOR 1
+#define SPROFILE_VERSION_MINOR 0
+#define SPROFILE_VERSION_PATCH 0
+#define SPROFILE_VERSION_STRING "1.0.0"
+
+#include "sprofile/adapters.h"
+#include "sprofile/checked.h"
+#include "sprofile/event.h"
+#include "sprofile/options.h"
+#include "sprofile/profiler_concept.h"
+
+namespace sprofile {
+
+/// Library version, "major.minor.patch".
+inline const char* Version() { return SPROFILE_VERSION_STRING; }
+
+}  // namespace sprofile
+
+#endif  // SPROFILE_SPROFILE_SPROFILE_H_

@@ -58,6 +58,7 @@ FrequencyProfile FrequencyProfile::FromFrequencies(
 void FrequencyProfile::Add(uint32_t id) {
   SPROFILE_DCHECK(id < m_);
   SPROFILE_DCHECK(f_to_t_[id] >= frozen_);
+  BumpGeneration();
 
   const uint32_t rank = f_to_t_[id];
   const BlockHandle bh = slots_[rank].block;
@@ -96,6 +97,7 @@ void FrequencyProfile::Add(uint32_t id) {
 void FrequencyProfile::Remove(uint32_t id) {
   SPROFILE_DCHECK(id < m_);
   SPROFILE_DCHECK(f_to_t_[id] >= frozen_);
+  BumpGeneration();
 
   const uint32_t rank = f_to_t_[id];
   const BlockHandle bh = slots_[rank].block;
@@ -130,9 +132,48 @@ void FrequencyProfile::Remove(uint32_t id) {
   --total_count_;
 }
 
+// Applies the coalesced net delta of one id as repeated O(1) steps.
+void FrequencyProfile::ApplyBatch(std::span<const Event> events) {
+  if (events.empty()) return;
+
+  // Lazily (re)size the epoch-stamped scratch; InsertSlot may have grown m_
+  // since the last batch.
+  if (batch_epoch_.size() < m_) {
+    batch_epoch_.resize(m_, 0);
+    batch_delta_.resize(m_, 0);
+  }
+  if (++batch_epoch_counter_ == 0) {
+    // Epoch counter wrapped: stale stamps could collide, so reset them.
+    std::fill(batch_epoch_.begin(), batch_epoch_.end(), 0u);
+    batch_epoch_counter_ = 1;
+  }
+
+  batch_touched_.clear();
+  for (const Event& e : events) {
+    SPROFILE_DCHECK(e.id < m_);
+    SPROFILE_DCHECK(f_to_t_[e.id] >= frozen_);
+    if (batch_epoch_[e.id] != batch_epoch_counter_) {
+      batch_epoch_[e.id] = batch_epoch_counter_;
+      batch_delta_[e.id] = e.delta;
+      batch_touched_.push_back(e.id);
+    } else {
+      batch_delta_[e.id] += e.delta;
+    }
+  }
+
+  // First-seen order keeps replay deterministic; per-frequency block
+  // membership is order-insensitive anyway.
+  for (const uint32_t id : batch_touched_) {
+    int64_t delta = batch_delta_[id];
+    for (; delta > 0; --delta) Add(id);
+    for (; delta < 0; ++delta) Remove(id);
+  }
+}
+
 GroupView FrequencyProfile::GroupAt(uint32_t rank) const {
   const Block& b = pool_.Get(slots_[rank].block);
-  return GroupView(b.f, slots_.data() + b.l, b.r - b.l + 1);
+  return GroupView(b.f, slots_.data() + b.l, b.r - b.l + 1, &generation_,
+                   generation_);
 }
 
 GroupView FrequencyProfile::Mode() const {
@@ -235,11 +276,15 @@ std::vector<int64_t> FrequencyProfile::ToFrequencies() const {
 
 size_t FrequencyProfile::MemoryBytes() const {
   return f_to_t_.capacity() * sizeof(uint32_t) +
-         slots_.capacity() * sizeof(RankSlot) + pool_.slots() * sizeof(Block);
+         slots_.capacity() * sizeof(RankSlot) + pool_.slots() * sizeof(Block) +
+         batch_epoch_.capacity() * sizeof(uint32_t) +
+         batch_delta_.capacity() * sizeof(int64_t) +
+         batch_touched_.capacity() * sizeof(uint32_t);
 }
 
 FrequencyEntry FrequencyProfile::PeelMin() {
   SPROFILE_DCHECK(num_active() > 0);
+  BumpGeneration();
   const uint32_t rank = frozen_;
   const uint32_t id = slots_[rank].id;
   const BlockHandle bh = slots_[rank].block;
@@ -261,6 +306,7 @@ FrequencyEntry FrequencyProfile::PeelMin() {
 }
 
 uint32_t FrequencyProfile::InsertSlot() {
+  BumpGeneration();
   const uint32_t new_id = m_;
   // The zero-frequency slot must sit just before the first positive
   // frequency to keep T sorted (frequencies <= 0 exist on the left).

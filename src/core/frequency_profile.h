@@ -35,9 +35,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <iterator>
+#include <span>
 #include <vector>
 
 #include "core/block_set.h"
+#include "sprofile/event.h"
 #include "util/status.h"
 
 namespace sprofile {
@@ -65,21 +67,39 @@ struct RankSlot {
 ///
 /// Iteration yields object ids lazily straight out of the profile's rank
 /// array (no copy; Mode()/MinFrequent() stay O(1) however large the tie
-/// group is). The view is invalidated by any subsequent profile update.
+/// group is). The view is invalidated by any subsequent profile update,
+/// move, or destruction. In SPROFILE_DCHECK builds (NDEBUG undefined) a
+/// use-after-update is caught at the accessor: the view snapshots the
+/// profile's generation counter at creation and checks it on every read.
 class GroupView {
  public:
-  GroupView(int64_t freq, const internal::RankSlot* first, uint32_t count)
-      : frequency(freq), first_(first), count_(count) {}
+  GroupView(int64_t freq, const internal::RankSlot* first, uint32_t count,
+            const uint64_t* live_generation = nullptr,
+            uint64_t born_generation = 0)
+      : frequency(freq),
+        first_(first),
+        count_(count),
+        live_generation_(live_generation),
+        born_generation_(born_generation) {}
 
   /// The frequency every object in this group shares.
   int64_t frequency;
 
   /// Number of tied objects.
-  uint32_t count() const { return count_; }
-  uint32_t size() const { return count_; }
+  uint32_t count() const {
+    CheckLive();
+    return count_;
+  }
+  uint32_t size() const {
+    CheckLive();
+    return count_;
+  }
 
   /// The i-th object id of the group (arbitrary but stable order).
-  uint32_t operator[](uint32_t i) const { return first_[i].id; }
+  uint32_t operator[](uint32_t i) const {
+    CheckLive();
+    return first_[i].id;
+  }
 
   /// Forward iterator over object ids.
   class const_iterator {
@@ -105,8 +125,14 @@ class GroupView {
     const internal::RankSlot* p_;
   };
 
-  const_iterator begin() const { return const_iterator(first_); }
-  const_iterator end() const { return const_iterator(first_ + count_); }
+  const_iterator begin() const {
+    CheckLive();
+    return const_iterator(first_);
+  }
+  const_iterator end() const {
+    CheckLive();
+    return const_iterator(first_ + count_);
+  }
 
   /// Copies the group's ids out (convenience for callers that need a
   /// stable container).
@@ -115,8 +141,21 @@ class GroupView {
   }
 
  private:
+  /// Debug-only staleness trap: asserts the owning profile has not been
+  /// updated since this view was taken. Compiles to nothing under NDEBUG.
+  void CheckLive() const {
+    SPROFILE_DCHECK(live_generation_ == nullptr ||
+                    *live_generation_ == born_generation_);
+  }
+
   const internal::RankSlot* first_;
   uint32_t count_;
+  // Present in ALL build modes (only read under !NDEBUG): conditioning the
+  // layout on NDEBUG would silently break consumers compiled with a
+  // different assert setting than the library. Two dead stores per O(1)
+  // query is the price of a stable ABI.
+  const uint64_t* live_generation_;
+  uint64_t born_generation_;
 };
 
 /// Aggregate row of the frequency histogram: `count` objects share
@@ -175,6 +214,18 @@ class FrequencyProfile {
 
   /// Applies one log-stream tuple (x, c): Add when `is_add`, else Remove.
   void Apply(uint32_t id, bool is_add) { is_add ? Add(id) : Remove(id); }
+
+  /// Applies a batch of events, coalescing per-id deltas first so an
+  /// add/remove pair on the same id inside one batch never touches the
+  /// block structure. O(|batch| + Σ|net delta|) structural steps versus
+  /// O(|batch|) for looped Apply — but the coalescing bookkeeping costs a
+  /// constant factor per event (bench_api_batch measures ~2x on streams
+  /// with no cancellation), so this path wins only when batches contain
+  /// self-cancelling or duplicated ids (like/unlike storms: ~4x there).
+  /// For trusted non-cancelling hot paths, loop Add/Remove. Every event id
+  /// must be in range and unfrozen; deltas of any magnitude are allowed.
+  /// The observable result equals applying the events one by one.
+  void ApplyBatch(std::span<const Event> events);
 
   // ---------------------------------------------------------------------
   // Point queries.
@@ -282,6 +333,10 @@ class FrequencyProfile {
     return slots_[rank].id;
   }
 
+  /// Structural-update count backing the GroupView staleness trap. Only
+  /// advanced in SPROFILE_DCHECK builds; always 0 under NDEBUG.
+  uint64_t generation() const { return generation_; }
+
  private:
   using RankSlot = internal::RankSlot;
 
@@ -304,13 +359,29 @@ class FrequencyProfile {
 
   GroupView GroupAt(uint32_t rank) const;
 
+  /// Debug-only: marks every outstanding GroupView stale. A no-op under
+  /// NDEBUG so the release hot path is untouched.
+  void BumpGeneration() {
+#ifndef NDEBUG
+    ++generation_;
+#endif
+  }
+
   uint32_t m_ = 0;       // total slots (frozen + active)
   uint32_t frozen_ = 0;  // frozen prefix length of T
   int64_t total_count_ = 0;
+  uint64_t generation_ = 0;  // see BumpGeneration()
 
   BlockPool pool_;
   std::vector<uint32_t> f_to_t_;   // id -> rank (FtoT)
   std::vector<RankSlot> slots_;    // rank -> (id, block)
+
+  // ApplyBatch scratch, epoch-stamped so a batch costs O(|batch|) and no
+  // per-batch O(m) clear. Lazily sized to m on first use.
+  std::vector<uint32_t> batch_epoch_;
+  std::vector<int64_t> batch_delta_;
+  std::vector<uint32_t> batch_touched_;
+  uint32_t batch_epoch_counter_ = 0;
 };
 
 }  // namespace sprofile

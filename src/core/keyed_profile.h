@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -97,6 +98,23 @@ class KeyedProfile {
       return Status::OK();
     }
     return Remove(key);
+  }
+
+  /// One keyed event for ApplyBatch (mirrors sprofile::Event for dense ids).
+  struct KeyedEvent {
+    Key key;
+    bool is_add = true;
+  };
+
+  /// Applies events in order; stops at the first failing Remove and returns
+  /// its status (earlier events stay applied). The hash-map hop per event
+  /// keeps this a loop rather than a coalesced path — the dense-id batching
+  /// lives in FrequencyProfile::ApplyBatch.
+  Status ApplyBatch(std::span<const KeyedEvent> events) {
+    for (const KeyedEvent& e : events) {
+      SPROFILE_RETURN_NOT_OK(Apply(e.key, e.is_add));
+    }
+    return Status::OK();
   }
 
   /// Current frequency; NotFound for unseen keys.

@@ -106,6 +106,17 @@ std::vector<LogTuple> LogStreamGenerator::Take(uint64_t count) {
   return out;
 }
 
+void LogStreamGenerator::GenerateEvents(uint64_t count, std::vector<Event>* out) {
+  out->reserve(out->size() + count);
+  for (uint64_t i = 0; i < count; ++i) out->push_back(ToEvent(Next()));
+}
+
+std::vector<Event> LogStreamGenerator::TakeEvents(uint64_t count) {
+  std::vector<Event> out;
+  GenerateEvents(count, &out);
+  return out;
+}
+
 StreamConfig MakePaperStreamConfig(int which, uint32_t num_objects, uint64_t seed,
                                    RemovalPolicy policy) {
   SPROFILE_CHECK_MSG(which >= 1 && which <= 3, "paper stream id must be 1, 2 or 3");

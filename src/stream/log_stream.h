@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "sprofile/event.h"
 #include "stream/distribution.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -37,6 +38,11 @@ struct LogTuple {
 
   bool operator==(const LogTuple&) const = default;
 };
+
+/// A tuple in the facade's batch-ingestion form (±1 delta).
+inline Event ToEvent(const LogTuple& t) {
+  return Event{t.id, t.is_add ? +1 : -1};
+}
 
 enum class RemovalPolicy {
   kUnchecked,
@@ -72,6 +78,13 @@ class LogStreamGenerator {
 
   /// Convenience: materializes a fresh vector of `count` tuples.
   std::vector<LogTuple> Take(uint64_t count);
+
+  /// Appends `count` tuples in Event form — the shape ApplyBatch ingests —
+  /// so replay loops can drain the generator one batch at a time.
+  void GenerateEvents(uint64_t count, std::vector<Event>* out);
+
+  /// Convenience: materializes a fresh vector of `count` events.
+  std::vector<Event> TakeEvents(uint64_t count);
 
   const StreamConfig& config() const { return config_; }
 

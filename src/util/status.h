@@ -74,6 +74,15 @@ class Status {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
+  /// Builds a non-OK status with an explicit code — for layers that annotate
+  /// an inner error's message while preserving its code. `code` must not be
+  /// kOk (an OK status carries no message).
+  static Status FromCode(StatusCode code, std::string msg) {
+    SPROFILE_CHECK_MSG(code != StatusCode::kOk,
+                       "FromCode requires a non-OK code");
+    return Status(code, std::move(msg));
+  }
+
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
@@ -136,9 +145,23 @@ class Result {
     return fallback;
   }
 
+  /// Pointer-style accessors (absl::StatusOr idiom); same checked
+  /// precondition as value().
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
  private:
   std::variant<T, Status> payload_;
 };
+
+/// The facade spelling of Result<T>, matching the absl/protobuf name the
+/// checked `sprofile::` API tier documents. One type, two names: Result<T>
+/// stays for the existing core/IO call sites.
+template <typename T>
+using StatusOr = Result<T>;
 
 /// Propagates a non-OK Status from an expression (RocksDB's `s.ok()` ladder,
 /// Arrow's ARROW_RETURN_NOT_OK).
@@ -147,6 +170,17 @@ class Result {
     ::sprofile::Status _st = (expr);              \
     if (!_st.ok()) return _st;                    \
   } while (0)
+
+#define SPROFILE_STATUS_CONCAT_IMPL(a, b) a##b
+#define SPROFILE_STATUS_CONCAT(a, b) SPROFILE_STATUS_CONCAT_IMPL(a, b)
+
+/// Unwraps a StatusOr expression into `lhs` or propagates its error
+/// (Arrow's ARROW_ASSIGN_OR_RAISE / absl's ASSIGN_OR_RETURN).
+#define SPROFILE_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  auto SPROFILE_STATUS_CONCAT(_sprofile_statusor_, __LINE__) = (rexpr);  \
+  if (!SPROFILE_STATUS_CONCAT(_sprofile_statusor_, __LINE__).ok())       \
+    return SPROFILE_STATUS_CONCAT(_sprofile_statusor_, __LINE__).status(); \
+  lhs = std::move(SPROFILE_STATUS_CONCAT(_sprofile_statusor_, __LINE__)).value()
 
 }  // namespace sprofile
 

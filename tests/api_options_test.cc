@@ -1,0 +1,104 @@
+// ProfilerOptions builder + Make* factories: one validated construction
+// path for dense, checked, and keyed profiles.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "sprofile/sprofile.h"
+
+namespace sprofile {
+namespace {
+
+TEST(ProfilerOptionsTest, DefaultsAreValidPaperSemantics) {
+  const ProfilerOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  EXPECT_EQ(options.initial_capacity(), 0u);
+  EXPECT_FALSE(options.release_zero_keys());
+  EXPECT_EQ(options.negative_frequency_policy(),
+            NegativeFrequencyPolicy::kAllow);
+}
+
+TEST(ProfilerOptionsTest, BuilderChains) {
+  const ProfilerOptions options =
+      ProfilerOptions()
+          .SetInitialCapacity(128)
+          .SetReleaseZeroKeys(true)
+          .SetNegativeFrequencyPolicy(NegativeFrequencyPolicy::kRejectUnseen);
+  EXPECT_TRUE(options.Validate().ok());
+  EXPECT_EQ(options.initial_capacity(), 128u);
+  EXPECT_TRUE(options.release_zero_keys());
+
+  const KeyedProfileOptions keyed = options.ToKeyedOptions();
+  EXPECT_EQ(keyed.initial_capacity, 128u);
+  EXPECT_TRUE(keyed.release_zero_keys);
+  EXPECT_FALSE(keyed.create_on_remove);  // kRejectUnseen
+}
+
+TEST(ProfilerOptionsTest, RejectsCapacityWithoutIdHeadroom) {
+  const ProfilerOptions options = ProfilerOptions().SetInitialCapacity(
+      std::numeric_limits<uint32_t>::max());
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeProfile(options).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeCheckedProfile(options).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeKeyedProfile<std::string>(options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProfilerOptionsTest, RejectsReleaseZeroKeysUnderNegativeSemantics) {
+  const ProfilerOptions options =
+      ProfilerOptions().SetReleaseZeroKeys(true).SetNegativeFrequencyPolicy(
+          NegativeFrequencyPolicy::kAllow);
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MakeProfileTest, BuildsDenseProfile) {
+  StatusOr<FrequencyProfile> profile =
+      MakeProfile(ProfilerOptions().SetInitialCapacity(16));
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->capacity(), 16u);
+  profile->Add(3);
+  EXPECT_EQ(profile->Frequency(3), 1);
+  EXPECT_TRUE(profile->Validate().ok());
+}
+
+TEST(MakeProfileTest, BuildsCheckedProfile) {
+  StatusOr<CheckedProfile> checked =
+      MakeCheckedProfile(ProfilerOptions().SetInitialCapacity(4));
+  ASSERT_TRUE(checked.ok());
+  EXPECT_TRUE(checked->TryAdd(0).ok());
+  EXPECT_EQ(checked->TryAdd(4).code(), StatusCode::kOutOfRange);
+}
+
+TEST(MakeKeyedProfileTest, NegativeFrequencyPolicyGovernsUnseenRemove) {
+  // kAllow: the paper's semantics — removing an unseen key creates it at -1.
+  StatusOr<KeyedProfile<std::string>> permissive = MakeKeyedProfile<std::string>(
+      ProfilerOptions().SetNegativeFrequencyPolicy(
+          NegativeFrequencyPolicy::kAllow));
+  ASSERT_TRUE(permissive.ok());
+  EXPECT_TRUE(permissive->Remove("never-seen").ok());
+  EXPECT_EQ(permissive->Frequency("never-seen").value(), -1);
+
+  // kRejectUnseen: the production policy — such a remove is NotFound.
+  StatusOr<KeyedProfile<std::string>> strict = MakeKeyedProfile<std::string>(
+      ProfilerOptions().SetNegativeFrequencyPolicy(
+          NegativeFrequencyPolicy::kRejectUnseen));
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(strict->Remove("never-seen").code(), StatusCode::kNotFound);
+  EXPECT_EQ(strict->Frequency("never-seen").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(VersionTest, ReportsSemanticVersion) {
+  EXPECT_STREQ(Version(), SPROFILE_VERSION_STRING);
+  EXPECT_EQ(std::string(Version()),
+            std::to_string(SPROFILE_VERSION_MAJOR) + "." +
+                std::to_string(SPROFILE_VERSION_MINOR) + "." +
+                std::to_string(SPROFILE_VERSION_PATCH));
+}
+
+}  // namespace
+}  // namespace sprofile
