@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_gbench_json.h"
+
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -96,4 +98,4 @@ BENCHMARK(BM_ProfileUpdateLoop)->Arg(1 << 16)->Arg(1 << 20);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SPROFILE_GBENCH_JSON_MAIN("bench_ablation_blockpool");

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_gbench_json.h"
+
 #include <cstdint>
 #include <vector>
 
@@ -61,4 +63,4 @@ BENCHMARK(BM_RepeatedAdds)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SPROFILE_GBENCH_JSON_MAIN("bench_ablation_bulkinit");

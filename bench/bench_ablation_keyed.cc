@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_gbench_json.h"
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -93,4 +95,4 @@ BENCHMARK(BM_KeyedChurnWithRecycling)->Arg(1 << 14);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SPROFILE_GBENCH_JSON_MAIN("bench_ablation_keyed");

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_gbench_json.h"
+
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -122,4 +124,4 @@ BENCHMARK(BM_QueryModeNaive)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SPROFILE_GBENCH_JSON_MAIN("bench_ablation_queries");

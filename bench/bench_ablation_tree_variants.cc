@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_gbench_json.h"
+
 #include <cstdint>
 #include <vector>
 
@@ -103,4 +105,4 @@ BENCHMARK(BM_MedianPbds);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SPROFILE_GBENCH_JSON_MAIN("bench_ablation_tree_variants");

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_gbench_json.h"
+
 #include <cstdint>
 
 #include "core/frequency_profile.h"
@@ -88,4 +90,4 @@ BENCHMARK(BM_ExponentialHistogramCounter)->Arg(1 << 14)->Arg(1 << 18);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SPROFILE_GBENCH_JSON_MAIN("bench_ablation_window");

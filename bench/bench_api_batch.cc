@@ -67,8 +67,11 @@ void BackendTable(const Sizes& sizes) {
       BackendBatchSeconds<adapters::SProfile>(config, sizes.n, batch) - gen;
   table.AddRow({"SProfile", Secs(sprofile_secs), "1.0x"});
 
+  EmitJsonLine("bench_api_batch", "backend_net_s", sprofile_secs,
+               {{"backend", "SProfile"}});
   auto add = [&](const char* name, double secs) {
     table.AddRow({name, Secs(secs), Speedup(secs, sprofile_secs)});
+    EmitJsonLine("bench_api_batch", "backend_net_s", secs, {{"backend", name}});
   };
   add("Heap", BackendBatchSeconds<adapters::Heap>(config, sizes.n, batch) - gen);
   add("Tree", BackendBatchSeconds<adapters::Tree>(config, sizes.n, batch) - gen);
@@ -116,6 +119,10 @@ void BatchSweepTable(const Sizes& sizes) {
         gen;
     table.AddRow({std::to_string(batch), Secs(loop_secs), Secs(batch_secs),
                   Speedup(loop_secs, batch_secs)});
+    EmitJsonLine("bench_api_batch", "looped_s", loop_secs,
+                 {{"table", "sweep"}, {"batch", std::to_string(batch)}});
+    EmitJsonLine("bench_api_batch", "applybatch_s", batch_secs,
+                 {{"table", "sweep"}, {"batch", std::to_string(batch)}});
   }
   std::printf("## S-Profile: looped Apply vs ApplyBatch (stream1, m=%u, "
               "n=%llu)\n\n",
@@ -155,6 +162,10 @@ void CancellationTable(const Sizes& sizes) {
 
     table.AddRow({std::to_string(batch), Secs(loop_secs), Secs(batch_secs),
                   Speedup(loop_secs, batch_secs)});
+    EmitJsonLine("bench_api_batch", "looped_s", loop_secs,
+                 {{"table", "storm"}, {"batch", std::to_string(batch)}});
+    EmitJsonLine("bench_api_batch", "applybatch_s", batch_secs,
+                 {{"table", "storm"}, {"batch", std::to_string(batch)}});
   }
   std::printf("## self-cancelling storm: looped vs coalesced (m=%u, "
               "n=%llu)\n\n",

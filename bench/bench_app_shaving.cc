@@ -79,6 +79,10 @@ int main() {
                   Secs(heap_s), Secs(bucket_s),
                   std::to_string(sprofile::graph::Degeneracy(cores_sp)),
                   Speedup(heap_s, sp_s)});
+    const std::vector<JsonTag> tags = {{"graph", c.name}};
+    EmitJsonLine("bench_app_shaving", "sprofile_s", sp_s, tags);
+    EmitJsonLine("bench_app_shaving", "heap_s", heap_s, tags);
+    EmitJsonLine("bench_app_shaving", "bucket_s", bucket_s, tags);
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf(

@@ -127,6 +127,75 @@ inline void PrintBanner(const std::string& title, ScaleMode mode) {
               ScaleName(mode));
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable output: every bench binary emits one JSON line per
+// measurement alongside its human tables, so CI can diff BENCH_*.json
+// trajectories without parsing table art. Schema:
+//
+//   {"bench":"<binary>","metric":"<what>","value":<number>,
+//    "scale":"<quick|default|paper>", ...string tags...}
+//
+// Lines go to stdout prefixed with nothing — consumers grep for '{"bench"'.
+// ---------------------------------------------------------------------------
+
+/// One string tag attached to a JSON measurement line.
+struct JsonTag {
+  std::string key;
+  std::string value;
+};
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Emits the standard JSON measurement line. `value` is printed with %.6g
+/// (NaN/inf are mapped to null, which stays valid JSON).
+inline void EmitJsonLine(const std::string& bench, const std::string& metric,
+                         double value,
+                         const std::vector<JsonTag>& tags = {}) {
+  std::string line = "{\"bench\":\"" + JsonEscape(bench) + "\",\"metric\":\"" +
+                     JsonEscape(metric) + "\",\"value\":";
+  char num[64];
+  if (value != value || value > 1e300 || value < -1e300) {
+    std::snprintf(num, sizeof(num), "null");
+  } else {
+    std::snprintf(num, sizeof(num), "%.6g", value);
+  }
+  line += num;
+  line += ",\"scale\":\"";
+  line += ScaleName(GetScaleMode());
+  line += '"';
+  for (const JsonTag& tag : tags) {
+    line += ",\"" + JsonEscape(tag.key) + "\":\"" + JsonEscape(tag.value) + "\"";
+  }
+  line += "}";
+  std::printf("%s\n", line.c_str());
+}
+
 /// Formats seconds with 4 significant digits for table cells.
 inline std::string Secs(double s) {
   char buf[64];

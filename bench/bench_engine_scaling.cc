@@ -1,0 +1,128 @@
+// Engine bench — ingestion throughput vs shard count.
+//
+// P producer threads (P == shards) push pre-generated event chunks through
+// ShardedProfiler::ApplyBatch; the run is timed from first push until
+// Drain() returns, so the number reported is end-to-end sustained
+// ingestion (routing + queues + workers applying via the coalescing batch
+// path), not enqueue-only burst rate. Snapshot interval is 0: clone cost
+// stays off the steady-state path, as a pure-ingestion deployment would
+// configure it.
+//
+// Acceptance target (multi-core runner): >= 2x the 1-shard events/sec at
+// 4 shards. On a single-core machine all configurations time-slice one CPU
+// and the ratio collapses toward 1x — read the JSON lines on a machine
+// with cores to spare.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "sprofile/sprofile.h"
+#include "stream/log_stream.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using sprofile::Event;
+using sprofile::TablePrinter;
+using sprofile::WallTimer;
+using namespace sprofile::bench;
+namespace engine = sprofile::engine;
+
+constexpr uint64_t kPushChunk = 1024;
+
+struct Sizes {
+  uint32_t m;
+  uint64_t n;
+};
+
+Sizes PickSizes(ScaleMode mode) {
+  switch (mode) {
+    case ScaleMode::kQuick:
+      return {1u << 16, 1u << 20};
+    case ScaleMode::kDefault:
+      return {1u << 20, 8u << 20};
+    case ScaleMode::kPaper:
+      return {1u << 24, 64u << 20};
+  }
+  return {};
+}
+
+double MeasureEventsPerSec(const Sizes& sizes, uint32_t shards,
+                           const std::vector<Event>& events) {
+  engine::ShardedProfiler profiler(
+      sizes.m, engine::EngineOptions{.shards = shards,
+                                     .queue_capacity = 1u << 15,
+                                     .drain_batch = 2048,
+                                     .snapshot_interval = 0});
+
+  const uint32_t producers = shards;
+  const uint64_t per_producer = events.size() / producers;
+
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (uint32_t p = 0; p < producers; ++p) {
+    const Event* base = events.data() + p * per_producer;
+    const uint64_t count =
+        p + 1 == producers ? events.size() - p * per_producer : per_producer;
+    threads.emplace_back([&profiler, base, count] {
+      for (uint64_t i = 0; i < count; i += kPushChunk) {
+        const uint64_t n = std::min(kPushChunk, count - i);
+        profiler.ApplyBatch(std::span<const Event>(base + i, n));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  profiler.Drain();
+  const double secs = timer.ElapsedSeconds();
+
+  if (profiler.TotalApplied() != events.size()) {
+    std::fprintf(stderr, "FATAL: engine applied %llu of %zu events\n",
+                 static_cast<unsigned long long>(profiler.TotalApplied()),
+                 events.size());
+    std::abort();
+  }
+  return static_cast<double>(events.size()) / secs;
+}
+
+}  // namespace
+
+int main() {
+  const ScaleMode mode = GetScaleMode();
+  const Sizes sizes = PickSizes(mode);
+  PrintBanner("Engine scaling — sustained ingestion events/sec vs shards (m=" +
+                  sprofile::HumanCount(sizes.m) + ", n=" +
+                  sprofile::HumanCount(sizes.n) + ")",
+              mode);
+  std::printf("# hardware threads available: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  std::vector<Event> events;
+  events.reserve(sizes.n);
+  sprofile::stream::LogStreamGenerator gen(
+      sprofile::stream::MakePaperStreamConfig(1, sizes.m, /*seed=*/777));
+  gen.GenerateEvents(sizes.n, &events);
+
+  TablePrinter table({"shards", "events/sec", "vs 1 shard"});
+  double single = 0.0;
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    const double eps = MeasureEventsPerSec(sizes, shards, events);
+    if (shards == 1) single = eps;
+    char rate[32], rel[32];
+    std::snprintf(rate, sizeof(rate), "%.3g", eps);
+    std::snprintf(rel, sizeof(rel), "%.2fx", eps / single);
+    table.AddRow({std::to_string(shards), rate, rel});
+    EmitJsonLine("bench_engine_scaling", "events_per_sec", eps,
+                 {{"shards", std::to_string(shards)}});
+    EmitJsonLine("bench_engine_scaling", "speedup_vs_1shard", eps / single,
+                 {{"shards", std::to_string(shards)}});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("# target: >= 2x at 4 shards on a multi-core runner\n");
+  return 0;
+}

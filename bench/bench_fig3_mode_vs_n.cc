@@ -75,6 +75,12 @@ int main() {
       table.AddRow({sprofile::stream::PaperStreamName(which),
                     sprofile::HumanCount(n), Secs(heap_s), Secs(ours_s),
                     Speedup(heap_s, ours_s)});
+      const std::vector<JsonTag> tags = {
+          {"stream", sprofile::stream::PaperStreamName(which)},
+          {"n", std::to_string(n)},
+          {"m", std::to_string(sizes.m)}};
+      EmitJsonLine("bench_fig3_mode_vs_n", "heap_s", heap_s, tags);
+      EmitJsonLine("bench_fig3_mode_vs_n", "sprofile_s", ours_s, tags);
     }
   }
   std::printf("%s\n", table.ToString().c_str());

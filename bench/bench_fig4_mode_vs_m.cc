@@ -74,6 +74,12 @@ int main() {
       table.AddRow({sprofile::stream::PaperStreamName(which),
                     sprofile::HumanCount(m), Secs(heap_s), Secs(ours_s),
                     Speedup(heap_s, ours_s)});
+      const std::vector<JsonTag> tags = {
+          {"stream", sprofile::stream::PaperStreamName(which)},
+          {"m", std::to_string(m)},
+          {"n", std::to_string(sizes.n)}};
+      EmitJsonLine("bench_fig4_mode_vs_m", "heap_s", heap_s, tags);
+      EmitJsonLine("bench_fig4_mode_vs_m", "sprofile_s", ours_s, tags);
     }
   }
   std::printf("%s\n", table.ToString().c_str());

@@ -80,6 +80,10 @@ int main() {
     std::snprintf(ours_rel, sizeof(ours_rel), "%.2f", ours_s / ours_first);
     table.AddRow({sprofile::HumanCount(m), Secs(heap_s), Secs(ours_s), heap_rel,
                   ours_rel});
+    const std::vector<JsonTag> tags = {{"m", std::to_string(m)},
+                                       {"n", std::to_string(sizes.n)}};
+    EmitJsonLine("bench_fig5_trend_m", "heap_s", heap_s, tags);
+    EmitJsonLine("bench_fig5_trend_m", "sprofile_s", ours_s, tags);
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf(

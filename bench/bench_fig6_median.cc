@@ -104,6 +104,11 @@ int main() {
 
       table.AddRow({sprofile::HumanCount(n), Secs(tree_s), pbds_cell,
                     Secs(ours_s), Speedup(tree_s, ours_s)});
+      const std::vector<JsonTag> tags = {{"side", "vs_n"},
+                                         {"n", std::to_string(n)},
+                                         {"m", std::to_string(sizes.left_m)}};
+      EmitJsonLine("bench_fig6_median", "tree_s", tree_s, tags);
+      EmitJsonLine("bench_fig6_median", "sprofile_s", ours_s, tags);
     }
     std::printf("%s\n", table.ToString().c_str());
   }
@@ -142,6 +147,11 @@ int main() {
 
       table.AddRow({sprofile::HumanCount(m), Secs(tree_s), pbds_cell,
                     Secs(ours_s), Speedup(tree_s, ours_s)});
+      const std::vector<JsonTag> tags = {{"side", "vs_m"},
+                                         {"m", std::to_string(m)},
+                                         {"n", std::to_string(sizes.right_n)}};
+      EmitJsonLine("bench_fig6_median", "tree_s", tree_s, tags);
+      EmitJsonLine("bench_fig6_median", "sprofile_s", ours_s, tags);
     }
     std::printf("%s\n", table.ToString().c_str());
   }

@@ -1,0 +1,65 @@
+// JSON-line bridge for the Google-Benchmark-based ablation benches.
+//
+// The self-timed benches call bench::EmitJsonLine directly; gbench owns its
+// own reporting loop, so these benches install a reporter that forwards to
+// the normal console output AND emits one EmitJsonLine per run (metric =
+// the gbench benchmark name, value = adjusted real time in ns). Each
+// ablation bench replaces BENCHMARK_MAIN() with
+//
+//   SPROFILE_GBENCH_JSON_MAIN("bench_ablation_foo")
+//
+// which is why CMake links these against benchmark::benchmark only (no
+// benchmark_main).
+
+#ifndef SPROFILE_BENCH_BENCH_GBENCH_JSON_H_
+#define SPROFILE_BENCH_BENCH_GBENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace sprofile {
+namespace bench {
+
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  // OO_Tabular, not OO_Defaults: console and JSON lines share stdout, and
+  // color escapes would prefix (and break) the JSON lines.
+  explicit JsonLineReporter(std::string bench_name)
+      : benchmark::ConsoleReporter(benchmark::ConsoleReporter::OO_Tabular),
+        bench_name_(std::move(bench_name)) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      EmitJsonLine(bench_name_, run.benchmark_name(),
+                   run.GetAdjustedRealTime(),
+                   {{"unit", benchmark::GetTimeUnitString(run.time_unit)}});
+    }
+  }
+
+ private:
+  std::string bench_name_;
+};
+
+inline int RunGbenchJsonMain(int argc, char** argv, const char* bench_name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonLineReporter reporter{std::string(bench_name)};
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace sprofile
+
+#define SPROFILE_GBENCH_JSON_MAIN(bench_name)                             \
+  int main(int argc, char** argv) {                                       \
+    return ::sprofile::bench::RunGbenchJsonMain(argc, argv, bench_name);  \
+  }
+
+#endif  // SPROFILE_BENCH_BENCH_GBENCH_JSON_H_

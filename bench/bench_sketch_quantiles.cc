@@ -115,6 +115,10 @@ int main() {
     std::snprintf(mem, sizeof(mem), "%.1f", exact.MemoryBytes() / 1e6);
     std::snprintf(errbuf, sizeof(errbuf), "%.0f", err);
     table.AddRow({"buckets (exact)", Secs(update_s), ns, Secs(query_s), mem, errbuf});
+    EmitJsonLine("bench_sketch_quantiles", "update_s", update_s,
+                 {{"method", "buckets"}});
+    EmitJsonLine("bench_sketch_quantiles", "max_rank_err", err,
+                 {{"method", "buckets"}});
   }
 
   for (double eps : {0.01, 0.001}) {
@@ -136,6 +140,10 @@ int main() {
                   gk.summary_size() * 24.0 / 1e6);  // 24B per tuple
     std::snprintf(errbuf, sizeof(errbuf), "%.0f", err);
     table.AddRow({label, Secs(update_s), ns, Secs(query_s), mem, errbuf});
+    EmitJsonLine("bench_sketch_quantiles", "update_s", update_s,
+                 {{"method", label}});
+    EmitJsonLine("bench_sketch_quantiles", "max_rank_err", err,
+                 {{"method", label}});
   }
 
   std::printf("%s\n", table.ToString().c_str());

@@ -107,6 +107,10 @@ int main() {
     std::snprintf(ns, sizeof(ns), "%.1f", 1e9 * s / static_cast<double>(sizes.n));
     table.AddRow({"sprofile (exact)", Secs(s), ns, Pct(RecallAtK(reported, truth)),
                   "O(m)"});
+    EmitJsonLine("bench_sketch_topk", "update_query_s", s,
+                 {{"method", "sprofile"}});
+    EmitJsonLine("bench_sketch_topk", "recall_at_20", RecallAtK(reported, truth),
+                 {{"method", "sprofile"}});
   }
 
   {
@@ -121,6 +125,10 @@ int main() {
     std::snprintf(ns, sizeof(ns), "%.1f", 1e9 * s / static_cast<double>(sizes.n));
     table.AddRow({"misra-gries(80)", Secs(s), ns, Pct(RecallAtK(reported, truth)),
                   "O(k)"});
+    EmitJsonLine("bench_sketch_topk", "update_query_s", s,
+                 {{"method", "misra_gries"}});
+    EmitJsonLine("bench_sketch_topk", "recall_at_20", RecallAtK(reported, truth),
+                 {{"method", "misra_gries"}});
   }
 
   {
@@ -135,6 +143,10 @@ int main() {
     std::snprintf(ns, sizeof(ns), "%.1f", 1e9 * s / static_cast<double>(sizes.n));
     table.AddRow({"space-saving(80)", Secs(s), ns, Pct(RecallAtK(reported, truth)),
                   "O(k)"});
+    EmitJsonLine("bench_sketch_topk", "update_query_s", s,
+                 {{"method", "space_saving"}});
+    EmitJsonLine("bench_sketch_topk", "recall_at_20", RecallAtK(reported, truth),
+                 {{"method", "space_saving"}});
   }
 
   {
@@ -155,6 +167,10 @@ int main() {
     std::snprintf(ns, sizeof(ns), "%.1f", 1e9 * s / static_cast<double>(sizes.n));
     table.AddRow({"count-min(4096x4)+scan", Secs(s), ns,
                   Pct(RecallAtK(reported, truth)), "O(w*d) + scan"});
+    EmitJsonLine("bench_sketch_topk", "update_query_s", s,
+                 {{"method", "count_min"}});
+    EmitJsonLine("bench_sketch_topk", "recall_at_20", RecallAtK(reported, truth),
+                 {{"method", "count_min"}});
   }
 
   std::printf("%s\n", table.ToString().c_str());

@@ -68,6 +68,9 @@ int main() {
 
     table.AddRow({"mode vs heap", sprofile::stream::PaperStreamName(which),
                   Secs(heap_s), Secs(ours_s), Speedup(heap_s, ours_s)});
+    EmitJsonLine("bench_speedup_summary", "mode_speedup_vs_heap",
+                 heap_s / ours_s,
+                 {{"stream", sprofile::stream::PaperStreamName(which)}});
   }
 
   for (int which = 1; which <= 3; ++which) {
@@ -90,6 +93,9 @@ int main() {
 
     table.AddRow({"median vs tree", sprofile::stream::PaperStreamName(which),
                   Secs(tree_s), Secs(ours_s), Speedup(tree_s, ours_s)});
+    EmitJsonLine("bench_speedup_summary", "median_speedup_vs_tree",
+                 tree_s / ours_s,
+                 {{"stream", sprofile::stream::PaperStreamName(which)}});
   }
 
   std::printf("%s\n", table.ToString().c_str());

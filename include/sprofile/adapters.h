@@ -70,6 +70,9 @@ class SProfile : public ProfilerBase<SProfile> {
   /// Shadows the looped default with the native coalescing path.
   void ApplyBatch(std::span<const Event> events) { p_.ApplyBatch(events); }
 
+  /// Explicit deep copy (the engine's snapshot primitive).
+  SProfile Clone() const { return SProfile(p_.Clone()); }
+
   int64_t Frequency(uint32_t id) const { return p_.Frequency(id); }
   int64_t Mode() const { return p_.Mode().frequency; }
   int64_t KthLargest(uint64_t k) const { return p_.KthLargest(k).frequency; }
@@ -104,6 +107,10 @@ class Naive : public ProfilerBase<Naive> {
 
   void Add(uint32_t id) { p_.Add(id); }
   void Remove(uint32_t id) { p_.Remove(id); }
+
+  /// Explicit deep copy, mirroring SProfile::Clone so the oracle can power
+  /// an engine shard in parity tests.
+  Naive Clone() const { return *this; }
 
   int64_t Frequency(uint32_t id) const { return p_.Frequency(id); }
   int64_t Mode() const { return p_.ModeFrequency(); }

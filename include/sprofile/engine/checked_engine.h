@@ -1,0 +1,178 @@
+// CheckedShardedProfiler — the Status-returning Try* tier over the engine,
+// mirroring CheckedProfile (sprofile/checked.h) for the sharded case.
+//
+// The engine's own methods keep the core library's contract: preconditions
+// are debug asserts, the hot path carries no validation. This wrapper is
+// the serving edge: every fallible operation has a Try* twin returning
+// Status / StatusOr<T> with the same code vocabulary as CheckedProfile:
+//
+//   out-of-range id           -> OutOfRange
+//   k == 0 order statistic    -> InvalidArgument
+//   k > capacity()            -> OutOfRange
+//   quantile q outside [0,1]  -> InvalidArgument
+//   query on an empty engine  -> FailedPrecondition
+//
+// TryApplyBatch validates the WHOLE batch before routing anything, so a
+// rejected batch enqueues nothing (all-or-nothing at the ingestion edge).
+// The unchecked engine stays one call away via engine().
+
+#ifndef SPROFILE_SPROFILE_ENGINE_CHECKED_ENGINE_H_
+#define SPROFILE_SPROFILE_ENGINE_CHECKED_ENGINE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sprofile/engine/sharded_profiler.h"
+#include "sprofile/event.h"
+#include "util/status.h"
+
+namespace sprofile {
+namespace engine {
+
+class CheckedShardedProfiler {
+ public:
+  /// Takes ownership of a running engine.
+  explicit CheckedShardedProfiler(ShardedProfiler engine)
+      : e_(std::move(engine)) {}
+
+  uint32_t capacity() const { return e_.capacity(); }
+  uint32_t num_shards() const { return e_.num_shards(); }
+  int64_t total_count() const { return e_.total_count(); }
+
+  // ---------------------------------------------------------------------
+  // Checked ingestion.
+  // ---------------------------------------------------------------------
+
+  Status TryAdd(uint32_t id) {
+    SPROFILE_RETURN_NOT_OK(CheckId(id));
+    e_.Add(id);
+    return Status::OK();
+  }
+
+  Status TryRemove(uint32_t id) {
+    SPROFILE_RETURN_NOT_OK(CheckId(id));
+    e_.Remove(id);
+    return Status::OK();
+  }
+
+  Status TryApply(uint32_t id, bool is_add) {
+    return is_add ? TryAdd(id) : TryRemove(id);
+  }
+
+  /// Validates every event, then routes the batch. All-or-nothing: a
+  /// non-OK return means nothing was enqueued.
+  Status TryApplyBatch(std::span<const Event> events) {
+    for (size_t i = 0; i < events.size(); ++i) {
+      Status s = CheckId(events[i].id);
+      if (!s.ok()) {
+        return Status::FromCode(
+            s.code(), "batch event " + std::to_string(i) + ": " + s.message());
+      }
+    }
+    e_.ApplyBatch(events);
+    return Status::OK();
+  }
+
+  // ---------------------------------------------------------------------
+  // Barriers (infallible; passthrough).
+  // ---------------------------------------------------------------------
+
+  void Flush() { e_.Flush(); }
+  void Drain() { e_.Drain(); }
+
+  // ---------------------------------------------------------------------
+  // Checked merged queries.
+  // ---------------------------------------------------------------------
+
+  StatusOr<int64_t> TryFrequency(uint32_t id) const {
+    SPROFILE_RETURN_NOT_OK(CheckId(id));
+    return e_.Frequency(id);
+  }
+
+  StatusOr<GroupStat> TryMode() const {
+    if (e_.capacity() == 0) return Empty("Mode");
+    return e_.MergedMode();
+  }
+
+  StatusOr<int64_t> TryKthLargest(uint64_t k) const {
+    SPROFILE_RETURN_NOT_OK(CheckOrderStatistic(k, "KthLargest"));
+    return e_.KthLargest(k);
+  }
+
+  StatusOr<int64_t> TryKthSmallest(uint64_t k) const {
+    SPROFILE_RETURN_NOT_OK(CheckOrderStatistic(k, "KthSmallest"));
+    return e_.KthSmallest(k);
+  }
+
+  StatusOr<int64_t> TryMedian() const {
+    if (e_.capacity() == 0) return Empty("Median");
+    return e_.Median();
+  }
+
+  StatusOr<int64_t> TryQuantile(double q) const {
+    if (std::isnan(q) || q < 0.0 || q > 1.0) {
+      return Status::InvalidArgument("quantile q=" + std::to_string(q) +
+                                     " outside [0, 1]");
+    }
+    if (e_.capacity() == 0) return Empty("Quantile");
+    return e_.Quantile(q);
+  }
+
+  /// Never fails; StatusOr keeps the tier uniform for templated callers.
+  StatusOr<std::vector<int64_t>> TryTopK(uint32_t k) const {
+    return e_.TopK(k);
+  }
+
+  StatusOr<uint32_t> TryCountAtLeast(int64_t f) const {
+    return e_.CountAtLeast(f);
+  }
+
+  StatusOr<std::vector<GroupStat>> TryHistogram() const {
+    return e_.Histogram();
+  }
+
+  // ---------------------------------------------------------------------
+  // The unchecked engine, one call away.
+  // ---------------------------------------------------------------------
+
+  ShardedProfiler& engine() { return e_; }
+  const ShardedProfiler& engine() const { return e_; }
+
+ private:
+  Status CheckId(uint32_t id) const {
+    if (id >= e_.capacity()) {
+      return Status::OutOfRange("id " + std::to_string(id) + " outside [0, " +
+                                std::to_string(e_.capacity()) + ")");
+    }
+    return Status::OK();
+  }
+
+  Status CheckOrderStatistic(uint64_t k, const char* what) const {
+    if (k == 0) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " is 1-based; k must be >= 1");
+    }
+    if (e_.capacity() == 0) return Empty(what);
+    if (k > e_.capacity()) {
+      return Status::OutOfRange(std::string(what) + " k=" + std::to_string(k) +
+                                " exceeds capacity()=" +
+                                std::to_string(e_.capacity()));
+    }
+    return Status::OK();
+  }
+
+  static Status Empty(const char* what) {
+    return Status::FailedPrecondition(std::string(what) + " on empty engine");
+  }
+
+  ShardedProfiler e_;
+};
+
+}  // namespace engine
+}  // namespace sprofile
+
+#endif  // SPROFILE_SPROFILE_ENGINE_CHECKED_ENGINE_H_

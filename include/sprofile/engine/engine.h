@@ -1,0 +1,23 @@
+// sprofile::engine — umbrella for the sharded concurrent profiling engine.
+//
+//   MpscRingBuffer            bounded lock-free ingestion queue
+//   EngineOptions             {shards, queue_capacity, drain_batch, ...}
+//   ShardedProfiler[T]        multi-shard ingestion + merged queries +
+//                             epoch-versioned snapshots + Flush/Drain
+//   CheckedShardedProfiler    the Status-returning Try* tier
+//   SaveAll / LoadAll         per-shard SPPF snapshots with a manifest
+//
+// Architecture and consistency model: docs/ENGINE.md. Construction through
+// the facade: MakeShardedProfiler / MakeCheckedShardedProfiler in
+// sprofile/options.h.
+
+#ifndef SPROFILE_SPROFILE_ENGINE_ENGINE_H_
+#define SPROFILE_SPROFILE_ENGINE_ENGINE_H_
+
+#include "sprofile/engine/checked_engine.h"
+#include "sprofile/engine/engine_options.h"
+#include "sprofile/engine/ring_buffer.h"
+#include "sprofile/engine/sharded_profiler.h"
+#include "sprofile/engine/snapshot_io.h"
+
+#endif  // SPROFILE_SPROFILE_ENGINE_ENGINE_H_

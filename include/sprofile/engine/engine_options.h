@@ -1,0 +1,73 @@
+// EngineOptions — configuration for the sharded concurrent profiling
+// engine (sprofile/engine/sharded_profiler.h).
+//
+// Leaf header: standard library + util/status.h only, so the facade can
+// include it without pulling the threading machinery.
+
+#ifndef SPROFILE_SPROFILE_ENGINE_ENGINE_OPTIONS_H_
+#define SPROFILE_SPROFILE_ENGINE_ENGINE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace sprofile {
+namespace engine {
+
+/// Tuning knobs for ShardedProfiler. Aggregate, so call sites can spell
+/// exactly the fields they care about:
+///
+///   EngineOptions{.shards = 8, .queue_capacity = 1 << 18}
+struct EngineOptions {
+  /// Number of shards == number of worker threads. Each shard owns one
+  /// backend profile over its stripe of the id space.
+  uint32_t shards = 4;
+
+  /// Per-shard ingestion queue capacity in events (rounded up to a power
+  /// of two). A full queue exerts backpressure: producers spin-yield until
+  /// the worker drains.
+  uint32_t queue_capacity = 1 << 16;
+
+  /// Maximum events a worker applies per ApplyBatch drain. Larger batches
+  /// amortize queue traffic and give the coalescing batch path more
+  /// cancellation to exploit; smaller batches tighten flush latency.
+  uint32_t drain_batch = 1024;
+
+  /// Applied events between automatically published read snapshots while
+  /// a shard is under sustained load (it always publishes when its queue
+  /// goes idle and on Flush/Drain). 0 disables interval publishing:
+  /// snapshots then refresh only on idle and barriers — the right setting
+  /// for pure-ingestion workloads where clone cost must stay off the
+  /// steady-state path.
+  uint32_t snapshot_interval = 1 << 18;
+
+  Status Validate() const {
+    if (shards == 0 || shards > kMaxShards) {
+      return Status::InvalidArgument(
+          "engine shards must be in [1, " + std::to_string(kMaxShards) +
+          "], got " + std::to_string(shards));
+    }
+    if (queue_capacity < 2 || queue_capacity > kMaxQueueCapacity) {
+      return Status::InvalidArgument(
+          "engine queue_capacity must be in [2, " +
+          std::to_string(kMaxQueueCapacity) + "], got " +
+          std::to_string(queue_capacity));
+    }
+    if (drain_batch == 0 || drain_batch > queue_capacity) {
+      return Status::InvalidArgument(
+          "engine drain_batch must be in [1, queue_capacity], got " +
+          std::to_string(drain_batch));
+    }
+    return Status::OK();
+  }
+
+  static constexpr uint32_t kMaxShards = 4096;
+  // 2^24 ring cells x 16 bytes (Event + sequence word) = 256 MiB per shard.
+  static constexpr uint32_t kMaxQueueCapacity = 1u << 24;
+};
+
+}  // namespace engine
+}  // namespace sprofile
+
+#endif  // SPROFILE_SPROFILE_ENGINE_ENGINE_OPTIONS_H_

@@ -1,0 +1,597 @@
+// ShardedProfiler — the concurrent profiling engine (ROADMAP: scale the
+// paper's O(1) structure across cores).
+//
+// The paper's S-Profile is inherently sequential: one ±1 update mutates the
+// block partition, so a single structure cannot take concurrent writers
+// without serializing them. The engine keeps the per-structure optimality
+// and shards the id space instead:
+//
+//   writer threads ──Add/ApplyBatch──► route by id ──► per-shard MPSC ring
+//                                                         │ (bounded, lock-free)
+//                                                         ▼
+//                                           shard worker thread
+//                                           drains via ApplyBatch into its
+//                                           OWN backend profile (no locks
+//                                           on the update hot path)
+//                                                         │ publishes
+//                                                         ▼
+//                                           epoch-versioned read snapshot
+//                                                         │
+//   reader threads ◄──merged queries (k-way merge / summation)──┘
+//
+// Routing is the stride partition: shard(id) = id % N, local(id) = id / N —
+// the identity-hash special case of hash sharding, which keeps every
+// shard's local id space dense (a requirement of the array-based backend)
+// and statically balanced to ±1 slot. The same decomposition underlies
+// space-partitioned stream summaries (Chen–Indyk–Woodruff 2023).
+//
+// Consistency model (see docs/ENGINE.md):
+//   - Queries are served from per-shard snapshots and NEVER block or lock
+//     against ingestion; they may lag it.
+//   - Each shard's snapshot is internally consistent and epoch-versioned
+//     (epoch = events applied when it was taken); epochs are monotonic.
+//   - Cross-shard reads are not a global atomic cut: a merged query can
+//     observe shard A at a later epoch than shard B.
+//   - Flush() is the read-your-writes barrier: on return, every event
+//     enqueued before the call is applied AND visible to queries.
+//   - Drain() additionally quiesces: it loops Flush until no new events
+//     arrived, leaving queues empty (assuming producers have stopped).
+//
+// Updates accept any Profiler-concept-shaped traffic (Add/Remove/Apply/
+// ApplyBatch with arbitrary deltas); ShardedProfiler itself models
+// FullProfiler, so the engine drops into any harness written against the
+// concept vocabulary.
+
+#ifndef SPROFILE_SPROFILE_ENGINE_SHARDED_PROFILER_H_
+#define SPROFILE_SPROFILE_ENGINE_SHARDED_PROFILER_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <concepts>
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sprofile/adapters.h"
+#include "sprofile/engine/engine_options.h"
+#include "sprofile/engine/ring_buffer.h"
+#include "sprofile/event.h"
+#include "sprofile/profiler_concept.h"
+#include "util/logging.h"
+
+namespace sprofile {
+namespace engine {
+
+/// What a backend must provide to power a shard: the full concept
+/// vocabulary (merged queries lean on Histogram/CountEqual), construction
+/// from a capacity, and an explicit deep copy for snapshot publication.
+template <typename B>
+concept ShardBackend = FullProfiler<B> && std::constructible_from<B, uint32_t> &&
+                       requires(const B& b) {
+                         { b.Clone() } -> std::same_as<B>;
+                       };
+
+/// One shard's published read state: a deep copy of its profile plus the
+/// number of events that had been applied when the copy was taken.
+template <ShardBackend Backend>
+struct ShardSnapshot {
+  uint64_t epoch = 0;
+  Backend profile;
+};
+
+namespace internal {
+
+/// One shard: the ingestion queue, the worker thread that drains it, the
+/// live (worker-private) profile, and the published snapshot.
+///
+/// Thread roles:
+///   producers   Push(), enqueued()
+///   worker      Run() — sole toucher of live_ after construction
+///   readers     snapshot(), applied(), WaitSnapshotAt()
+template <ShardBackend Backend>
+class ShardWorker {
+ public:
+  ShardWorker(Backend initial, const EngineOptions& options)
+      : queue_(options.queue_capacity),
+        drain_batch_(options.drain_batch),
+        snapshot_interval_(options.snapshot_interval == 0
+                               ? std::numeric_limits<uint64_t>::max()
+                               : options.snapshot_interval),
+        live_(std::move(initial)),
+        snapshot_(std::make_shared<const ShardSnapshot<Backend>>(
+            ShardSnapshot<Backend>{0, live_.Clone()})) {
+    worker_ = std::thread([this] { Run(); });
+  }
+
+  ~ShardWorker() {
+    stop_.store(true, std::memory_order_release);
+    WakeIfParked();
+    worker_.join();
+  }
+
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  /// Enqueues n events, blocking (spin-yield) under backpressure when the
+  /// ring is full. Safe from any number of producer threads.
+  void Push(const Event* data, size_t n) {
+    size_t done = 0;
+    while (done < n) {
+      const size_t pushed = queue_.TryPushSpan(data + done, n - done);
+      done += pushed;
+      if (done < n) {
+        // Full: make sure the worker is running, then let it drain.
+        WakeIfParked();
+        std::this_thread::yield();
+      }
+    }
+    enqueued_.fetch_add(n, std::memory_order_release);
+    WakeIfParked();
+  }
+
+  uint64_t enqueued() const { return enqueued_.load(std::memory_order_acquire); }
+  uint64_t applied() const { return applied_.load(std::memory_order_acquire); }
+
+  /// The current published snapshot (never null; epoch 0 at startup).
+  std::shared_ptr<const ShardSnapshot<Backend>> snapshot() const {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    return snapshot_;
+  }
+
+  /// Blocks until a snapshot with epoch >= target is published. `target`
+  /// must be <= enqueued() (otherwise nothing guarantees progress).
+  void WaitSnapshotAt(uint64_t target) {
+    uint64_t cur = snapshot_target_.load(std::memory_order_relaxed);
+    while (cur < target && !snapshot_target_.compare_exchange_weak(
+                               cur, target, std::memory_order_release)) {
+    }
+    WakeIfParked();
+    std::unique_lock<std::mutex> lock(done_mu_);
+    done_cv_.wait(lock, [&] {
+      return snapshot_epoch_.load(std::memory_order_acquire) >= target;
+    });
+  }
+
+ private:
+  void Run() {
+    std::vector<Event> batch(drain_batch_);
+    uint64_t since_snapshot = 0;
+    for (;;) {
+      const size_t n = queue_.TryPopBatch(batch.data(), drain_batch_);
+      if (n > 0) {
+        live_.ApplyBatch(std::span<const Event>(batch.data(), n));
+        applied_.fetch_add(n, std::memory_order_release);
+        since_snapshot += n;
+        if (since_snapshot >= snapshot_interval_ || SnapshotDue()) {
+          Publish();
+          since_snapshot = 0;
+        }
+        continue;
+      }
+      // Queue drained: refresh the snapshot if it lags, then park. The
+      // idle refresh is what makes "write burst, then read" workloads see
+      // fresh statistics without an explicit Flush.
+      if (snapshot_epoch_.load(std::memory_order_relaxed) !=
+          applied_.load(std::memory_order_relaxed)) {
+        Publish();
+        since_snapshot = 0;
+      }
+      if (stop_.load(std::memory_order_acquire)) {
+        if (queue_.Empty()) return;
+        continue;  // a straggler push raced the stop flag; drain it
+      }
+      Park();
+    }
+  }
+
+  /// A barrier asked for a snapshot at snapshot_target_ and enough events
+  /// have been applied to honor it.
+  bool SnapshotDue() const {
+    const uint64_t target = snapshot_target_.load(std::memory_order_acquire);
+    return target > snapshot_epoch_.load(std::memory_order_relaxed) &&
+           applied_.load(std::memory_order_relaxed) >= target;
+  }
+
+  void Publish() {
+    const uint64_t epoch = applied_.load(std::memory_order_relaxed);
+    auto snap = std::make_shared<const ShardSnapshot<Backend>>(
+        ShardSnapshot<Backend>{epoch, live_.Clone()});
+    {
+      std::lock_guard<std::mutex> lock(snapshot_mu_);
+      snapshot_ = std::move(snap);
+    }
+    {
+      // Epoch advances under done_mu_ so WaitSnapshotAt cannot miss the
+      // notify between its predicate check and its wait.
+      std::lock_guard<std::mutex> lock(done_mu_);
+      snapshot_epoch_.store(epoch, std::memory_order_release);
+    }
+    done_cv_.notify_all();
+  }
+
+  void Park() {
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    parked_.store(true, std::memory_order_release);
+    // The parked_ flag narrows the missed-wakeup window but cannot close
+    // it (a producer can push between Empty() and wait); the bounded
+    // wait_for is the safety net that turns a missed notify into 1ms of
+    // latency instead of a hang.
+    if (queue_.Empty() && !stop_.load(std::memory_order_acquire) &&
+        !SnapshotDue()) {
+      wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    parked_.store(false, std::memory_order_release);
+  }
+
+  void WakeIfParked() {
+    if (parked_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      wake_cv_.notify_one();
+    }
+  }
+
+  MpscRingBuffer<Event> queue_;
+  const uint32_t drain_batch_;
+  const uint64_t snapshot_interval_;
+
+  std::atomic<uint64_t> enqueued_{0};
+  std::atomic<uint64_t> applied_{0};
+  std::atomic<uint64_t> snapshot_target_{0};
+  std::atomic<uint64_t> snapshot_epoch_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> parked_{false};
+
+  Backend live_;  // worker-private after construction
+
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const ShardSnapshot<Backend>> snapshot_;
+
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+
+  std::thread worker_;  // last member: starts after everything is ready
+};
+
+}  // namespace internal
+
+template <ShardBackend Backend = adapters::SProfile>
+class ShardedProfilerT {
+ public:
+  using Snapshot = ShardSnapshot<Backend>;
+
+  /// An engine over the dense id space [0, capacity), sharded per
+  /// `options`. Options must be valid (use MakeShardedProfiler for checked
+  /// construction).
+  ShardedProfilerT(uint32_t capacity, const EngineOptions& options)
+      : capacity_(capacity), options_(options) {
+    SPROFILE_CHECK_MSG(options.Validate().ok(), "invalid EngineOptions");
+    shards_.reserve(options_.shards);
+    for (uint32_t s = 0; s < options_.shards; ++s) {
+      shards_.push_back(std::make_unique<internal::ShardWorker<Backend>>(
+          Backend(ShardCapacity(capacity, options_.shards, s)), options_));
+    }
+  }
+
+  /// Rebuilds an engine from per-shard backends (snapshot restore).
+  /// backends.size() must equal options.shards and each backend's capacity
+  /// must match the stride partition of `capacity`.
+  ShardedProfilerT(std::vector<Backend> backends, uint32_t capacity,
+                   const EngineOptions& options)
+      : capacity_(capacity), options_(options) {
+    SPROFILE_CHECK_MSG(options.Validate().ok(), "invalid EngineOptions");
+    SPROFILE_CHECK_MSG(backends.size() == options.shards,
+                       "backend count != options.shards");
+    shards_.reserve(backends.size());
+    for (uint32_t s = 0; s < backends.size(); ++s) {
+      SPROFILE_CHECK_MSG(
+          backends[s].capacity() == ShardCapacity(capacity, options_.shards, s),
+          "backend capacity does not match the stride partition");
+      shards_.push_back(std::make_unique<internal::ShardWorker<Backend>>(
+          std::move(backends[s]), options_));
+    }
+  }
+
+  // Movable (shards live behind stable unique_ptrs), not copyable.
+  ShardedProfilerT(ShardedProfilerT&&) = default;
+  ShardedProfilerT& operator=(ShardedProfilerT&&) = default;
+
+  // ---------------------------------------------------------------------
+  // Shape.
+  // ---------------------------------------------------------------------
+
+  uint32_t capacity() const { return capacity_; }
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  const EngineOptions& options() const { return options_; }
+
+  /// Stride routing: which shard owns a global id, and its dense id there.
+  uint32_t ShardOf(uint32_t id) const { return id % num_shards(); }
+  uint32_t LocalId(uint32_t id) const { return id / num_shards(); }
+  uint32_t GlobalId(uint32_t shard, uint32_t local) const {
+    return local * num_shards() + shard;
+  }
+
+  /// Slots shard s owns out of `capacity` under the stride partition.
+  static uint32_t ShardCapacity(uint32_t capacity, uint32_t shards,
+                                uint32_t s) {
+    return capacity > s ? (capacity - s - 1) / shards + 1 : 0;
+  }
+
+  // ---------------------------------------------------------------------
+  // Ingestion — thread-safe, non-blocking except ring backpressure.
+  // ---------------------------------------------------------------------
+
+  void Add(uint32_t id) { PushOne(id, +1); }
+  void Remove(uint32_t id) { PushOne(id, -1); }
+  void Apply(uint32_t id, bool is_add) { PushOne(id, is_add ? +1 : -1); }
+
+  /// Routes a batch: one counting-scatter pass partitions the events by
+  /// shard (remapping to local ids), then each shard gets its run in one
+  /// Push — a single reservation CAS per shard per batch.
+  void ApplyBatch(std::span<const Event> events) {
+    const uint32_t ns = num_shards();
+    if (events.empty()) return;
+    if (ns == 1) {
+      // local id == global id; forward the span unmodified.
+      SPROFILE_DCHECK(CheckIds(events));
+      shards_[0]->Push(events.data(), events.size());
+      return;
+    }
+    SPROFILE_DCHECK(CheckIds(events));
+    // Per-producer-thread scratch: ApplyBatch is the producer hot path, so
+    // the counting scatter must not pay allocator traffic per chunk. Each
+    // thread's buffers grow to its largest batch and stay.
+    thread_local std::vector<uint32_t> offsets;
+    thread_local std::vector<Event> scratch;
+    offsets.assign(ns + 1, 0);
+    scratch.resize(events.size());
+    for (const Event& e : events) ++offsets[e.id % ns + 1];
+    for (uint32_t s = 0; s < ns; ++s) offsets[s + 1] += offsets[s];
+    // Scatter advancing offsets[s] in place; afterwards offsets[s] is the
+    // END of shard s's run (== the original offsets[s + 1]).
+    for (const Event& e : events) {
+      scratch[offsets[e.id % ns]++] = Event{e.id / ns, e.delta};
+    }
+    for (uint32_t s = 0; s < ns; ++s) {
+      const uint32_t begin = s == 0 ? 0 : offsets[s - 1];
+      const uint32_t count = offsets[s] - begin;
+      if (count > 0) shards_[s]->Push(&scratch[begin], count);
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Barriers.
+  // ---------------------------------------------------------------------
+
+  /// Read-your-writes: blocks until every event enqueued before this call
+  /// is applied and published in its shard's snapshot.
+  void Flush() {
+    std::vector<uint64_t> targets(shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      targets[s] = shards_[s]->enqueued();
+    }
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s]->WaitSnapshotAt(targets[s]);
+    }
+  }
+
+  /// Quiesce: Flush in a loop until no new events arrive during the
+  /// barrier. With producers stopped, queues are empty on return.
+  void Drain() {
+    for (;;) {
+      const uint64_t before = TotalEnqueued();
+      Flush();
+      if (TotalEnqueued() == before) return;
+    }
+  }
+
+  uint64_t TotalEnqueued() const {
+    uint64_t sum = 0;
+    for (const auto& s : shards_) sum += s->enqueued();
+    return sum;
+  }
+
+  uint64_t TotalApplied() const {
+    uint64_t sum = 0;
+    for (const auto& s : shards_) sum += s->applied();
+    return sum;
+  }
+
+  // ---------------------------------------------------------------------
+  // Snapshot access.
+  // ---------------------------------------------------------------------
+
+  /// Grabs every shard's current snapshot. Each is internally consistent;
+  /// the set is not a global atomic cut (see the consistency model above).
+  std::vector<std::shared_ptr<const Snapshot>> SnapshotAll() const {
+    std::vector<std::shared_ptr<const Snapshot>> out;
+    out.reserve(shards_.size());
+    for (const auto& s : shards_) out.push_back(s->snapshot());
+    return out;
+  }
+
+  /// One shard's snapshot (for tests / snapshot IO).
+  std::shared_ptr<const Snapshot> ShardSnapshotOf(uint32_t shard) const {
+    return shards_[shard]->snapshot();
+  }
+
+  // ---------------------------------------------------------------------
+  // Merged queries — all served from snapshots; none blocks ingestion.
+  // ---------------------------------------------------------------------
+
+  /// Sum of per-shard snapshot totals.
+  int64_t total_count() const {
+    int64_t sum = 0;
+    for (const auto& snap : SnapshotAll()) sum += snap->profile.total_count();
+    return sum;
+  }
+
+  /// Frequency of one global id, from its owning shard's snapshot.
+  int64_t Frequency(uint32_t id) const {
+    SPROFILE_DCHECK(id < capacity_);
+    return shards_[ShardOf(id)]->snapshot()->profile.Frequency(LocalId(id));
+  }
+
+  /// Global maximum frequency with its tie-group size: the max of shard
+  /// modes, count summed via CountEqual across shards.
+  GroupStat MergedMode() const {
+    const auto snaps = SnapshotAll();
+    bool any = false;
+    int64_t best = 0;
+    for (const auto& snap : snaps) {
+      if (snap->profile.capacity() == 0) continue;
+      const int64_t f = snap->profile.Mode();
+      if (!any || f > best) best = f;
+      any = true;
+    }
+    SPROFILE_DCHECK(any);
+    uint32_t count = 0;
+    for (const auto& snap : snaps) {
+      if (snap->profile.capacity() == 0) continue;
+      count += snap->profile.CountEqual(best);
+    }
+    return GroupStat{best, count};
+  }
+
+  int64_t Mode() const { return MergedMode().frequency; }
+
+  /// Merged ascending histogram: k-way merge of per-shard histograms with
+  /// equal frequencies summed. O(Σ groups · log shards).
+  std::vector<GroupStat> Histogram() const {
+    std::vector<std::vector<GroupStat>> per_shard = PerShardHistograms();
+    std::vector<size_t> cursor(per_shard.size(), 0);
+    std::vector<GroupStat> merged;
+    for (;;) {
+      bool any = false;
+      int64_t lowest = 0;
+      for (size_t s = 0; s < per_shard.size(); ++s) {
+        if (cursor[s] >= per_shard[s].size()) continue;
+        const int64_t f = per_shard[s][cursor[s]].frequency;
+        if (!any || f < lowest) lowest = f;
+        any = true;
+      }
+      if (!any) break;
+      uint32_t count = 0;
+      for (size_t s = 0; s < per_shard.size(); ++s) {
+        if (cursor[s] < per_shard[s].size() &&
+            per_shard[s][cursor[s]].frequency == lowest) {
+          count += per_shard[s][cursor[s]].count;
+          ++cursor[s];
+        }
+      }
+      merged.push_back(GroupStat{lowest, count});
+    }
+    return merged;
+  }
+
+  /// k-th smallest frequency over all ids, k in [1, capacity()], by
+  /// walking the merged histogram.
+  int64_t KthSmallest(uint64_t k) const {
+    SPROFILE_DCHECK(k >= 1 && k <= capacity_);
+    uint64_t cum = 0;
+    for (const GroupStat& g : Histogram()) {
+      cum += g.count;
+      if (cum >= k) return g.frequency;
+    }
+    SPROFILE_CHECK_MSG(false, "KthSmallest ran off the merged histogram");
+    return 0;
+  }
+
+  int64_t KthLargest(uint64_t k) const {
+    SPROFILE_DCHECK(k >= 1 && k <= capacity_);
+    return KthSmallest(capacity_ - k + 1);
+  }
+
+  /// Lower median over all ids (rank floor((capacity-1)/2)).
+  int64_t Median() const { return KthSmallest((capacity_ - 1) / 2 + 1); }
+
+  /// q-quantile, q in [0, 1]: rank floor(q * (capacity - 1)).
+  int64_t Quantile(double q) const {
+    SPROFILE_DCHECK(q >= 0.0 && q <= 1.0);
+    const uint64_t k = static_cast<uint64_t>(q * (capacity_ - 1)) + 1;
+    return KthSmallest(k);
+  }
+
+  uint32_t CountAtLeast(int64_t f) const {
+    uint32_t sum = 0;
+    for (const auto& snap : SnapshotAll()) {
+      if (snap->profile.capacity() == 0) continue;
+      sum += snap->profile.CountAtLeast(f);
+    }
+    return sum;
+  }
+
+  uint32_t CountEqual(int64_t f) const {
+    uint32_t sum = 0;
+    for (const auto& snap : SnapshotAll()) {
+      if (snap->profile.capacity() == 0) continue;
+      sum += snap->profile.CountEqual(f);
+    }
+    return sum;
+  }
+
+  /// Top-k frequencies, descending: the merged histogram walked from its
+  /// top group, emitting count copies per group. Emits min(k, capacity())
+  /// values. O(Σ groups · shards) for the merge + O(k) emission.
+  std::vector<int64_t> TopK(uint32_t k) const {
+    const std::vector<GroupStat> merged = Histogram();
+    std::vector<int64_t> out;
+    const uint64_t want = std::min<uint64_t>(k, capacity_);
+    out.reserve(want);
+    for (auto it = merged.rbegin(); it != merged.rend() && out.size() < want;
+         ++it) {
+      for (uint32_t i = 0; i < it->count && out.size() < want; ++i) {
+        out.push_back(it->frequency);
+      }
+    }
+    return out;
+  }
+
+ private:
+  void PushOne(uint32_t id, int32_t delta) {
+    SPROFILE_DCHECK(id < capacity_);
+    const Event e{LocalId(id), delta};
+    shards_[ShardOf(id)]->Push(&e, 1);
+  }
+
+  bool CheckIds(std::span<const Event> events) const {
+    for (const Event& e : events) {
+      if (e.id >= capacity_) return false;
+    }
+    return true;
+  }
+
+  std::vector<std::vector<GroupStat>> PerShardHistograms() const {
+    std::vector<std::vector<GroupStat>> out;
+    out.reserve(shards_.size());
+    for (const auto& snap : SnapshotAll()) {
+      if (snap->profile.capacity() == 0) continue;
+      out.push_back(snap->profile.Histogram());
+    }
+    return out;
+  }
+
+  uint32_t capacity_;
+  EngineOptions options_;
+  std::vector<std::unique_ptr<internal::ShardWorker<Backend>>> shards_;
+};
+
+/// The default engine: S-Profile shards (O(1) updates, O(1)/O(log m)
+/// queries per shard). Explicitly instantiated in src/engine/.
+using ShardedProfiler = ShardedProfilerT<adapters::SProfile>;
+
+extern template class internal::ShardWorker<adapters::SProfile>;
+extern template class ShardedProfilerT<adapters::SProfile>;
+
+}  // namespace engine
+}  // namespace sprofile
+
+#endif  // SPROFILE_SPROFILE_ENGINE_SHARDED_PROFILER_H_

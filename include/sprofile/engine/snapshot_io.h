@@ -1,0 +1,60 @@
+// Engine durability: per-shard SPPF snapshots plus a manifest.
+//
+// SaveAll drains the engine, then writes each non-empty shard's profile as
+// an ordinary SPPF snapshot (core/profile_io.h) into `dir`, and finally a
+// text MANIFEST that binds them together.
+//
+// MANIFEST format (whitespace-separated records, no comments):
+//
+//   sprofile-engine-snapshot 1
+//   capacity <global id-space size>
+//   shards <N>
+//   generation <g>
+//   shard <index> <shard capacity> <epoch> <shard-<index>.g<g>.sppf|->
+//
+// "-" marks a zero-capacity shard (capacity < shards), which has no file.
+//
+// Crash consistency: shard file names embed the save generation, so a
+// re-save into the same directory never overwrites a file the current
+// manifest names; the manifest itself is committed by an atomic rename.
+// A crash mid-save therefore leaves the previous snapshot loadable and
+// at worst orphans some next-generation files (reclaimed by the next
+// successful SaveAll).
+//
+// LoadAll validates the partition arithmetic (every shard capacity must
+// match the engine's stride partition of `capacity`, every file name must
+// be the one the index and generation dictate) before touching any shard
+// file, loads each profile (checksummed by profile_io), and rebuilds a
+// running engine. The shard count comes from the manifest; the caller's
+// EngineOptions supplies the runtime knobs (queues, batches) and its
+// `shards` field is ignored.
+
+#ifndef SPROFILE_SPROFILE_ENGINE_SNAPSHOT_IO_H_
+#define SPROFILE_SPROFILE_ENGINE_SNAPSHOT_IO_H_
+
+#include <string>
+
+#include "sprofile/engine/sharded_profiler.h"
+#include "util/status.h"
+
+namespace sprofile {
+namespace engine {
+
+/// Name of the manifest file inside a snapshot directory.
+inline constexpr const char* kManifestFileName = "MANIFEST";
+
+/// Drains `engine` and writes its state under `dir` (created if missing).
+/// Non-const: SaveAll barriers ingestion so the snapshot is complete with
+/// respect to every previously enqueued event.
+Status SaveAll(ShardedProfiler& engine, const std::string& dir);
+
+/// Restores an engine saved with SaveAll. `options.shards` is ignored in
+/// favor of the manifest's shard count; the other knobs apply to the new
+/// engine's runtime.
+StatusOr<ShardedProfiler> LoadAll(const std::string& dir,
+                                  const EngineOptions& options);
+
+}  // namespace engine
+}  // namespace sprofile
+
+#endif  // SPROFILE_SPROFILE_ENGINE_SNAPSHOT_IO_H_

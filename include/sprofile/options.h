@@ -19,6 +19,9 @@
 #include "core/frequency_profile.h"
 #include "core/keyed_profile.h"
 #include "sprofile/checked.h"
+#include "sprofile/engine/checked_engine.h"
+#include "sprofile/engine/engine_options.h"
+#include "sprofile/engine/sharded_profiler.h"
 #include "util/status.h"
 
 namespace sprofile {
@@ -117,6 +120,25 @@ StatusOr<KeyedProfile<Key, Hash>> MakeKeyedProfile(
     const ProfilerOptions& options) {
   SPROFILE_RETURN_NOT_OK(options.Validate());
   return KeyedProfile<Key, Hash>(options.ToKeyedOptions());
+}
+
+/// The sharded concurrent engine over [0, initial_capacity), with worker
+/// threads running on return. See docs/ENGINE.md.
+inline StatusOr<engine::ShardedProfiler> MakeShardedProfiler(
+    const ProfilerOptions& options,
+    const engine::EngineOptions& engine_options) {
+  SPROFILE_RETURN_NOT_OK(options.Validate());
+  SPROFILE_RETURN_NOT_OK(engine_options.Validate());
+  return engine::ShardedProfiler(options.initial_capacity(), engine_options);
+}
+
+/// The engine behind the checked Try* tier.
+inline StatusOr<engine::CheckedShardedProfiler> MakeCheckedShardedProfiler(
+    const ProfilerOptions& options,
+    const engine::EngineOptions& engine_options) {
+  SPROFILE_ASSIGN_OR_RETURN(engine::ShardedProfiler e,
+                            MakeShardedProfiler(options, engine_options));
+  return engine::CheckedShardedProfiler(std::move(e));
 }
 
 }  // namespace sprofile

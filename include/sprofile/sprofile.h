@@ -10,6 +10,7 @@
 //   adapters::*                 every backend behind the concept vocabulary
 //   CheckedProfile              the Status-returning Try* tier
 //   ProfilerOptions, Make*      validated construction
+//   engine::*                   the sharded concurrent engine (ENGINE.md)
 //   Status / StatusOr<T>        the error model (util/status.h)
 //
 // The unchecked core (FrequencyProfile, KeyedProfile) is re-exported via
@@ -25,6 +26,7 @@
 
 #include "sprofile/adapters.h"
 #include "sprofile/checked.h"
+#include "sprofile/engine/engine.h"
 #include "sprofile/event.h"
 #include "sprofile/options.h"
 #include "sprofile/profiler_concept.h"

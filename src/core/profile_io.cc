@@ -1,7 +1,9 @@
 #include "core/profile_io.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <memory>
+#include <system_error>
 #include <vector>
 
 #include "util/crc32c.h"
@@ -12,6 +14,17 @@ namespace {
 
 constexpr uint32_t kMagic = 0x46505053u;  // "SPPF" little-endian
 constexpr uint32_t kVersion = 1;
+
+// Hard ceiling on snapshot size: 2^28 objects (2 GiB of frequencies) is
+// well above the paper's largest run (1e8) and small enough that a
+// corrupted header can never trigger a multi-terabyte allocation.
+constexpr uint32_t kMaxSnapshotObjects = 1u << 28;
+
+// Header (16 bytes) + m frequencies + masked CRC.
+constexpr size_t SnapshotFileBytes(uint32_t m) {
+  return 4 * sizeof(uint32_t) + static_cast<size_t>(m) * sizeof(int64_t) +
+         sizeof(uint32_t);
+}
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -40,6 +53,17 @@ Status SaveProfile(const FrequencyProfile& profile, const std::string& path) {
   if (profile.num_frozen() > 0) {
     return Status::FailedPrecondition(
         "profiles with frozen (peeled) objects cannot be snapshotted");
+  }
+  if (profile.capacity() == 0) {
+    return Status::InvalidArgument(
+        "profiles with zero capacity have no snapshot form (LoadProfile "
+        "rejects m == 0)");
+  }
+  if (profile.capacity() > kMaxSnapshotObjects) {
+    return Status::InvalidArgument(
+        "profile capacity " + std::to_string(profile.capacity()) +
+        " exceeds the snapshot format's limit of " +
+        std::to_string(kMaxSnapshotObjects) + " objects");
   }
 
   FilePtr f(std::fopen(path.c_str(), "wb"));
@@ -76,6 +100,32 @@ Result<FrequencyProfile> LoadProfile(const std::string& path) {
   }
   SPROFILE_RETURN_NOT_OK(ReadAll(f.get(), &m, sizeof(m), path));
   SPROFILE_RETURN_NOT_OK(ReadAll(f.get(), &pad, sizeof(pad), path));
+
+  // Validate the header BEFORE the O(m) allocation: a corrupted or hostile
+  // m must not turn into a giant vector (or a zero-object profile that no
+  // query can serve).
+  if (m == 0) {
+    return Status::InvalidArgument(path + ": snapshot declares m == 0");
+  }
+  if (m > kMaxSnapshotObjects) {
+    return Status::InvalidArgument(
+        path + ": snapshot declares m = " + std::to_string(m) +
+        ", above the format limit of " + std::to_string(kMaxSnapshotObjects));
+  }
+  if (pad != 0) {
+    return Status::Corruption(path + ": nonzero header pad field");
+  }
+  // 64-bit size query (ftell's long overflows at the format limit on
+  // LLP64 platforms); the stream position stays at the payload start.
+  std::error_code ec;
+  const uintmax_t file_size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::IOError("cannot size " + path + ": " + ec.message());
+  if (file_size != SnapshotFileBytes(m)) {
+    return Status::InvalidArgument(
+        path + ": declared m = " + std::to_string(m) + " implies " +
+        std::to_string(SnapshotFileBytes(m)) + " bytes but the file has " +
+        std::to_string(file_size));
+  }
 
   std::vector<int64_t> freqs(m);
   const size_t bytes = freqs.size() * sizeof(int64_t);

@@ -1,0 +1,20 @@
+// Explicit instantiation of the default engine (S-Profile shards), so the
+// ~700 lines of worker/merge machinery compile once here instead of in
+// every consumer TU. Other backends (e.g. ShardedProfilerT<adapters::Naive>
+// in the parity tests) instantiate implicitly.
+
+#include "sprofile/engine/sharded_profiler.h"
+
+namespace sprofile {
+namespace engine {
+
+template class internal::ShardWorker<adapters::SProfile>;
+template class ShardedProfilerT<adapters::SProfile>;
+
+static_assert(FullProfiler<ShardedProfiler>,
+              "the engine must speak the full concept vocabulary");
+static_assert(ShardBackend<adapters::SProfile>);
+static_assert(ShardBackend<adapters::Naive>);
+
+}  // namespace engine
+}  // namespace sprofile

@@ -1,0 +1,214 @@
+#include "sprofile/engine/snapshot_io.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/profile_io.h"
+
+namespace sprofile {
+namespace engine {
+
+namespace {
+
+constexpr const char* kManifestMagic = "sprofile-engine-snapshot";
+constexpr int kManifestVersion = 1;
+
+std::string ShardFileName(uint32_t shard, uint64_t generation) {
+  return "shard-" + std::to_string(shard) + ".g" + std::to_string(generation) +
+         ".sppf";
+}
+
+/// The manifest header: everything before the per-shard records. ONE
+/// parser serves both LoadAll and SaveAll's old-generation cleanup, so a
+/// future format change cannot diverge between the two.
+struct ManifestHeader {
+  uint32_t capacity = 0;
+  uint32_t shards = 0;
+  uint64_t generation = 0;
+};
+
+/// Parses the header from `in`. Non-OK means unreadable/foreign/wrong
+/// version; the shard records (if any) remain unread in the stream.
+Status ReadManifestHeader(std::istream& in, const std::string& manifest_path,
+                          ManifestHeader* out) {
+  std::string magic, key;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kManifestMagic) {
+    return Status::Corruption(manifest_path + ": bad manifest magic");
+  }
+  if (version != kManifestVersion) {
+    return Status::Corruption(manifest_path + ": unsupported version " +
+                              std::to_string(version));
+  }
+  if (!(in >> key >> out->capacity) || key != "capacity") {
+    return Status::Corruption(manifest_path + ": missing capacity record");
+  }
+  if (!(in >> key >> out->shards) || key != "shards") {
+    return Status::Corruption(manifest_path + ": missing shards record");
+  }
+  if (!(in >> key >> out->generation) || key != "generation") {
+    return Status::Corruption(manifest_path + ": missing generation record");
+  }
+  return Status::OK();
+}
+
+/// The previous save's lineage, or all-zero when there is none (or it is
+/// unreadable — a fresh save then starts a new lineage at 1).
+ManifestHeader ReadOldLineage(const std::string& manifest_path) {
+  std::ifstream in(manifest_path);
+  ManifestHeader header;
+  if (!in || !ReadManifestHeader(in, manifest_path, &header).ok()) return {};
+  return header;
+}
+
+}  // namespace
+
+Status SaveAll(ShardedProfiler& engine, const std::string& dir) {
+  engine.Drain();
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create snapshot directory " + dir + ": " +
+                           ec.message());
+  }
+
+  // Crash consistency: shard files carry a generation number in their
+  // names, so an in-place re-save never truncates a file the CURRENT
+  // manifest names. The new manifest is written to a temp name and
+  // renamed over MANIFEST as the single atomic commit point — a crash at
+  // any earlier step leaves the previous generation fully intact.
+  const std::string manifest_path = dir + "/" + kManifestFileName;
+  const ManifestHeader old_lineage = ReadOldLineage(manifest_path);
+  const uint64_t generation = old_lineage.generation + 1;
+
+  const auto snapshots = engine.SnapshotAll();
+  std::ostringstream manifest;
+  manifest << kManifestMagic << ' ' << kManifestVersion << '\n';
+  manifest << "capacity " << engine.capacity() << '\n';
+  manifest << "shards " << engine.num_shards() << '\n';
+  manifest << "generation " << generation << '\n';
+  for (uint32_t s = 0; s < engine.num_shards(); ++s) {
+    const auto& snap = snapshots[s];
+    const uint32_t shard_capacity = snap->profile.capacity();
+    std::string file = "-";
+    if (shard_capacity > 0) {
+      file = ShardFileName(s, generation);
+      SPROFILE_RETURN_NOT_OK(
+          SaveProfile(snap->profile.backend(), dir + "/" + file));
+    }
+    manifest << "shard " << s << ' ' << shard_capacity << ' ' << snap->epoch
+             << ' ' << file << '\n';
+  }
+
+  const std::string tmp_path = manifest_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp_path);
+    out << manifest.str();
+    out.flush();
+    if (!out) return Status::IOError("short write to " + tmp_path);
+  }
+  std::filesystem::rename(tmp_path, manifest_path, ec);
+  if (ec) {
+    return Status::IOError("cannot commit manifest " + manifest_path + ": " +
+                           ec.message());
+  }
+
+  // The commit succeeded; the previous generation's shard files are now
+  // unreferenced. Removal is best-effort cleanup, not correctness — and it
+  // iterates the OLD manifest's shard count, which may differ from this
+  // engine's.
+  if (old_lineage.generation > 0) {
+    for (uint32_t s = 0; s < old_lineage.shards; ++s) {
+      std::filesystem::remove(
+          dir + "/" + ShardFileName(s, old_lineage.generation), ec);
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<ShardedProfiler> LoadAll(const std::string& dir,
+                                  const EngineOptions& options) {
+  const std::string manifest_path = dir + "/" + kManifestFileName;
+  std::ifstream in(manifest_path);
+  if (!in) return Status::IOError("cannot open " + manifest_path);
+
+  ManifestHeader header;
+  SPROFILE_RETURN_NOT_OK(ReadManifestHeader(in, manifest_path, &header));
+  const uint32_t capacity = header.capacity;
+  const uint32_t shards = header.shards;
+  if (shards == 0 || shards > EngineOptions::kMaxShards) {
+    return Status::Corruption(manifest_path + ": implausible shard count " +
+                              std::to_string(shards));
+  }
+
+  struct ShardRecord {
+    bool seen = false;
+    uint32_t capacity = 0;
+    std::string file;
+  };
+  std::vector<ShardRecord> records(shards);
+  for (uint32_t i = 0; i < shards; ++i) {
+    uint32_t index = 0, shard_capacity = 0;
+    uint64_t epoch = 0;
+    std::string key, file;
+    if (!(in >> key >> index >> shard_capacity >> epoch >> file) ||
+        key != "shard") {
+      return Status::Corruption(manifest_path + ": truncated shard records");
+    }
+    if (index >= shards || records[index].seen) {
+      return Status::Corruption(manifest_path + ": bad shard index " +
+                                std::to_string(index));
+    }
+    const uint32_t expected =
+        ShardedProfiler::ShardCapacity(capacity, shards, index);
+    if (shard_capacity != expected) {
+      return Status::Corruption(
+          manifest_path + ": shard " + std::to_string(index) + " capacity " +
+          std::to_string(shard_capacity) + " does not match the stride " +
+          "partition (expected " + std::to_string(expected) + ")");
+    }
+    // The file name is fully determined by the index and generation;
+    // accepting anything else would let a crafted manifest redirect the
+    // load outside `dir`.
+    const std::string expected_file =
+        shard_capacity == 0 ? "-" : ShardFileName(index, header.generation);
+    if (file != expected_file) {
+      return Status::Corruption(manifest_path + ": shard " +
+                                std::to_string(index) + " names file '" +
+                                file + "', expected '" + expected_file + "'");
+    }
+    records[index] = ShardRecord{true, shard_capacity, file};
+  }
+
+  EngineOptions engine_options = options;
+  engine_options.shards = shards;
+  SPROFILE_RETURN_NOT_OK(engine_options.Validate());
+
+  std::vector<adapters::SProfile> backends;
+  backends.reserve(shards);
+  for (uint32_t s = 0; s < shards; ++s) {
+    if (records[s].capacity == 0) {
+      backends.emplace_back(0u);
+      continue;
+    }
+    SPROFILE_ASSIGN_OR_RETURN(FrequencyProfile profile,
+                              LoadProfile(dir + "/" + records[s].file));
+    if (profile.capacity() != records[s].capacity) {
+      return Status::Corruption(dir + "/" + records[s].file + ": capacity " +
+                                std::to_string(profile.capacity()) +
+                                " disagrees with the manifest");
+    }
+    backends.emplace_back(std::move(profile));
+  }
+  return ShardedProfiler(std::move(backends), capacity, engine_options);
+}
+
+}  // namespace engine
+}  // namespace sprofile

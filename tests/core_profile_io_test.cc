@@ -67,13 +67,60 @@ TEST_F(ProfileIoTest, LoadedProfileAcceptsUpdates) {
   EXPECT_EQ(p.Frequency(0), original.Frequency(0) + 1);
 }
 
-TEST_F(ProfileIoTest, EmptyProfileRoundTrips) {
+TEST_F(ProfileIoTest, EmptyProfileRejectedOnSave) {
   FrequencyProfile empty(0);
-  const std::string path = TempPath("empty.sppf");
-  ASSERT_TRUE(SaveProfile(empty, path).ok());
-  auto loaded = LoadProfile(path);
-  ASSERT_TRUE(loaded.ok());
-  EXPECT_EQ(loaded.value().capacity(), 0u);
+  EXPECT_EQ(SaveProfile(empty, TempPath("empty.sppf")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProfileIoTest, ZeroMRejectedOnLoad) {
+  const std::string path = TempPath("zero_m.sppf");
+  {
+    std::ofstream f(path, std::ios::binary);
+    const uint32_t header[4] = {0x46505053u, 1u, 0u, 0u};  // m == 0
+    f.write(reinterpret_cast<const char*>(header), sizeof(header));
+    const uint32_t crc = 0;
+    f.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  }
+  EXPECT_EQ(LoadProfile(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProfileIoTest, OversizedMRejectedBeforeAllocating) {
+  const std::string path = TempPath("huge_m.sppf");
+  {
+    std::ofstream f(path, std::ios::binary);
+    // m = 2^32 - 16: accepting this header would mean a ~32 GiB vector.
+    const uint32_t header[4] = {0x46505053u, 1u, 0xFFFFFFF0u, 0u};
+    f.write(reinterpret_cast<const char*>(header), sizeof(header));
+  }
+  EXPECT_EQ(LoadProfile(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProfileIoTest, MDisagreeingWithPayloadRejected) {
+  const FrequencyProfile original = MakeWarm(8, 100, 7);
+  const std::string path = TempPath("lying_m.sppf");
+  ASSERT_TRUE(SaveProfile(original, path).ok());
+  {
+    // Inflate the declared m far past the payload the file carries.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(8);
+    const uint32_t lying_m = 100000;
+    f.write(reinterpret_cast<const char*>(&lying_m), sizeof(lying_m));
+  }
+  EXPECT_EQ(LoadProfile(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProfileIoTest, NonzeroPadRejected) {
+  const FrequencyProfile original = MakeWarm(16, 200, 8);
+  const std::string path = TempPath("bad_pad.sppf");
+  ASSERT_TRUE(SaveProfile(original, path).ok());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(12);
+    const uint32_t pad = 0xDEADBEEFu;
+    f.write(reinterpret_cast<const char*>(&pad), sizeof(pad));
+  }
+  EXPECT_EQ(LoadProfile(path).status().code(), StatusCode::kCorruption);
 }
 
 TEST_F(ProfileIoTest, FrozenProfileRejected) {

@@ -1,0 +1,159 @@
+#include "sprofile/engine/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace sprofile {
+namespace engine {
+namespace {
+
+TEST(RingBufferTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpscRingBuffer<int>(1).capacity(), 2u);
+  EXPECT_EQ(MpscRingBuffer<int>(2).capacity(), 2u);
+  EXPECT_EQ(MpscRingBuffer<int>(3).capacity(), 4u);
+  EXPECT_EQ(MpscRingBuffer<int>(1024).capacity(), 1024u);
+  EXPECT_EQ(MpscRingBuffer<int>(1025).capacity(), 2048u);
+}
+
+TEST(RingBufferTest, PushPopSingleThread) {
+  MpscRingBuffer<int> q(8);
+  EXPECT_TRUE(q.Empty());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.TryPush(i));
+  EXPECT_FALSE(q.Empty());
+
+  int out[8];
+  EXPECT_EQ(q.TryPopBatch(out, 8), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.TryPopBatch(out, 8), 0u);
+}
+
+TEST(RingBufferTest, FullQueueRejectsPush) {
+  MpscRingBuffer<int> q(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.TryPush(i));
+  EXPECT_FALSE(q.TryPush(99));
+
+  int out[1];
+  ASSERT_EQ(q.TryPopBatch(out, 1), 1u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_TRUE(q.TryPush(99));  // the freed cell is reusable
+}
+
+TEST(RingBufferTest, WrapAroundManyLaps) {
+  MpscRingBuffer<uint64_t> q(4);
+  uint64_t next_out = 0;
+  uint64_t out[3];
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(q.TryPush(i));
+    if (i % 3 == 2) {
+      ASSERT_EQ(q.TryPopBatch(out, 3), 3u);
+      for (int j = 0; j < 3; ++j) EXPECT_EQ(out[j], next_out++);
+    }
+  }
+}
+
+TEST(RingBufferTest, SpanPushIsAtomicPerRun) {
+  MpscRingBuffer<int> q(8);
+  const int data[5] = {10, 11, 12, 13, 14};
+  EXPECT_EQ(q.TryPushSpan(data, 5), 5u);
+  // Only 3 slots remain: a 5-wide push takes the available prefix.
+  EXPECT_EQ(q.TryPushSpan(data, 5), 3u);
+
+  int out[8];
+  ASSERT_EQ(q.TryPopBatch(out, 8), 8u);
+  const int expect[8] = {10, 11, 12, 13, 14, 10, 11, 12};
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], expect[i]);
+}
+
+TEST(RingBufferTest, PopBatchRespectsMax) {
+  MpscRingBuffer<int> q(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.TryPush(i));
+  int out[4];
+  EXPECT_EQ(q.TryPopBatch(out, 4), 4u);
+  EXPECT_EQ(q.TryPopBatch(out, 4), 4u);
+  EXPECT_EQ(q.TryPopBatch(out, 4), 2u);
+}
+
+// The MPSC contract under contention: P producers push disjoint value
+// ranges while one consumer drains; every value must arrive exactly once.
+// Run under TSan in CI, this is also the queue's data-race gate.
+TEST(RingBufferTest, ConcurrentProducersSingleConsumer) {
+  constexpr int kProducers = 4;
+  constexpr uint32_t kPerProducer = 20000;
+  MpscRingBuffer<uint32_t> q(256);  // small, to force wrap + backpressure
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (uint32_t i = 0; i < kPerProducer; ++i) {
+        const uint32_t value = static_cast<uint32_t>(p) * kPerProducer + i;
+        while (!q.TryPush(value)) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<uint32_t> seen(kProducers * kPerProducer, 0);
+  uint64_t received = 0;
+  uint32_t out[64];
+  while (received < static_cast<uint64_t>(kProducers) * kPerProducer) {
+    const size_t n = q.TryPopBatch(out, 64);
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (size_t i = 0; i < n; ++i) ++seen[out[i]];
+    received += n;
+  }
+  for (auto& t : producers) t.join();
+
+  for (uint64_t v = 0; v < seen.size(); ++v) {
+    ASSERT_EQ(seen[v], 1u) << "value " << v;
+  }
+  EXPECT_TRUE(q.Empty());
+}
+
+// Per-producer FIFO: each producer's own values arrive in its push order
+// (cross-producer interleaving is unconstrained).
+TEST(RingBufferTest, PerProducerOrderPreserved) {
+  constexpr int kProducers = 2;
+  constexpr uint32_t kPerProducer = 10000;
+  MpscRingBuffer<uint32_t> q(128);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (uint32_t i = 0; i < kPerProducer; ++i) {
+        const uint32_t value = static_cast<uint32_t>(p) * kPerProducer + i;
+        while (!q.TryPush(value)) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<uint32_t> last_from(kProducers, 0);
+  std::vector<bool> any_from(kProducers, false);
+  uint64_t received = 0;
+  uint32_t out[32];
+  while (received < static_cast<uint64_t>(kProducers) * kPerProducer) {
+    const size_t n = q.TryPopBatch(out, 32);
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t p = out[i] / kPerProducer;
+      if (any_from[p]) {
+        ASSERT_LT(last_from[p], out[i]);
+      }
+      last_from[p] = out[i];
+      any_from[p] = true;
+    }
+    received += n;
+    if (n == 0) std::this_thread::yield();
+  }
+  for (auto& t : producers) t.join();
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace sprofile

@@ -1,0 +1,523 @@
+// The engine's correctness gates:
+//
+//   - merged queries against the NaiveProfiler oracle over the GLOBAL id
+//     space (single- and multi-shard, divisible and ragged capacities),
+//   - the concurrent parity test: K producer threads hammering the engine,
+//     final state diffed against the oracle (±1 events commute, so any
+//     interleaving must land on the same frequencies) — the CI TSan job
+//     runs this file as the data-race gate,
+//   - Flush() read-your-writes, epoch monotonicity,
+//   - SaveAll/LoadAll round-trip and manifest validation,
+//   - the checked Try* twins' error codes,
+//   - facade construction (MakeShardedProfiler) validation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sprofile/sprofile.h"
+#include "stream/log_stream.h"
+
+namespace sprofile {
+namespace engine {
+namespace {
+
+using adapters::Naive;
+
+static_assert(FullProfiler<ShardedProfiler>);
+static_assert(ShardBackend<adapters::SProfile>);
+static_assert(ShardBackend<Naive>);
+
+EngineOptions SmallOptions(uint32_t shards) {
+  return EngineOptions{.shards = shards,
+                       .queue_capacity = 1024,
+                       .drain_batch = 64,
+                       .snapshot_interval = 0};
+}
+
+std::vector<Event> RandomEvents(uint32_t capacity, uint32_t n, uint64_t seed) {
+  stream::LogStreamGenerator gen(
+      stream::MakePaperStreamConfig(2, capacity, seed));
+  std::vector<Event> events;
+  events.reserve(n);
+  gen.GenerateEvents(n, &events);
+  return events;
+}
+
+/// Applies `events` (global ids) to a fresh oracle of size `capacity`.
+baselines::NaiveProfiler OracleOf(uint32_t capacity,
+                                  const std::vector<Event>& events) {
+  baselines::NaiveProfiler oracle(capacity);
+  for (const Event& e : events) {
+    for (int32_t d = e.delta; d > 0; --d) oracle.Add(e.id);
+    for (int32_t d = e.delta; d < 0; ++d) oracle.Remove(e.id);
+  }
+  return oracle;
+}
+
+void ExpectMatchesOracle(const ShardedProfiler& engine,
+                         const baselines::NaiveProfiler& oracle) {
+  ASSERT_EQ(engine.capacity(), oracle.capacity());
+  EXPECT_EQ(engine.total_count(), oracle.total_count());
+  for (uint32_t id = 0; id < oracle.capacity(); ++id) {
+    ASSERT_EQ(engine.Frequency(id), oracle.Frequency(id)) << "id " << id;
+  }
+  EXPECT_EQ(engine.Mode(), oracle.ModeFrequency());
+  EXPECT_EQ(engine.Histogram(), oracle.Histogram());
+  EXPECT_EQ(engine.Median(), oracle.MedianFrequency());
+  const uint32_t m = oracle.capacity();
+  for (uint64_t k : {uint64_t{1}, uint64_t{m / 3 + 1}, uint64_t{m}}) {
+    EXPECT_EQ(engine.KthSmallest(k), oracle.KthSmallest(k)) << "k " << k;
+    EXPECT_EQ(engine.KthLargest(k), oracle.KthLargest(k)) << "k " << k;
+  }
+  for (int64_t f : {int64_t{-1}, int64_t{0}, int64_t{1}, int64_t{3}}) {
+    EXPECT_EQ(engine.CountAtLeast(f), oracle.CountAtLeast(f)) << "f " << f;
+    EXPECT_EQ(engine.CountEqual(f), oracle.CountEqual(f)) << "f " << f;
+  }
+  EXPECT_EQ(engine.TopK(std::min(m, 25u)),
+            oracle.TopKFrequencies(std::min(m, 25u)));
+}
+
+TEST(ShardRoutingTest, StridePartitionCoversEveryIdOnce) {
+  for (uint32_t capacity : {0u, 1u, 2u, 7u, 64u, 1001u}) {
+    for (uint32_t shards : {1u, 2u, 4u, 5u, 16u}) {
+      uint64_t sum = 0;
+      for (uint32_t s = 0; s < shards; ++s) {
+        sum += ShardedProfiler::ShardCapacity(capacity, shards, s);
+      }
+      EXPECT_EQ(sum, capacity) << capacity << "/" << shards;
+    }
+  }
+}
+
+TEST(ShardedProfilerTest, MergedQueriesMatchOracleAcrossShardCounts) {
+  constexpr uint32_t kCapacity = 300;
+  const std::vector<Event> events = RandomEvents(kCapacity, 20000, 42);
+  const baselines::NaiveProfiler oracle = OracleOf(kCapacity, events);
+
+  // 7 and 32 exercise ragged partitions (300 % shards != 0), 1 the
+  // degenerate single-shard path.
+  for (uint32_t shards : {1u, 2u, 4u, 7u, 32u}) {
+    ShardedProfiler engine(kCapacity, SmallOptions(shards));
+    engine.ApplyBatch(events);
+    engine.Drain();
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ExpectMatchesOracle(engine, oracle);
+  }
+}
+
+TEST(ShardedProfilerTest, MoreShardsThanIdsLeavesEmptyShards) {
+  constexpr uint32_t kCapacity = 3;
+  ShardedProfiler engine(kCapacity, SmallOptions(8));
+  engine.Add(0);
+  engine.Add(0);
+  engine.Add(2);
+  engine.Remove(1);
+  engine.Drain();
+  EXPECT_EQ(engine.Frequency(0), 2);
+  EXPECT_EQ(engine.Frequency(1), -1);
+  EXPECT_EQ(engine.Frequency(2), 1);
+  EXPECT_EQ(engine.Mode(), 2);
+  EXPECT_EQ(engine.total_count(), 2);
+  EXPECT_EQ(engine.KthSmallest(1), -1);
+  EXPECT_EQ(engine.TopK(8), (std::vector<int64_t>{2, 1, -1}));
+}
+
+TEST(ShardedProfilerTest, FlushIsReadYourWrites) {
+  ShardedProfiler engine(64, SmallOptions(4));
+  for (int round = 0; round < 50; ++round) {
+    engine.Add(7);
+    engine.Add(13);
+    engine.Remove(13);
+    engine.Flush();
+    EXPECT_EQ(engine.Frequency(7), round + 1);
+    EXPECT_EQ(engine.Frequency(13), 0);
+  }
+  EXPECT_EQ(engine.total_count(), 50);
+}
+
+TEST(ShardedProfilerTest, SnapshotEpochsAreMonotonic) {
+  ShardedProfiler engine(16, SmallOptions(2));
+  uint64_t last = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (uint32_t id = 0; id < 16; ++id) engine.Add(id);
+    engine.Flush();
+    uint64_t sum = 0;
+    for (const auto& snap : engine.SnapshotAll()) sum += snap->epoch;
+    EXPECT_GE(sum, last);
+    EXPECT_EQ(sum, static_cast<uint64_t>(16 * (round + 1)));
+    last = sum;
+  }
+}
+
+TEST(ShardedProfilerTest, QueriesNeverBlockIngestionSnapshotLags) {
+  // With interval publishing off and no barrier, a query sees the LAST
+  // published snapshot — proof that reads don't synchronize with writes.
+  ShardedProfiler engine(8, SmallOptions(1));
+  engine.Add(3);
+  engine.Flush();
+  EXPECT_EQ(engine.Frequency(3), 1);
+  // total_count() right after an un-flushed Add may be stale (0 or 1
+  // events behind) but must never exceed what was enqueued.
+  engine.Add(3);
+  const int64_t observed = engine.Frequency(3);
+  EXPECT_GE(observed, 1);
+  EXPECT_LE(observed, 2);
+  engine.Flush();
+  EXPECT_EQ(engine.Frequency(3), 2);
+}
+
+// The concurrent parity gate: K producers push disjoint slices of one
+// event stream through ApplyBatch while the engine drains concurrently.
+// ±1 deltas commute, so the final frequencies must equal the oracle's
+// regardless of interleaving. Run under TSan in CI.
+TEST(ShardedProfilerTest, ConcurrentProducersMatchOracle) {
+  constexpr uint32_t kCapacity = 500;
+  constexpr uint32_t kProducers = 4;
+  constexpr uint32_t kEventsPerProducer = 30000;
+  constexpr uint32_t kPushChunk = 128;
+
+  std::vector<std::vector<Event>> slices;
+  std::vector<Event> all;
+  for (uint32_t p = 0; p < kProducers; ++p) {
+    slices.push_back(
+        RandomEvents(kCapacity, kEventsPerProducer, /*seed=*/900 + p));
+    all.insert(all.end(), slices.back().begin(), slices.back().end());
+  }
+
+  ShardedProfiler engine(
+      kCapacity, EngineOptions{.shards = 4,
+                               .queue_capacity = 512,  // force backpressure
+                               .drain_batch = 64,
+                               .snapshot_interval = 4096});
+  std::vector<std::thread> producers;
+  for (uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&engine, &slices, p] {
+      const std::vector<Event>& mine = slices[p];
+      for (size_t i = 0; i < mine.size(); i += kPushChunk) {
+        const size_t n = std::min<size_t>(kPushChunk, mine.size() - i);
+        engine.ApplyBatch(std::span<const Event>(&mine[i], n));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  engine.Drain();
+
+  ExpectMatchesOracle(engine, OracleOf(kCapacity, all));
+  EXPECT_EQ(engine.TotalApplied(),
+            static_cast<uint64_t>(kProducers) * kEventsPerProducer);
+}
+
+// Same gate through the single-event Add/Remove path (contended CAS on
+// one cell at a time instead of span reservations).
+TEST(ShardedProfilerTest, ConcurrentSingleEventPushesMatchOracle) {
+  constexpr uint32_t kCapacity = 64;
+  constexpr uint32_t kProducers = 4;
+  constexpr uint32_t kEventsPerProducer = 20000;
+
+  std::vector<std::vector<Event>> slices;
+  std::vector<Event> all;
+  for (uint32_t p = 0; p < kProducers; ++p) {
+    slices.push_back(
+        RandomEvents(kCapacity, kEventsPerProducer, /*seed=*/700 + p));
+    all.insert(all.end(), slices.back().begin(), slices.back().end());
+  }
+
+  ShardedProfiler engine(kCapacity, SmallOptions(2));
+  std::vector<std::thread> producers;
+  for (uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&engine, &slices, p] {
+      for (const Event& e : slices[p]) engine.Apply(e.id, e.delta > 0);
+    });
+  }
+  for (auto& t : producers) t.join();
+  engine.Drain();
+
+  ExpectMatchesOracle(engine, OracleOf(kCapacity, all));
+}
+
+// Readers hammer merged queries while producers ingest: the snapshot path
+// must be race-free (TSan) and every observed total must be one the
+// engine actually passed through (bounded by what was enqueued).
+TEST(ShardedProfilerTest, ConcurrentReadersDuringIngestion) {
+  constexpr uint32_t kCapacity = 128;
+  constexpr int64_t kAdds = 40000;
+  ShardedProfiler engine(kCapacity,
+                         EngineOptions{.shards = 2,
+                                       .queue_capacity = 1024,
+                                       .drain_batch = 64,
+                                       .snapshot_interval = 512});
+
+  std::atomic<bool> done{false};
+  std::thread reader([&engine, &done, kAdds] {
+    while (!done.load(std::memory_order_acquire)) {
+      const int64_t total = engine.total_count();
+      EXPECT_GE(total, 0);
+      EXPECT_LE(total, kAdds);
+      const int64_t mode = engine.Mode();
+      EXPECT_GE(mode, 0);
+      (void)engine.Histogram();
+      (void)engine.TopK(10);
+    }
+  });
+
+  std::vector<Event> adds;
+  adds.reserve(kAdds);
+  stream::LogStreamGenerator gen(
+      stream::MakePaperStreamConfig(1, kCapacity, 31));
+  for (int64_t i = 0; i < kAdds; ++i) adds.push_back(Event::Add(gen.Next().id));
+  engine.ApplyBatch(adds);
+  engine.Drain();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(engine.total_count(), kAdds);
+}
+
+TEST(ShardedProfilerTest, NaiveBackedEngineMatchesSProfileBackedEngine) {
+  constexpr uint32_t kCapacity = 120;
+  const std::vector<Event> events = RandomEvents(kCapacity, 8000, 77);
+
+  ShardedProfiler fast(kCapacity, SmallOptions(4));
+  ShardedProfilerT<Naive> slow(kCapacity, SmallOptions(4));
+  fast.ApplyBatch(events);
+  slow.ApplyBatch(events);
+  fast.Drain();
+  slow.Drain();
+
+  EXPECT_EQ(fast.total_count(), slow.total_count());
+  EXPECT_EQ(fast.Mode(), slow.Mode());
+  EXPECT_EQ(fast.Histogram(), slow.Histogram());
+  EXPECT_EQ(fast.TopK(17), slow.TopK(17));
+  for (uint32_t id = 0; id < kCapacity; ++id) {
+    ASSERT_EQ(fast.Frequency(id), slow.Frequency(id)) << "id " << id;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot IO.
+// ---------------------------------------------------------------------
+
+class EngineSnapshotTest : public testing::Test {
+ protected:
+  std::string TempDir(const std::string& name) {
+    const std::string d = testing::TempDir() + "/sprofile_engine_" + name;
+    created_.push_back(d);
+    return d;
+  }
+
+  void TearDown() override {
+    for (const std::string& d : created_) {
+      std::error_code ec;
+      std::filesystem::remove_all(d, ec);
+    }
+  }
+
+  std::vector<std::string> created_;
+};
+
+TEST_F(EngineSnapshotTest, SaveAllLoadAllRoundTripsQueries) {
+  constexpr uint32_t kCapacity = 230;  // ragged across 4 shards
+  const std::vector<Event> events = RandomEvents(kCapacity, 15000, 5);
+
+  ShardedProfiler engine(kCapacity, SmallOptions(4));
+  engine.ApplyBatch(events);
+  const std::string dir = TempDir("roundtrip");
+  ASSERT_TRUE(SaveAll(engine, dir).ok());  // SaveAll drains internally
+
+  auto loaded = LoadAll(dir, SmallOptions(1));  // shards come from manifest
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ShardedProfiler restored = std::move(loaded).value();
+  EXPECT_EQ(restored.num_shards(), 4u);
+  ExpectMatchesOracle(restored, OracleOf(kCapacity, events));
+
+  // The restored engine keeps ingesting.
+  restored.Add(0);
+  restored.Flush();
+  EXPECT_EQ(restored.Frequency(0), engine.Frequency(0) + 1);
+}
+
+TEST_F(EngineSnapshotTest, EmptyShardsSurviveTheRoundTrip) {
+  ShardedProfiler engine(2, SmallOptions(8));  // shards 2..7 are empty
+  engine.Add(0);
+  engine.Add(1);
+  engine.Add(1);
+  const std::string dir = TempDir("empty_shards");
+  ASSERT_TRUE(SaveAll(engine, dir).ok());
+
+  auto loaded = LoadAll(dir, SmallOptions(1));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_shards(), 8u);
+  EXPECT_EQ(loaded->Frequency(0), 1);
+  EXPECT_EQ(loaded->Frequency(1), 2);
+}
+
+TEST_F(EngineSnapshotTest, ReSaveIntoSameDirectoryAdvancesGeneration) {
+  ShardedProfiler engine(40, SmallOptions(2));
+  engine.Add(1);
+  const std::string dir = TempDir("resave");
+  ASSERT_TRUE(SaveAll(engine, dir).ok());
+  ASSERT_TRUE(std::filesystem::exists(dir + "/shard-0.g1.sppf"));
+
+  engine.Add(1);
+  engine.Add(2);
+  ASSERT_TRUE(SaveAll(engine, dir).ok());
+  // Generation 2 committed; generation 1's files were reclaimed.
+  ASSERT_TRUE(std::filesystem::exists(dir + "/shard-0.g2.sppf"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/shard-0.g1.sppf"));
+
+  auto loaded = LoadAll(dir, SmallOptions(1));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->Frequency(1), 2);
+  EXPECT_EQ(loaded->Frequency(2), 1);
+}
+
+TEST_F(EngineSnapshotTest, ManifestRedirectingShardFilesIsCorruption) {
+  ShardedProfiler engine(40, SmallOptions(2));
+  engine.Add(0);
+  const std::string dir = TempDir("redirect");
+  ASSERT_TRUE(SaveAll(engine, dir).ok());
+  // Point shard 1 at an arbitrary path: the loader must insist on the
+  // name the index and generation dictate.
+  std::ofstream(dir + "/" + kManifestFileName)
+      << "sprofile-engine-snapshot 1\ncapacity 40\nshards 2\ngeneration 1\n"
+      << "shard 0 20 1 shard-0.g1.sppf\nshard 1 20 0 ../../evil.sppf\n";
+  EXPECT_EQ(LoadAll(dir, SmallOptions(1)).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(EngineSnapshotTest, MissingDirectoryIsIOError) {
+  EXPECT_EQ(LoadAll("/nonexistent/engine", SmallOptions(1)).status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(EngineSnapshotTest, GarbageManifestIsCorruption) {
+  const std::string dir = TempDir("garbage");
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/" + kManifestFileName) << "not a manifest\n";
+  EXPECT_EQ(LoadAll(dir, SmallOptions(1)).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(EngineSnapshotTest, ManifestWithWrongShardCapacityIsCorruption) {
+  ShardedProfiler engine(100, SmallOptions(4));
+  engine.Add(0);
+  const std::string dir = TempDir("bad_capacity");
+  ASSERT_TRUE(SaveAll(engine, dir).ok());
+  // Rewrite the manifest claiming a different global capacity: the shard
+  // capacities no longer match its stride partition.
+  std::ofstream(dir + "/" + kManifestFileName)
+      << "sprofile-engine-snapshot 1\ncapacity 120\nshards 4\ngeneration 1\n"
+      << "shard 0 25 1 shard-0.g1.sppf\nshard 1 25 0 shard-1.g1.sppf\n"
+      << "shard 2 25 0 shard-2.g1.sppf\nshard 3 25 0 shard-3.g1.sppf\n";
+  EXPECT_EQ(LoadAll(dir, SmallOptions(1)).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(EngineSnapshotTest, TamperedShardFileFailsItsChecksum) {
+  ShardedProfiler engine(64, SmallOptions(2));
+  for (uint32_t i = 0; i < 64; ++i) engine.Add(i % 7);
+  const std::string dir = TempDir("tampered");
+  ASSERT_TRUE(SaveAll(engine, dir).ok());
+  {
+    std::fstream f(dir + "/shard-1.g1.sppf",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(20);
+    char byte;
+    f.read(&byte, 1);
+    f.seekp(20);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+  EXPECT_EQ(LoadAll(dir, SmallOptions(1)).status().code(),
+            StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------
+// The checked tier and the facade factories.
+// ---------------------------------------------------------------------
+
+TEST(CheckedEngineTest, TryTwinsValidateAndPassThrough) {
+  auto made = MakeCheckedShardedProfiler(
+      ProfilerOptions().SetInitialCapacity(50),
+      EngineOptions{.shards = 4, .queue_capacity = 256, .drain_batch = 32});
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  CheckedShardedProfiler checked = std::move(made).value();
+
+  EXPECT_TRUE(checked.TryAdd(10).ok());
+  EXPECT_TRUE(checked.TryApply(10, true).ok());
+  EXPECT_EQ(checked.TryAdd(50).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(checked.TryRemove(99).code(), StatusCode::kOutOfRange);
+
+  checked.Flush();
+  EXPECT_EQ(checked.TryFrequency(10).value(), 2);
+  EXPECT_EQ(checked.TryFrequency(50).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(checked.TryMode().value(), (GroupStat{2, 1}));
+  EXPECT_EQ(checked.TryMedian().value(), 0);
+  EXPECT_EQ(checked.TryKthLargest(0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(checked.TryKthLargest(51).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(checked.TryKthLargest(1).value(), 2);
+  EXPECT_EQ(checked.TryQuantile(1.5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(checked.TryQuantile(1.0).value(), 2);
+  EXPECT_EQ(checked.TryCountAtLeast(1).value(), 1u);
+  EXPECT_EQ(checked.TryTopK(3).value(), (std::vector<int64_t>{2, 0, 0}));
+}
+
+TEST(CheckedEngineTest, TryApplyBatchIsAllOrNothing) {
+  auto made = MakeCheckedShardedProfiler(
+      ProfilerOptions().SetInitialCapacity(8),
+      EngineOptions{.shards = 2, .queue_capacity = 64, .drain_batch = 16});
+  ASSERT_TRUE(made.ok());
+  CheckedShardedProfiler checked = std::move(made).value();
+
+  const std::vector<Event> bad = {Event::Add(1), Event::Add(2),
+                                  Event::Add(8)};  // 8 out of range
+  const Status s = checked.TryApplyBatch(bad);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  checked.Drain();
+  EXPECT_EQ(checked.total_count(), 0);  // nothing was enqueued
+
+  EXPECT_TRUE(checked.TryApplyBatch(std::vector<Event>{Event::Add(1),
+                                                       Event::Add(2)})
+                  .ok());
+  checked.Flush();
+  EXPECT_EQ(checked.total_count(), 2);
+}
+
+TEST(CheckedEngineTest, FactoryRejectsBadOptions) {
+  EXPECT_EQ(MakeShardedProfiler(ProfilerOptions().SetInitialCapacity(8),
+                                EngineOptions{.shards = 0})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeShardedProfiler(
+                ProfilerOptions().SetInitialCapacity(8),
+                EngineOptions{.shards = 2, .queue_capacity = 16,
+                              .drain_batch = 17})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      MakeShardedProfiler(
+          ProfilerOptions().SetInitialCapacity(
+              std::numeric_limits<uint32_t>::max()),
+          EngineOptions{})
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_TRUE(MakeShardedProfiler(ProfilerOptions().SetInitialCapacity(8),
+                                  EngineOptions{.shards = 2})
+                  .ok());
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace sprofile
