@@ -70,8 +70,13 @@ class SProfile : public ProfilerBase<SProfile> {
   /// Shadows the looped default with the native coalescing path.
   void ApplyBatch(std::span<const Event> events) { p_.ApplyBatch(events); }
 
-  /// Explicit deep copy (the engine's snapshot primitive).
+  /// Explicit deep copy (the engine's snapshot_mode=deep_copy path).
   SProfile Clone() const { return SProfile(p_.Clone()); }
+
+  /// O(#pages) copy-on-write snapshot (the engine's default publish path):
+  /// shares storage pages with this profile; the first write to a shared
+  /// page copies just that page.
+  SProfile Snapshot() const { return SProfile(p_.Snapshot()); }
 
   int64_t Frequency(uint32_t id) const { return p_.Frequency(id); }
   int64_t Mode() const { return p_.Mode().frequency; }
@@ -111,6 +116,11 @@ class Naive : public ProfilerBase<Naive> {
   /// Explicit deep copy, mirroring SProfile::Clone so the oracle can power
   /// an engine shard in parity tests.
   Naive Clone() const { return *this; }
+
+  /// "Snapshot" for the oracle is a plain deep copy — observationally
+  /// identical to COW sharing, which is exactly what makes this adapter a
+  /// valid reference backend for snapshot parity tests.
+  Naive Snapshot() const { return *this; }
 
   int64_t Frequency(uint32_t id) const { return p_.Frequency(id); }
   int64_t Mode() const { return p_.ModeFrequency(); }

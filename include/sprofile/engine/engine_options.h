@@ -15,6 +15,19 @@
 namespace sprofile {
 namespace engine {
 
+/// How a shard worker produces its published read snapshot.
+enum class SnapshotMode : uint8_t {
+  /// Full clone of the shard profile: an O(m_s) stop-the-shard pause per
+  /// publication. Kept as the baseline (and for backends whose Snapshot()
+  /// is itself a deep copy); bench_engine_scaling measures it against cow.
+  kDeepCopy,
+  /// Copy-on-write page sharing: publication is an O(#pages) pointer grab
+  /// and the worker pays one bounded page copy per page it first writes
+  /// after publishing. Bounds the publish stall independently of m_s and
+  /// makes small snapshot_interval values affordable. The default.
+  kCow,
+};
+
 /// Tuning knobs for ShardedProfiler. Aggregate, so call sites can spell
 /// exactly the fields they care about:
 ///
@@ -38,9 +51,14 @@ struct EngineOptions {
   /// a shard is under sustained load (it always publishes when its queue
   /// goes idle and on Flush/Drain). 0 disables interval publishing:
   /// snapshots then refresh only on idle and barriers — the right setting
-  /// for pure-ingestion workloads where clone cost must stay off the
-  /// steady-state path.
+  /// for pure-ingestion workloads where publish cost must stay off the
+  /// steady-state path entirely.
   uint32_t snapshot_interval = 1 << 18;
+
+  /// Snapshot publication strategy (see SnapshotMode). kCow bounds the
+  /// per-publication worker pause at O(#pages); kDeepCopy is the classic
+  /// O(m_s) clone.
+  SnapshotMode snapshot_mode = SnapshotMode::kCow;
 
   Status Validate() const {
     if (shards == 0 || shards > kMaxShards) {

@@ -71,15 +71,20 @@ namespace engine {
 
 /// What a backend must provide to power a shard: the full concept
 /// vocabulary (merged queries lean on Histogram/CountEqual), construction
-/// from a capacity, and an explicit deep copy for snapshot publication.
+/// from a capacity, and both snapshot primitives — Clone() as an explicit
+/// deep copy, Snapshot() as a frozen copy that may be read from other
+/// threads while the original keeps updating (copy-on-write for SProfile;
+/// a plain deep copy trivially satisfies the contract too).
 template <typename B>
 concept ShardBackend = FullProfiler<B> && std::constructible_from<B, uint32_t> &&
                        requires(const B& b) {
                          { b.Clone() } -> std::same_as<B>;
+                         { b.Snapshot() } -> std::same_as<B>;
                        };
 
-/// One shard's published read state: a deep copy of its profile plus the
-/// number of events that had been applied when the copy was taken.
+/// One shard's published read state: a frozen copy of its profile (deep or
+/// COW-shared per EngineOptions::snapshot_mode) plus the number of events
+/// that had been applied when the copy was taken.
 template <ShardBackend Backend>
 struct ShardSnapshot {
   uint64_t epoch = 0;
@@ -104,9 +109,10 @@ class ShardWorker {
         snapshot_interval_(options.snapshot_interval == 0
                                ? std::numeric_limits<uint64_t>::max()
                                : options.snapshot_interval),
+        cow_snapshots_(options.snapshot_mode == SnapshotMode::kCow),
         live_(std::move(initial)),
         snapshot_(std::make_shared<const ShardSnapshot<Backend>>(
-            ShardSnapshot<Backend>{0, live_.Clone()})) {
+            ShardSnapshot<Backend>{0, MakePublishCopy()})) {
     worker_ = std::thread([this] { Run(); });
   }
 
@@ -143,6 +149,14 @@ class ShardWorker {
   std::shared_ptr<const ShardSnapshot<Backend>> snapshot() const {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     return snapshot_;
+  }
+
+  /// Publish pauses observed so far (ns the worker spent producing and
+  /// swapping in each snapshot copy — the per-publication ingestion
+  /// stall). Bounded history: the most recent kMaxPauseSamples.
+  std::vector<uint64_t> PublishPausesNs() const {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    return pause_ns_;
   }
 
   /// Blocks until a snapshot with epoch >= target is published. `target`
@@ -199,13 +213,40 @@ class ShardWorker {
            applied_.load(std::memory_order_relaxed) >= target;
   }
 
+  /// The snapshot copy per the configured mode: COW page grab or deep
+  /// clone. Called on the worker thread (and once in the constructor,
+  /// before the thread starts).
+  Backend MakePublishCopy() const {
+    return cow_snapshots_ ? live_.Snapshot() : live_.Clone();
+  }
+
   void Publish() {
     const uint64_t epoch = applied_.load(std::memory_order_relaxed);
+    // The publish stall is everything between the worker pausing ingestion
+    // and resuming it: producing the copy, swapping it in, and retiring
+    // the previous snapshot (an O(m_s) free in deep-copy mode when no
+    // reader still holds it).
+    const auto pause_start = std::chrono::steady_clock::now();
     auto snap = std::make_shared<const ShardSnapshot<Backend>>(
-        ShardSnapshot<Backend>{epoch, live_.Clone()});
+        ShardSnapshot<Backend>{epoch, MakePublishCopy()});
+    std::shared_ptr<const ShardSnapshot<Backend>> retired;
     {
       std::lock_guard<std::mutex> lock(snapshot_mu_);
+      retired = std::move(snapshot_);
       snapshot_ = std::move(snap);
+    }
+    retired.reset();  // old-snapshot teardown charged to the stall
+    const uint64_t pause_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - pause_start)
+            .count());
+    {
+      std::lock_guard<std::mutex> lock(snapshot_mu_);
+      if (pause_ns_.size() < kMaxPauseSamples) {
+        pause_ns_.push_back(pause_ns);
+      } else {
+        pause_ns_[pause_ring_next_++ % kMaxPauseSamples] = pause_ns;
+      }
     }
     {
       // Epoch advances under done_mu_ so WaitSnapshotAt cannot miss the
@@ -237,9 +278,12 @@ class ShardWorker {
     }
   }
 
+  static constexpr size_t kMaxPauseSamples = 1 << 16;
+
   MpscRingBuffer<Event> queue_;
   const uint32_t drain_batch_;
   const uint64_t snapshot_interval_;
+  const bool cow_snapshots_;
 
   std::atomic<uint64_t> enqueued_{0};
   std::atomic<uint64_t> applied_{0};
@@ -252,6 +296,8 @@ class ShardWorker {
 
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const ShardSnapshot<Backend>> snapshot_;
+  std::vector<uint64_t> pause_ns_;  // guarded by snapshot_mu_
+  size_t pause_ring_next_ = 0;      // worker-only
 
   std::mutex done_mu_;
   std::condition_variable done_cv_;
@@ -421,6 +467,19 @@ class ShardedProfilerT {
   /// One shard's snapshot (for tests / snapshot IO).
   std::shared_ptr<const Snapshot> ShardSnapshotOf(uint32_t shard) const {
     return shards_[shard]->snapshot();
+  }
+
+  /// Publish-pause samples (ns) from every shard, unordered: how long each
+  /// snapshot publication stalled its worker's ingestion. This is the
+  /// metric bench_engine_scaling reports as the p99 snapshot-publish
+  /// stall; COW mode bounds it at O(#pages) per publication.
+  std::vector<uint64_t> SnapshotPauseSamplesNs() const {
+    std::vector<uint64_t> all;
+    for (const auto& s : shards_) {
+      const std::vector<uint64_t> one = s->PublishPausesNs();
+      all.insert(all.end(), one.begin(), one.end());
+    }
+    return all;
   }
 
   // ---------------------------------------------------------------------

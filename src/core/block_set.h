@@ -5,17 +5,20 @@
 // (inclusive) and the shared frequency. The set of blocks partitions the
 // rank space and fully captures T without storing it.
 //
-// Blocks are kept in a pooled vector addressed by 32-bit handles. Every
-// S-Profile update deletes at most one block and creates at most one, so a
-// free list keeps the pool at <= m + 1 entries with zero steady-state
-// allocation — the O(1) update bound includes allocation.
+// Blocks are kept in a pooled, copy-on-write paged array (core/cow_pages.h)
+// addressed by 32-bit handles. Every S-Profile update deletes at most one
+// block and creates at most one, so a free list keeps the pool at <= m + 1
+// entries with zero steady-state allocation — the O(1) update bound
+// includes allocation. Copying a BlockPool shares its pages (O(#pages));
+// the first write after a copy faults just the touched page, which is what
+// makes FrequencyProfile::Snapshot() cheap.
 
 #ifndef SPROFILE_CORE_BLOCK_SET_H_
 #define SPROFILE_CORE_BLOCK_SET_H_
 
 #include <cstdint>
-#include <vector>
 
+#include "core/cow_pages.h"
 #include "util/logging.h"
 
 namespace sprofile {
@@ -35,16 +38,20 @@ struct Block {
   int64_t f;   ///< frequency shared by ranks [l, r]
 };
 
-/// Free-list block allocator.
+/// Free-list block allocator over copy-on-write pages.
 ///
-/// Handles are stable for the lifetime of the block (until Free), but the
-/// underlying storage may move on Alloc, so never hold a Block* across an
-/// allocation — hold the BlockHandle and re-resolve with Get().
+/// Handles are stable for the lifetime of the block (until Free). A
+/// reference from Get()/GetMutable() survives pool growth (pages never
+/// move) but NOT a later GetMutable()/Alloc touching the same page after a
+/// snapshot — copy Block values out instead of holding references across
+/// other pool operations.
+///
+/// Copying a BlockPool shares pages (COW); DeepClone() copies them.
 class BlockPool {
  public:
   BlockPool() = default;
 
-  /// Pre-sizes the pool's backing storage (handles are assigned on Alloc).
+  /// Pre-sizes the pool's page tables (handles are assigned on Alloc).
   void Reserve(size_t n) {
     blocks_.reserve(n);
     free_list_.reserve(n / 4 + 1);
@@ -53,10 +60,9 @@ class BlockPool {
   /// Allocates a block, reusing a freed slot when available.
   BlockHandle Alloc(uint32_t l, uint32_t r, int64_t f) {
     BlockHandle h;
-    if (!free_list_.empty()) {
-      h = free_list_.back();
-      free_list_.pop_back();
-      blocks_[h] = Block{l, r, f};
+    if (free_count_ > 0) {
+      h = free_list_[--free_count_];
+      blocks_.Mutable(h) = Block{l, r, f};
     } else {
       h = static_cast<BlockHandle>(blocks_.size());
       blocks_.push_back(Block{l, r, f});
@@ -68,18 +74,26 @@ class BlockPool {
   /// Returns a block to the free list. The handle must be live.
   void Free(BlockHandle h) {
     SPROFILE_DCHECK(h < blocks_.size());
-    free_list_.push_back(h);
+    if (free_count_ == free_list_.size()) {
+      free_list_.push_back(h);
+    } else {
+      free_list_.Mutable(free_count_) = h;
+    }
+    ++free_count_;
     SPROFILE_DCHECK(live_ > 0);
     --live_;
   }
 
-  Block& Get(BlockHandle h) {
-    SPROFILE_DCHECK(h < blocks_.size());
-    return blocks_[h];
-  }
+  /// Read access; safe on snapshots concurrently with the owner updating.
   const Block& Get(BlockHandle h) const {
     SPROFILE_DCHECK(h < blocks_.size());
     return blocks_[h];
+  }
+
+  /// Write access; copy-on-write faults the covering page if shared.
+  Block& GetMutable(BlockHandle h) {
+    SPROFILE_DCHECK(h < blocks_.size());
+    return blocks_.Mutable(h);
   }
 
   /// Number of live (allocated, not freed) blocks.
@@ -91,12 +105,42 @@ class BlockPool {
   void Clear() {
     blocks_.clear();
     free_list_.clear();
+    free_count_ = 0;
     live_ = 0;
   }
 
+  /// An independent deep copy (Clone() path; snapshots use the copy ctor).
+  BlockPool DeepClone() const {
+    BlockPool out;
+    out.blocks_ = blocks_.DeepClone();
+    out.free_list_ = free_list_.DeepClone();
+    out.free_count_ = free_count_;
+    out.live_ = live_;
+    return out;
+  }
+
+  /// Heap bytes of the pool's pages and tables.
+  size_t MemoryBytes() const {
+    return blocks_.MemoryBytes() + free_list_.MemoryBytes();
+  }
+
+  /// Pages co-owned by at least one snapshot (diagnostics).
+  size_t SharedPageCount() const {
+    return blocks_.SharedPageCount() + free_list_.SharedPageCount();
+  }
+
+  /// Total storage pages (diagnostics).
+  size_t PageCount() const {
+    return blocks_.num_pages() + free_list_.num_pages();
+  }
+
  private:
-  std::vector<Block> blocks_;
-  std::vector<BlockHandle> free_list_;
+  cow::PagedArray<Block> blocks_;
+  // The free list is paged too: a snapshot must not force an O(free)
+  // copy, and a snapshot that is later written to needs a usable free
+  // list. Pops only read and drop the count; pushes write via COW.
+  cow::PagedArray<BlockHandle> free_list_;
+  size_t free_count_ = 0;
   size_t live_ = 0;
 };
 

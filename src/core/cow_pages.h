@@ -1,0 +1,337 @@
+// Copy-on-write paged storage — the page layer under FrequencyProfile.
+//
+// A PagedArray<T> is a flat array split into fixed-size pages (kPageBytes of
+// payload each). Pages are refcounted: copying a PagedArray shares every
+// page and costs O(#pages) pointer grabs + refcount bumps, NOT O(n). The
+// first write to a shared page copy-on-write *faults* it — copies just that
+// page — so an owner that keeps mutating after handing out a snapshot pays
+// one bounded page copy per distinct page touched, amortized O(1) per
+// update (cf. the amortized-resizing discipline of Tarjan & Zwick,
+// "Optimal resizable arrays").
+//
+// This is what turns FrequencyProfile::Snapshot() into an O(#pages)
+// operation and bounds the engine's snapshot-publish pause (previously an
+// O(m) stop-the-shard clone; see docs/ENGINE.md).
+//
+// Concurrency contract (exactly the engine's shape):
+//   - ONE writer thread owns a given PagedArray and calls the mutating API.
+//     Copying FROM an array (taking a snapshot) is also an owner-side
+//     operation: it clears the source's exclusivity cache (below), so it
+//     must run on the owner thread or under external synchronization.
+//   - Snapshots (copies) may be read — and dropped — from any number of
+//     other threads concurrently with the owner's writes.
+//   - Safety argument: a writer only stores into a page whose refcount it
+//     observed as 1 with an acquire load. Readers can never revive a page
+//     they don't already reference (only the owner creates references), so
+//     refcount 1 means exclusive; the acquire pairs with the release
+//     fetch_sub of a reader dropping its snapshot, ordering the reader's
+//     page reads before the writer's stores. Shared pages (refcount > 1)
+//     are never written — the writer copies them first.
+//   - The per-array "known exclusive" page bitmap is a pure owner-private
+//     cache of "refcount was 1 and no share happened since": refcounts
+//     only decrease while a bit is set, so the fast write path may skip
+//     the page-header load (saving a cache line per write) without ever
+//     writing a page a snapshot still references.
+//
+// Pages are stable in memory: growing the array never moves existing
+// pages, so references returned by Mutable()/operator[] survive push_back
+// (they do NOT survive a later fault of the same page — don't hold
+// references across other mutating calls; copy values out instead).
+
+#ifndef SPROFILE_CORE_COW_PAGES_H_
+#define SPROFILE_CORE_COW_PAGES_H_
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace sprofile {
+namespace cow {
+
+/// Payload bytes per page. 4 KiB keeps the fault cost (one page copy)
+/// firmly bounded while a 1M-slot array needs only a few thousand page
+/// pointers per snapshot.
+inline constexpr size_t kPageBytes = 4096;
+
+template <typename T>
+class PagedArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "PagedArray pages are shared across threads and copied with "
+                "memcpy; T must be trivially copyable");
+
+ public:
+  /// Elements per page: the largest power of two fitting kPageBytes
+  /// (at least 1, for T larger than a page).
+  static constexpr size_t kPageElems =
+      std::bit_floor(kPageBytes / sizeof(T) > 0 ? kPageBytes / sizeof(T)
+                                                : size_t{1});
+  static constexpr size_t kPageShift = std::countr_zero(kPageElems);
+  static constexpr size_t kPageMask = kPageElems - 1;
+
+  PagedArray() = default;
+  explicit PagedArray(size_t n) { resize(n); }
+
+  /// Copying SHARES pages: O(#pages). Use DeepClone() for an independent
+  /// copy. This is the snapshot primitive.
+  PagedArray(const PagedArray& other) { ShareFrom(other); }
+  PagedArray& operator=(const PagedArray& other) {
+    if (this != &other) {
+      Release();
+      ShareFrom(other);
+    }
+    return *this;
+  }
+
+  PagedArray(PagedArray&& other) noexcept
+      : pages_(std::move(other.pages_)),
+        exclusive_(std::move(other.exclusive_)),
+        size_(other.size_) {
+    other.pages_.clear();
+    other.exclusive_.clear();
+    other.size_ = 0;
+  }
+  PagedArray& operator=(PagedArray&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pages_ = std::move(other.pages_);
+      exclusive_ = std::move(other.exclusive_);
+      size_ = other.size_;
+      other.pages_.clear();
+      other.exclusive_.clear();
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  ~PagedArray() { Release(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Read access. Never faults; safe concurrently with other readers and
+  /// with the owner writing OTHER arrays (see the concurrency contract).
+  const T& operator[](size_t i) const {
+    SPROFILE_DCHECK(i < size_);
+    return pages_[i >> kPageShift]->data[i & kPageMask];
+  }
+
+  /// Write access: copy-on-write faults the covering page if any snapshot
+  /// still shares it, then returns a reference into the (now exclusive)
+  /// page. Owner thread only.
+  ///
+  /// Hot path: pages this array KNOWS it owns exclusively (tracked in a
+  /// small owner-private bitmap, cleared whenever a copy shares the
+  /// pages) skip the refcount load — touching the page header would cost
+  /// a second cache line per write, which measurably taxes the S-Profile
+  /// update loop. The slow path re-checks the refcount, faults if the
+  /// page is still shared, and re-arms the bit either way.
+  T& Mutable(size_t i) {
+    SPROFILE_DCHECK(i < size_);
+    const size_t page_index = i >> kPageShift;
+    if (!TestExclusive(page_index)) EnsureExclusive(page_index);
+    return pages_[page_index]->data[i & kPageMask];
+  }
+
+  /// Grows with value-initialized elements / shrinks, like vector::resize.
+  /// Growth never moves existing pages.
+  void resize(size_t n) {
+    const size_t old_size = size_;
+    const size_t old_pages = pages_.size();
+    const size_t want = PageCountFor(n);
+    if (want > old_pages) {
+      pages_.reserve(want);
+      exclusive_.resize((want + 63) / 64, 0);
+      while (pages_.size() < want) {
+        MarkExclusive(pages_.size());  // fresh pages are exclusively ours
+        pages_.push_back(NewZeroPage());
+      }
+    } else if (want < old_pages) {
+      for (size_t p = want; p < old_pages; ++p) Unref(pages_[p]);
+      pages_.resize(want);
+      exclusive_.resize((want + 63) / 64);
+    }
+    size_ = n;
+    if (n > old_size) {
+      // Freshly allocated pages are born zeroed; only reused tail cells of
+      // a page that previously held live elements need re-zeroing.
+      const size_t reused_end = std::min(n, old_pages * kPageElems);
+      if (reused_end > old_size) ZeroRange(old_size, reused_end);
+    }
+  }
+
+  void push_back(const T& value) {
+    const size_t i = size_;
+    if (PageCountFor(i + 1) > pages_.size()) {
+      const size_t page_index = pages_.size();
+      if ((page_index >> 6) >= exclusive_.size()) {
+        exclusive_.resize((page_index >> 6) + 1, 0);
+      }
+      MarkExclusive(page_index);
+      pages_.push_back(NewZeroPage());
+    }
+    ++size_;
+    Mutable(i) = value;
+  }
+
+  void clear() {
+    Release();
+    size_ = 0;
+  }
+
+  /// Pre-sizes the page TABLE only; pages are allocated on growth.
+  void reserve(size_t n) { pages_.reserve(PageCountFor(n)); }
+
+  /// An independent deep copy: O(n) page copies, shares nothing.
+  PagedArray DeepClone() const {
+    PagedArray out;
+    out.pages_.reserve(pages_.size());
+    for (const Page* p : pages_) {
+      Page* fresh = NewRawPage();
+      std::memcpy(fresh->data, p->data, sizeof(fresh->data));
+      out.pages_.push_back(fresh);
+    }
+    out.exclusive_.assign((pages_.size() + 63) / 64, ~uint64_t{0});
+    out.size_ = size_;
+    return out;
+  }
+
+  // -----------------------------------------------------------------------
+  // Introspection (tests, MemoryBytes, bench assertions).
+  // -----------------------------------------------------------------------
+
+  size_t num_pages() const { return pages_.size(); }
+
+  /// Pages still co-owned by at least one other PagedArray (snapshots).
+  size_t SharedPageCount() const {
+    size_t shared = 0;
+    for (const Page* p : pages_) {
+      if (p->refs.load(std::memory_order_relaxed) > 1) ++shared;
+    }
+    return shared;
+  }
+
+  /// Heap bytes held via this array. Shared pages are counted in full on
+  /// every co-owner (no amortization across snapshots).
+  size_t MemoryBytes() const {
+    return pages_.size() * sizeof(Page) + pages_.capacity() * sizeof(Page*) +
+           exclusive_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  // Payload first and cache-line aligned: elements must tile lines cleanly
+  // (a leading header would shift every slot by its size and make 1-in-8
+  // RankSlots straddle two lines); the refcount rides behind the payload,
+  // where only the snapshot/fault slow paths touch it.
+  struct alignas(64) Page {
+    T data[kPageElems];
+    std::atomic<uint32_t> refs;
+  };
+
+  static size_t PageCountFor(size_t n) {
+    return (n + kPageElems - 1) >> kPageShift;
+  }
+
+  static Page* NewZeroPage() {
+    Page* p = new Page();  // value-init: data zeroed
+    p->refs.store(1, std::memory_order_relaxed);
+    return p;
+  }
+
+  static Page* NewRawPage() {
+    Page* p = new Page;  // default-init: data left for the caller to fill
+    p->refs.store(1, std::memory_order_relaxed);
+    return p;
+  }
+
+  static void Unref(Page* p) {
+    // Release so our prior reads/writes of the page complete before any
+    // other thread frees it; acquire (on the freeing side) so all owners'
+    // accesses complete before delete.
+    if (p->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete p;
+  }
+
+  void ShareFrom(const PagedArray& other) {
+    pages_.reserve(other.pages_.size());
+    for (Page* p : other.pages_) {
+      p->refs.fetch_add(1, std::memory_order_relaxed);
+      pages_.push_back(p);
+    }
+    size_ = other.size_;
+    // Sharing voids BOTH sides' exclusivity caches: every page now has a
+    // co-owner. (Mutating the source's cache is why taking a copy is an
+    // owner-side operation; see the concurrency contract.)
+    exclusive_.assign((pages_.size() + 63) / 64, 0);
+    other.exclusive_.assign(other.exclusive_.size(), 0);
+  }
+
+  void Release() {
+    for (Page* p : pages_) Unref(p);
+    pages_.clear();
+    exclusive_.clear();
+  }
+
+  /// Copies `*slot`'s page into a fresh exclusive one and drops the shared
+  /// reference. The old page stays alive for (and unchanged under) its
+  /// remaining snapshot owners.
+  void FaultPage(Page** slot) {
+    Page* old = *slot;
+    Page* fresh = NewRawPage();
+    std::memcpy(fresh->data, old->data, sizeof(fresh->data));
+    Unref(old);
+    *slot = fresh;
+  }
+
+  /// Zeroes elements [begin, end), faulting shared pages as needed.
+  void ZeroRange(size_t begin, size_t end) {
+    size_t i = begin;
+    while (i < end) {
+      const size_t page_index = i >> kPageShift;
+      if (!TestExclusive(page_index)) EnsureExclusive(page_index);
+      const size_t in_page = i & kPageMask;
+      const size_t count = std::min(end - i, kPageElems - in_page);
+      std::memset(static_cast<void*>(pages_[page_index]->data + in_page), 0,
+                  count * sizeof(T));
+      i += count;
+    }
+  }
+
+  // -----------------------------------------------------------------------
+  // The exclusivity cache (see the concurrency contract above).
+  // -----------------------------------------------------------------------
+
+  bool TestExclusive(size_t page_index) const {
+    return (exclusive_[page_index >> 6] >> (page_index & 63)) & 1;
+  }
+
+  void MarkExclusive(size_t page_index) {
+    exclusive_[page_index >> 6] |= uint64_t{1} << (page_index & 63);
+  }
+
+  /// Slow path of Mutable: the page is not known-exclusive — re-check the
+  /// refcount (a snapshot may have died), fault if it is still shared,
+  /// and re-arm the bit either way.
+  void EnsureExclusive(size_t page_index) {
+    Page*& page = pages_[page_index];
+    if (page->refs.load(std::memory_order_acquire) != 1) FaultPage(&page);
+    MarkExclusive(page_index);
+  }
+
+  std::vector<Page*> pages_;
+  // One bit per page: "refcount was observed as 1 and no copy has been
+  // taken since". mutable because sharing FROM a (logically const) array
+  // must invalidate its cache.
+  mutable std::vector<uint64_t> exclusive_;
+  size_t size_ = 0;
+};
+
+}  // namespace cow
+}  // namespace sprofile
+
+#endif  // SPROFILE_CORE_COW_PAGES_H_

@@ -11,11 +11,28 @@ FrequencyProfile::FrequencyProfile(uint32_t num_objects) : m_(num_objects) {
   f_to_t_.resize(m_);
   slots_.resize(m_);
   if (m_ == 0) return;
-  std::iota(f_to_t_.begin(), f_to_t_.end(), 0u);
   // All frequencies start at 0: one block covering every rank.
   pool_.Reserve(std::min<size_t>(m_, 1024));
   const BlockHandle all = pool_.Alloc(0, m_ - 1, 0);
-  for (uint32_t rank = 0; rank < m_; ++rank) slots_[rank] = RankSlot{rank, all};
+  for (uint32_t rank = 0; rank < m_; ++rank) {
+    f_to_t_.Mutable(rank) = rank;
+    slots_.Mutable(rank) = RankSlot{rank, all};
+  }
+}
+
+FrequencyProfile FrequencyProfile::Clone() const {
+  // Deep-copies directly — deliberately NOT via the sharing copy ctor: a
+  // transient share would clear this profile's exclusivity bitmaps and
+  // put every subsequent write back on the refcount slow path.
+  FrequencyProfile copy(0u);
+  copy.m_ = m_;
+  copy.frozen_ = frozen_;
+  copy.total_count_ = total_count_;
+  copy.generation_ = generation_;
+  copy.pool_ = pool_.DeepClone();
+  copy.f_to_t_ = f_to_t_.DeepClone();
+  copy.slots_ = slots_.DeepClone();
+  return copy;
 }
 
 FrequencyProfile FrequencyProfile::FromFrequencies(
@@ -41,8 +58,8 @@ FrequencyProfile FrequencyProfile::FromFrequencies(
       const BlockHandle h =
           p.pool_.Alloc(run_start, rank - 1, frequencies[order[run_start]]);
       for (uint32_t i = run_start; i < rank; ++i) {
-        p.slots_[i] = RankSlot{order[i], h};
-        p.f_to_t_[order[i]] = i;
+        p.slots_.Mutable(i) = RankSlot{order[i], h};
+        p.f_to_t_.Mutable(order[i]) = i;
       }
       run_start = rank;
     }
@@ -62,7 +79,9 @@ void FrequencyProfile::Add(uint32_t id) {
 
   const uint32_t rank = f_to_t_[id];
   const BlockHandle bh = slots_[rank].block;
-  Block& b = pool_.Get(bh);
+  // Copy the block out: writes below may COW-fault its page, and pool
+  // references must not be held across other pool operations.
+  const Block b = pool_.Get(bh);
   const uint32_t r = b.r;
   const int64_t f = b.f;
 
@@ -74,22 +93,21 @@ void FrequencyProfile::Add(uint32_t id) {
   if (b.l == r) {
     pool_.Free(bh);
   } else {
-    b.r = r - 1;
+    pool_.GetMutable(bh).r = r - 1;
   }
 
   // Attach rank r at frequency f+1: extend the right neighbour when it
   // already holds f+1 (steps 9-11), otherwise open a new block (12-14).
   if (r + 1 < m_) {
     const BlockHandle nh = slots_[r + 1].block;
-    Block& nb = pool_.Get(nh);
-    if (nb.f == f + 1) {
-      nb.l = r;
-      slots_[r].block = nh;
+    if (pool_.Get(nh).f == f + 1) {
+      pool_.GetMutable(nh).l = r;
+      slots_.Mutable(r).block = nh;
       ++total_count_;
       return;
     }
   }
-  slots_[r].block = pool_.Alloc(r, r, f + 1);
+  slots_.Mutable(r).block = pool_.Alloc(r, r, f + 1);
   ++total_count_;
 }
 
@@ -101,7 +119,7 @@ void FrequencyProfile::Remove(uint32_t id) {
 
   const uint32_t rank = f_to_t_[id];
   const BlockHandle bh = slots_[rank].block;
-  Block& b = pool_.Get(bh);
+  const Block b = pool_.Get(bh);  // copy: see Add()
   const uint32_t l = b.l;
   const int64_t f = b.f;
 
@@ -112,7 +130,7 @@ void FrequencyProfile::Remove(uint32_t id) {
   if (b.r == l) {
     pool_.Free(bh);
   } else {
-    b.l = l + 1;
+    pool_.GetMutable(bh).l = l + 1;
   }
 
   // Attach rank l at frequency f-1: merge into the left neighbour when it
@@ -120,15 +138,14 @@ void FrequencyProfile::Remove(uint32_t id) {
   // otherwise open a new block (24-26).
   if (l > frozen_) {
     const BlockHandle ph = slots_[l - 1].block;
-    Block& pb = pool_.Get(ph);
-    if (pb.f == f - 1) {
-      pb.r = l;
-      slots_[l].block = ph;
+    if (pool_.Get(ph).f == f - 1) {
+      pool_.GetMutable(ph).r = l;
+      slots_.Mutable(l).block = ph;
       --total_count_;
       return;
     }
   }
-  slots_[l].block = pool_.Alloc(l, l, f - 1);
+  slots_.Mutable(l).block = pool_.Alloc(l, l, f - 1);
   --total_count_;
 }
 
@@ -172,7 +189,7 @@ void FrequencyProfile::ApplyBatch(std::span<const Event> events) {
 
 GroupView FrequencyProfile::GroupAt(uint32_t rank) const {
   const Block& b = pool_.Get(slots_[rank].block);
-  return GroupView(b.f, slots_.data() + b.l, b.r - b.l + 1, &generation_,
+  return GroupView(b.f, &slots_, b.l, b.r - b.l + 1, &generation_,
                    generation_);
 }
 
@@ -275,8 +292,7 @@ std::vector<int64_t> FrequencyProfile::ToFrequencies() const {
 }
 
 size_t FrequencyProfile::MemoryBytes() const {
-  return f_to_t_.capacity() * sizeof(uint32_t) +
-         slots_.capacity() * sizeof(RankSlot) + pool_.slots() * sizeof(Block) +
+  return f_to_t_.MemoryBytes() + slots_.MemoryBytes() + pool_.MemoryBytes() +
          batch_epoch_.capacity() * sizeof(uint32_t) +
          batch_delta_.capacity() * sizeof(int64_t) +
          batch_touched_.capacity() * sizeof(uint32_t);
@@ -288,7 +304,7 @@ FrequencyEntry FrequencyProfile::PeelMin() {
   const uint32_t rank = frozen_;
   const uint32_t id = slots_[rank].id;
   const BlockHandle bh = slots_[rank].block;
-  Block& b = pool_.Get(bh);
+  const Block b = pool_.Get(bh);  // copy: see Add()
   const int64_t f = b.f;
   SPROFILE_DCHECK(b.l == rank);
 
@@ -298,8 +314,8 @@ FrequencyEntry FrequencyProfile::PeelMin() {
   } else {
     // Split: shrink the live block and give the frozen rank its own
     // tombstone so Frequency() of the peeled id keeps working.
-    b.l = rank + 1;
-    slots_[rank].block = pool_.Alloc(rank, rank, f);
+    pool_.GetMutable(bh).l = rank + 1;
+    slots_.Mutable(rank).block = pool_.Alloc(rank, rank, f);
     ++frozen_;
   }
   return FrequencyEntry{id, f};
@@ -324,27 +340,28 @@ uint32_t FrequencyProfile::InsertSlot() {
   uint32_t q = old_m;  // exclusive end of the unshifted region
   while (q > p) {
     const BlockHandle bh = slots_[q - 1].block;
-    Block& b = pool_.Get(bh);
+    const Block b = pool_.Get(bh);  // copy: see Add()
     const uint32_t l = b.l;
     const uint32_t r = b.r;
     const uint32_t moving = slots_[l].id;
-    slots_[r + 1] = RankSlot{moving, bh};
-    f_to_t_[moving] = r + 1;
-    b.l = l + 1;
-    b.r = r + 1;
+    slots_.Mutable(r + 1) = RankSlot{moving, bh};
+    f_to_t_.Mutable(moving) = r + 1;
+    Block& mb = pool_.GetMutable(bh);
+    mb.l = l + 1;
+    mb.r = r + 1;
     q = l;
   }
 
   // Place the new id in the hole at rank p, joining the zero block on the
   // left when there is one.
-  slots_[p].id = new_id;
-  f_to_t_[new_id] = p;
+  slots_.Mutable(p).id = new_id;
+  f_to_t_.Mutable(new_id) = p;
   if (p > frozen_ && pool_.Get(slots_[p - 1].block).f == 0) {
     const BlockHandle zh = slots_[p - 1].block;
-    pool_.Get(zh).r = p;
-    slots_[p].block = zh;
+    pool_.GetMutable(zh).r = p;
+    slots_.Mutable(p).block = zh;
   } else {
-    slots_[p].block = pool_.Alloc(p, p, 0);
+    slots_.Mutable(p).block = pool_.Alloc(p, p, 0);
   }
   return new_id;
 }

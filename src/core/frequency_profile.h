@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "core/block_set.h"
+#include "core/cow_pages.h"
 #include "sprofile/event.h"
 #include "util/status.h"
 
@@ -61,6 +62,10 @@ struct RankSlot {
   uint32_t id;          // TtoF: object at this rank
   BlockHandle block;    // PtrB: covering block
 };
+
+/// The rank array's storage: copy-on-write pages, so Snapshot() is an
+/// O(#pages) pointer grab (core/cow_pages.h).
+using RankSlotArray = cow::PagedArray<RankSlot>;
 }  // namespace internal
 
 /// A group of objects tied at one frequency — one block of the profile.
@@ -73,11 +78,13 @@ struct RankSlot {
 /// profile's generation counter at creation and checks it on every read.
 class GroupView {
  public:
-  GroupView(int64_t freq, const internal::RankSlot* first, uint32_t count,
+  GroupView(int64_t freq, const internal::RankSlotArray* slots,
+            uint32_t first_rank, uint32_t count,
             const uint64_t* live_generation = nullptr,
             uint64_t born_generation = 0)
       : frequency(freq),
-        first_(first),
+        slots_(slots),
+        first_rank_(first_rank),
         count_(count),
         live_generation_(live_generation),
         born_generation_(born_generation) {}
@@ -98,40 +105,42 @@ class GroupView {
   /// The i-th object id of the group (arbitrary but stable order).
   uint32_t operator[](uint32_t i) const {
     CheckLive();
-    return first_[i].id;
+    return (*slots_)[first_rank_ + i].id;
   }
 
-  /// Forward iterator over object ids.
+  /// Forward iterator over object ids (walks the paged rank array).
   class const_iterator {
    public:
     using value_type = uint32_t;
     using difference_type = std::ptrdiff_t;
     using iterator_category = std::forward_iterator_tag;
 
-    explicit const_iterator(const internal::RankSlot* p) : p_(p) {}
-    uint32_t operator*() const { return p_->id; }
+    const_iterator(const internal::RankSlotArray* slots, uint32_t rank)
+        : slots_(slots), rank_(rank) {}
+    uint32_t operator*() const { return (*slots_)[rank_].id; }
     const_iterator& operator++() {
-      ++p_;
+      ++rank_;
       return *this;
     }
     const_iterator operator++(int) {
       const_iterator tmp = *this;
-      ++p_;
+      ++rank_;
       return tmp;
     }
     bool operator==(const const_iterator&) const = default;
 
    private:
-    const internal::RankSlot* p_;
+    const internal::RankSlotArray* slots_;
+    uint32_t rank_;
   };
 
   const_iterator begin() const {
     CheckLive();
-    return const_iterator(first_);
+    return const_iterator(slots_, first_rank_);
   }
   const_iterator end() const {
     CheckLive();
-    return const_iterator(first_ + count_);
+    return const_iterator(slots_, first_rank_ + count_);
   }
 
   /// Copies the group's ids out (convenience for callers that need a
@@ -148,7 +157,8 @@ class GroupView {
                     *live_generation_ == born_generation_);
   }
 
-  const internal::RankSlot* first_;
+  const internal::RankSlotArray* slots_;
+  uint32_t first_rank_;
   uint32_t count_;
   // Present in ALL build modes (only read under !NDEBUG): conditioning the
   // layout on NDEBUG would silently break consumers compiled with a
@@ -170,7 +180,10 @@ struct GroupStat {
 /// S-Profile over a dense id space [0, capacity).
 ///
 /// Thread-compatibility: like a std container — concurrent const queries are
-/// safe, any update requires external synchronization.
+/// safe, any update requires external synchronization. Additionally, a
+/// Snapshot() may be queried from other threads while the parent keeps
+/// updating (the copy-on-write page layer isolates them; see
+/// core/cow_pages.h for the exact contract).
 class FrequencyProfile {
  public:
   /// Creates a profile of `num_objects` objects, all at frequency 0.
@@ -181,10 +194,21 @@ class FrequencyProfile {
   static FrequencyProfile FromFrequencies(const std::vector<int64_t>& frequencies);
 
   // Movable but not copyable by accident (profiles can be large); use
-  // Clone() for an explicit deep copy.
+  // Snapshot() for an O(#pages) copy-on-write copy or Clone() for an
+  // explicit deep copy.
   FrequencyProfile(FrequencyProfile&&) = default;
   FrequencyProfile& operator=(FrequencyProfile&&) = default;
-  FrequencyProfile Clone() const { return FrequencyProfile(*this); }
+
+  /// An independent deep copy: O(m).
+  FrequencyProfile Clone() const;
+
+  /// A copy-on-write snapshot: O(#pages) pointer grabs, NOT O(m). The
+  /// snapshot and the parent share storage pages; the first write to a
+  /// shared page (on either side) copies just that page, so updates after
+  /// a snapshot cost amortized O(1) extra and the snapshot's answers are
+  /// frozen at the moment it was taken. The snapshot is a full profile:
+  /// every query works, and it may itself be updated or re-snapshotted.
+  FrequencyProfile Snapshot() const { return FrequencyProfile(*this); }
 
   /// Total number of object slots, frozen ones included (m in the paper).
   uint32_t capacity() const { return m_; }
@@ -337,10 +361,30 @@ class FrequencyProfile {
   /// advanced in SPROFILE_DCHECK builds; always 0 under NDEBUG.
   uint64_t generation() const { return generation_; }
 
+  /// Storage pages co-owned with live snapshots, and the total page count
+  /// (diagnostics: a fresh Snapshot() shares every page; each subsequent
+  /// write un-shares at most one).
+  size_t SharedStoragePages() const {
+    return f_to_t_.SharedPageCount() + slots_.SharedPageCount() +
+           pool_.SharedPageCount();
+  }
+  size_t TotalStoragePages() const {
+    return f_to_t_.num_pages() + slots_.num_pages() + pool_.PageCount();
+  }
+
  private:
   using RankSlot = internal::RankSlot;
 
-  FrequencyProfile(const FrequencyProfile&) = default;
+  /// COW share: O(#pages). Backs Snapshot(); the batch scratch is not
+  /// carried (it is not logical state and copying it would cost O(m)).
+  FrequencyProfile(const FrequencyProfile& other)
+      : m_(other.m_),
+        frozen_(other.frozen_),
+        total_count_(other.total_count_),
+        generation_(other.generation_),
+        pool_(other.pool_),
+        f_to_t_(other.f_to_t_),
+        slots_(other.slots_) {}
 
   /// Swaps the objects at ranks a and b (both must belong to one block, so
   /// the block pointers need no fixup).
@@ -348,10 +392,10 @@ class FrequencyProfile {
     if (a == b) return;
     const uint32_t ida = slots_[a].id;
     const uint32_t idb = slots_[b].id;
-    slots_[a].id = idb;
-    slots_[b].id = ida;
-    f_to_t_[ida] = b;
-    f_to_t_[idb] = a;
+    slots_.Mutable(a).id = idb;
+    slots_.Mutable(b).id = ida;
+    f_to_t_.Mutable(ida) = b;
+    f_to_t_.Mutable(idb) = a;
   }
 
   /// First active rank whose frequency is >= f (== m_ when none).
@@ -373,8 +417,8 @@ class FrequencyProfile {
   uint64_t generation_ = 0;  // see BumpGeneration()
 
   BlockPool pool_;
-  std::vector<uint32_t> f_to_t_;   // id -> rank (FtoT)
-  std::vector<RankSlot> slots_;    // rank -> (id, block)
+  cow::PagedArray<uint32_t> f_to_t_;  // id -> rank (FtoT)
+  internal::RankSlotArray slots_;     // rank -> (id, block)
 
   // ApplyBatch scratch, epoch-stamped so a batch costs O(|batch|) and no
   // per-batch O(m) clear. Lazily sized to m on first use.

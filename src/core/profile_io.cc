@@ -49,7 +49,7 @@ Status ReadAll(std::FILE* f, void* data, size_t n, const std::string& path) {
 
 }  // namespace
 
-Status SaveProfile(const FrequencyProfile& profile, const std::string& path) {
+Result<std::string> SerializeProfile(const FrequencyProfile& profile) {
   if (profile.num_frozen() > 0) {
     return Status::FailedPrecondition(
         "profiles with frozen (peeled) objects cannot be snapshotted");
@@ -66,22 +66,32 @@ Status SaveProfile(const FrequencyProfile& profile, const std::string& path) {
         std::to_string(kMaxSnapshotObjects) + " objects");
   }
 
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) return Status::IOError("cannot open " + path + " for writing");
-
   const uint32_t m = profile.capacity();
   const uint32_t pad = 0;
-  SPROFILE_RETURN_NOT_OK(WriteAll(f.get(), &kMagic, sizeof(kMagic), path));
-  SPROFILE_RETURN_NOT_OK(WriteAll(f.get(), &kVersion, sizeof(kVersion), path));
-  SPROFILE_RETURN_NOT_OK(WriteAll(f.get(), &m, sizeof(m), path));
-  SPROFILE_RETURN_NOT_OK(WriteAll(f.get(), &pad, sizeof(pad), path));
-
   const std::vector<int64_t> freqs = profile.ToFrequencies();
-  const size_t bytes = freqs.size() * sizeof(int64_t);
-  SPROFILE_RETURN_NOT_OK(WriteAll(f.get(), freqs.data(), bytes, path));
+  const size_t payload = freqs.size() * sizeof(int64_t);
+  const uint32_t masked = crc32c::Mask(crc32c::Value(freqs.data(), payload));
 
-  const uint32_t masked = crc32c::Mask(crc32c::Value(freqs.data(), bytes));
-  SPROFILE_RETURN_NOT_OK(WriteAll(f.get(), &masked, sizeof(masked), path));
+  std::string out;
+  out.reserve(SnapshotFileBytes(m));
+  const auto append = [&out](const void* data, size_t n) {
+    out.append(static_cast<const char*>(data), n);
+  };
+  append(&kMagic, sizeof(kMagic));
+  append(&kVersion, sizeof(kVersion));
+  append(&m, sizeof(m));
+  append(&pad, sizeof(pad));
+  append(freqs.data(), payload);
+  append(&masked, sizeof(masked));
+  return out;
+}
+
+Status SaveProfile(const FrequencyProfile& profile, const std::string& path) {
+  SPROFILE_ASSIGN_OR_RETURN(const std::string bytes, SerializeProfile(profile));
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Status::IOError("cannot open " + path + " for writing");
+  SPROFILE_RETURN_NOT_OK(WriteAll(f.get(), bytes.data(), bytes.size(), path));
   if (std::fflush(f.get()) != 0) return Status::IOError("flush failed for " + path);
   return Status::OK();
 }

@@ -25,6 +25,12 @@
 
 namespace sprofile {
 
+/// Serializes `profile` to the SPPF wire format in memory — byte-for-byte
+/// what SaveProfile writes. Same preconditions as SaveProfile. This is the
+/// path the engine uses to snapshot to storage through an injectable sink
+/// (sprofile/engine/snapshot_io.h) without re-opening files itself.
+Result<std::string> SerializeProfile(const FrequencyProfile& profile);
+
 /// Writes a snapshot of `profile` to `path`. FailedPrecondition when the
 /// profile has frozen objects (see header comment).
 Status SaveProfile(const FrequencyProfile& profile, const std::string& path);

@@ -66,23 +66,66 @@ ManifestHeader ReadOldLineage(const std::string& manifest_path) {
   return header;
 }
 
+class FilesystemSnapshotSink final : public SnapshotSink {};
+
 }  // namespace
 
-Status SaveAll(ShardedProfiler& engine, const std::string& dir) {
-  engine.Drain();
-
+Status SnapshotSink::CreateDir(const std::string& dir) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
     return Status::IOError("cannot create snapshot directory " + dir + ": " +
                            ec.message());
   }
+  return Status::OK();
+}
+
+Status SnapshotSink::WriteFile(const std::string& path,
+                               std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Status SnapshotSink::RenameFile(const std::string& from,
+                                const std::string& to) {
+  std::error_code ec;
+  std::filesystem::rename(from, to, ec);
+  if (ec) {
+    return Status::IOError("cannot commit " + to + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+void SnapshotSink::RemoveFileBestEffort(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+SnapshotSink& DefaultSnapshotSink() {
+  static FilesystemSnapshotSink sink;
+  return sink;
+}
+
+Status SaveAll(ShardedProfiler& engine, const std::string& dir,
+               SnapshotSink& sink) {
+  // Read-your-writes, not quiesce: everything enqueued before this call is
+  // applied and published, but producers may keep ingesting while the
+  // shard images are serialized below — the images read frozen snapshot
+  // pages (COW), so the save never blocks the workers.
+  engine.Flush();
+
+  SPROFILE_RETURN_NOT_OK(sink.CreateDir(dir));
 
   // Crash consistency: shard files carry a generation number in their
   // names, so an in-place re-save never truncates a file the CURRENT
   // manifest names. The new manifest is written to a temp name and
   // renamed over MANIFEST as the single atomic commit point — a crash at
-  // any earlier step leaves the previous generation fully intact.
+  // any earlier step leaves the previous generation fully intact
+  // (tests/engine_snapshot_io_test.cc proves this at every byte offset).
   const std::string manifest_path = dir + "/" + kManifestFileName;
   const ManifestHeader old_lineage = ReadOldLineage(manifest_path);
   const uint64_t generation = old_lineage.generation + 1;
@@ -99,26 +142,17 @@ Status SaveAll(ShardedProfiler& engine, const std::string& dir) {
     std::string file = "-";
     if (shard_capacity > 0) {
       file = ShardFileName(s, generation);
-      SPROFILE_RETURN_NOT_OK(
-          SaveProfile(snap->profile.backend(), dir + "/" + file));
+      SPROFILE_ASSIGN_OR_RETURN(const std::string bytes,
+                                SerializeProfile(snap->profile.backend()));
+      SPROFILE_RETURN_NOT_OK(sink.WriteFile(dir + "/" + file, bytes));
     }
     manifest << "shard " << s << ' ' << shard_capacity << ' ' << snap->epoch
              << ' ' << file << '\n';
   }
 
   const std::string tmp_path = manifest_path + ".tmp";
-  {
-    std::ofstream out(tmp_path, std::ios::trunc);
-    if (!out) return Status::IOError("cannot open " + tmp_path);
-    out << manifest.str();
-    out.flush();
-    if (!out) return Status::IOError("short write to " + tmp_path);
-  }
-  std::filesystem::rename(tmp_path, manifest_path, ec);
-  if (ec) {
-    return Status::IOError("cannot commit manifest " + manifest_path + ": " +
-                           ec.message());
-  }
+  SPROFILE_RETURN_NOT_OK(sink.WriteFile(tmp_path, manifest.str()));
+  SPROFILE_RETURN_NOT_OK(sink.RenameFile(tmp_path, manifest_path));
 
   // The commit succeeded; the previous generation's shard files are now
   // unreferenced. Removal is best-effort cleanup, not correctness — and it
@@ -126,11 +160,15 @@ Status SaveAll(ShardedProfiler& engine, const std::string& dir) {
   // engine's.
   if (old_lineage.generation > 0) {
     for (uint32_t s = 0; s < old_lineage.shards; ++s) {
-      std::filesystem::remove(
-          dir + "/" + ShardFileName(s, old_lineage.generation), ec);
+      sink.RemoveFileBestEffort(
+          dir + "/" + ShardFileName(s, old_lineage.generation));
     }
   }
   return Status::OK();
+}
+
+Status SaveAll(ShardedProfiler& engine, const std::string& dir) {
+  return SaveAll(engine, dir, DefaultSnapshotSink());
 }
 
 StatusOr<ShardedProfiler> LoadAll(const std::string& dir,

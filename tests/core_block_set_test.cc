@@ -36,11 +36,51 @@ TEST(BlockPoolTest, LiveTracksAllocMinusFree) {
   EXPECT_EQ(pool.live(), 5u);
 }
 
-TEST(BlockPoolTest, GetIsMutable) {
+TEST(BlockPoolTest, GetMutableWritesThrough) {
   BlockPool pool;
   const BlockHandle h = pool.Alloc(0, 3, 0);
-  pool.Get(h).r = 9;
+  pool.GetMutable(h).r = 9;
   EXPECT_EQ(pool.Get(h).r, 9u);
+}
+
+// Copying a pool shares pages; a write on either side is isolated from the
+// other (the COW contract FrequencyProfile::Snapshot is built on).
+TEST(BlockPoolTest, CopyIsCowShared) {
+  BlockPool pool;
+  const BlockHandle h = pool.Alloc(2, 5, 7);
+  const BlockPool snapshot = pool;
+  EXPECT_GT(pool.SharedPageCount(), 0u);
+
+  pool.GetMutable(h).f = 99;
+  EXPECT_EQ(pool.Get(h).f, 99);
+  EXPECT_EQ(snapshot.Get(h).f, 7) << "snapshot must stay frozen";
+  EXPECT_EQ(snapshot.live(), 1u);
+}
+
+TEST(BlockPoolTest, DeepCloneSharesNothing) {
+  BlockPool pool;
+  const BlockHandle h = pool.Alloc(0, 0, 1);
+  BlockPool clone = pool.DeepClone();
+  EXPECT_EQ(pool.SharedPageCount(), 0u);
+  clone.GetMutable(h).f = -5;
+  EXPECT_EQ(pool.Get(h).f, 1);
+  EXPECT_EQ(clone.Get(h).f, -5);
+}
+
+// Free slots recycled through a shared free list must not leak into the
+// snapshot's view of live blocks.
+TEST(BlockPoolTest, FreeListSurvivesCowCopy) {
+  BlockPool pool;
+  const BlockHandle a = pool.Alloc(0, 0, 1);
+  const BlockHandle b = pool.Alloc(1, 1, 2);
+  pool.Free(a);
+  const BlockPool snapshot = pool;
+
+  const BlockHandle c = pool.Alloc(2, 2, 3);
+  EXPECT_EQ(c, a) << "freed slot should be recycled";
+  EXPECT_EQ(pool.live(), 2u);
+  EXPECT_EQ(snapshot.live(), 1u);
+  EXPECT_EQ(snapshot.Get(b).f, 2);
 }
 
 TEST(BlockPoolTest, SlotsMeasurePeakNotLive) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <thread>
@@ -107,6 +108,103 @@ TEST(RingBufferTest, ConcurrentProducersSingleConsumer) {
       continue;
     }
     for (size_t i = 0; i < n; ++i) ++seen[out[i]];
+    received += n;
+  }
+  for (auto& t : producers) t.join();
+
+  for (uint64_t v = 0; v < seen.size(); ++v) {
+    ASSERT_EQ(seen[v], 1u) << "value " << v;
+  }
+  EXPECT_TRUE(q.Empty());
+}
+
+// Span reservation exactly at the capacity boundary: a push of n >= free
+// takes the free prefix, and a full-capacity span landing at an arbitrary
+// rotation must wrap the index mask correctly.
+TEST(RingBufferTest, FullCapacitySpanAtEveryRotation) {
+  constexpr size_t kCapacity = 8;
+  for (size_t rotation = 0; rotation < 2 * kCapacity; ++rotation) {
+    MpscRingBuffer<uint64_t> q(kCapacity);
+    // Rotate the internal positions: push/pop `rotation` singles.
+    uint64_t scratch;
+    for (size_t i = 0; i < rotation; ++i) {
+      ASSERT_TRUE(q.TryPush(i));
+      ASSERT_EQ(q.TryPopBatch(&scratch, 1), 1u);
+    }
+    // A span larger than capacity takes exactly capacity cells...
+    uint64_t data[kCapacity + 3];
+    for (size_t i = 0; i < kCapacity + 3; ++i) data[i] = 100 + i;
+    ASSERT_EQ(q.TryPushSpan(data, kCapacity + 3), kCapacity)
+        << "rotation " << rotation;
+    // ...and a full ring rejects any further push.
+    EXPECT_EQ(q.TryPushSpan(data, 1), 0u);
+
+    uint64_t out[kCapacity];
+    ASSERT_EQ(q.TryPopBatch(out, kCapacity), kCapacity);
+    for (size_t i = 0; i < kCapacity; ++i) {
+      ASSERT_EQ(out[i], 100 + i) << "rotation " << rotation << " i " << i;
+    }
+    EXPECT_TRUE(q.Empty());
+  }
+}
+
+// The wrap-around-at-capacity-boundary case with concurrent producers
+// (ISSUE 3): producers reserve spans whose sizes are AT and NEAR the ring
+// capacity, so nearly every reservation wraps the index mask and splits
+// against the free-space bound; the consumer drains with a batch larger
+// than capacity. Every value must arrive exactly once, per producer in
+// order. Run under TSan in CI.
+TEST(RingBufferTest, ConcurrentCapacitySpanProducersWrapExactlyOnce) {
+  constexpr int kProducers = 3;
+  constexpr uint32_t kPerProducer = 30000;
+  constexpr size_t kCapacity = 8;  // tiny: maximal wrap + contention
+  MpscRingBuffer<uint32_t> q(kCapacity);
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      // Span sizes sweep capacity-1, capacity, capacity+1.
+      uint32_t next = 0;
+      uint32_t buf[kCapacity + 1];
+      size_t span = kCapacity - 1;
+      while (next < kPerProducer) {
+        const size_t want =
+            std::min<size_t>(span, kPerProducer - next);
+        for (size_t i = 0; i < want; ++i) {
+          buf[i] = static_cast<uint32_t>(p) * kPerProducer + next + i;
+        }
+        size_t done = 0;
+        while (done < want) {
+          done += q.TryPushSpan(buf + done, want - done);
+          if (done < want) std::this_thread::yield();
+        }
+        next += want;
+        span = span == kCapacity + 1 ? kCapacity - 1 : span + 1;
+      }
+    });
+  }
+
+  std::vector<uint32_t> last_from(kProducers, 0);
+  std::vector<bool> any_from(kProducers, false);
+  std::vector<uint32_t> seen(static_cast<size_t>(kProducers) * kPerProducer, 0);
+  uint64_t received = 0;
+  uint32_t out[2 * kCapacity];  // batch > capacity: pop must self-limit
+  while (received < static_cast<uint64_t>(kProducers) * kPerProducer) {
+    const size_t n = q.TryPopBatch(out, 2 * kCapacity);
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_LE(n, kCapacity);
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t v = out[i];
+      ++seen[v];
+      const uint32_t p = v / kPerProducer;
+      if (any_from[p]) ASSERT_LT(last_from[p], v);
+      last_from[p] = v;
+      any_from[p] = true;
+    }
     received += n;
   }
   for (auto& t : producers) t.join();
