@@ -1,13 +1,18 @@
-// Engine bench — ingestion throughput vs shard count, and the
-// snapshot-publish stall (p99) in deep-copy vs copy-on-write mode.
+// Engine bench — ingestion throughput vs shard count and memory layout,
+// the snapshot-publish stall (p99) in deep-copy vs copy-on-write mode,
+// and the raw update-path cost of the paged core against a flat-array
+// reference.
 //
-// Section 1 (throughput): P producer threads (P == shards) push
+// Section 1 (throughput matrix): P producer threads (P == shards) push
 // pre-generated event chunks through ShardedProfiler::ApplyBatch; the run
 // is timed from first push until Drain() returns, so the number reported
 // is end-to-end sustained ingestion (routing + queues + workers applying
 // via the coalescing batch path), not enqueue-only burst rate. Snapshot
 // interval is 0: publish cost stays off the steady-state path, as a
-// pure-ingestion deployment would configure it.
+// pure-ingestion deployment would configure it. The matrix crosses
+// alloc={arena,heap} (EngineOptions::page_allocator) with pin={off,on}
+// (pin=on rows appear only when shards <= hardware cores; EngineOptions
+// validation rejects over-subscription).
 //
 // Section 2 (snapshot stall): the same ingestion with interval publishing
 // ON, in both snapshot modes. Each publication stalls its shard's worker
@@ -16,6 +21,14 @@
 // deep_copy clones O(m_s) per publish; cow grabs O(#pages) — the stall
 // must be sublinear in m and far below deep_copy at m >= 1M (ISSUE 3
 // acceptance).
+//
+// Section 3 (update-path cost): one thread drives the SAME ±1 stream
+// through (a) a flat-array reference S-Profile (std::vector storage, the
+// pre-COW layout), (b) the paged FrequencyProfile on per-page heap
+// allocations, and (c) on a hugepage arena. ISSUE 4 acceptance: the arena
+// build lands within <= 1.25x of the flat reference at m = 1M — i.e.
+// the arena claws back most of the ~1.5-2x layout tax the heap-paged
+// storage measured.
 //
 // Acceptance target (multi-core runner): >= 2x the 1-shard events/sec at
 // 4 shards. On a single-core machine all configurations time-slice one CPU
@@ -30,6 +43,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "core/page_arena.h"
 #include "sprofile/sprofile.h"
 #include "stream/log_stream.h"
 #include "util/table.h"
@@ -65,17 +79,23 @@ Sizes PickSizes(ScaleMode mode) {
 struct RunResult {
   double events_per_sec = 0.0;
   std::vector<uint64_t> pause_ns;  // one sample per snapshot publication
+  engine::EngineMemoryStats memory;
 };
 
 RunResult RunIngestion(const Sizes& sizes, uint32_t shards,
                        uint32_t snapshot_interval, engine::SnapshotMode mode,
-                       const std::vector<Event>& events) {
+                       const std::vector<Event>& events,
+                       engine::PageAllocatorKind alloc =
+                           engine::PageAllocatorKind::kDefault,
+                       bool pin = false) {
   engine::ShardedProfiler profiler(
       sizes.m, engine::EngineOptions{.shards = shards,
                                      .queue_capacity = 1u << 15,
                                      .drain_batch = 2048,
                                      .snapshot_interval = snapshot_interval,
-                                     .snapshot_mode = mode});
+                                     .snapshot_mode = mode,
+                                     .page_allocator = alloc,
+                                     .pin_threads = pin});
 
   const uint32_t producers = shards;
   const uint64_t per_producer = events.size() / producers;
@@ -107,7 +127,125 @@ RunResult RunIngestion(const Sizes& sizes, uint32_t shards,
   RunResult result;
   result.events_per_sec = static_cast<double>(events.size()) / secs;
   result.pause_ns = profiler.SnapshotPauseSamplesNs();
+  result.memory = profiler.MemoryStats();
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Flat-array reference S-Profile: Algorithm 1 on std::vector storage — the
+// exact memory layout the core had before the COW page layer (PR 3). It
+// supports only what the update loop needs (Add/Remove); its cost per ±1
+// update is the "pre-COW flat-array cost" the ISSUE 4 acceptance ratio is
+// measured against.
+// ---------------------------------------------------------------------------
+
+class FlatProfile {
+ public:
+  explicit FlatProfile(uint32_t m) : m_(m), f_to_t_(m), slots_(m) {
+    blocks_.reserve(1024);
+    blocks_.push_back(Blk{0, m - 1, 0});
+    for (uint32_t rank = 0; rank < m; ++rank) {
+      f_to_t_[rank] = rank;
+      slots_[rank] = Slot{rank, 0};
+    }
+  }
+
+  void Add(uint32_t id) {
+    const uint32_t rank = f_to_t_[id];
+    const uint32_t bh = slots_[rank].block;
+    const Blk b = blocks_[bh];
+    SwapRanks(rank, b.r);
+    if (b.l == b.r) {
+      Free(bh);
+    } else {
+      blocks_[bh].r = b.r - 1;
+    }
+    if (b.r + 1 < m_) {
+      const uint32_t nh = slots_[b.r + 1].block;
+      if (blocks_[nh].f == b.f + 1) {
+        blocks_[nh].l = b.r;
+        slots_[b.r].block = nh;
+        return;
+      }
+    }
+    slots_[b.r].block = Alloc(b.r, b.r, b.f + 1);
+  }
+
+  void Remove(uint32_t id) {
+    const uint32_t rank = f_to_t_[id];
+    const uint32_t bh = slots_[rank].block;
+    const Blk b = blocks_[bh];
+    SwapRanks(rank, b.l);
+    if (b.r == b.l) {
+      Free(bh);
+    } else {
+      blocks_[bh].l = b.l + 1;
+    }
+    if (b.l > 0) {
+      const uint32_t ph = slots_[b.l - 1].block;
+      if (blocks_[ph].f == b.f - 1) {
+        blocks_[ph].r = b.l;
+        slots_[b.l].block = ph;
+        return;
+      }
+    }
+    slots_[b.l].block = Alloc(b.l, b.l, b.f - 1);
+  }
+
+  void Apply(uint32_t id, bool is_add) { is_add ? Add(id) : Remove(id); }
+
+  int64_t ModeFrequency() const { return blocks_[slots_[m_ - 1].block].f; }
+
+ private:
+  struct Slot {
+    uint32_t id;
+    uint32_t block;
+  };
+  struct Blk {
+    uint32_t l, r;
+    int64_t f;
+  };
+
+  void SwapRanks(uint32_t a, uint32_t b) {
+    if (a == b) return;
+    const uint32_t ida = slots_[a].id;
+    const uint32_t idb = slots_[b].id;
+    slots_[a].id = idb;
+    slots_[b].id = ida;
+    f_to_t_[ida] = b;
+    f_to_t_[idb] = a;
+  }
+
+  uint32_t Alloc(uint32_t l, uint32_t r, int64_t f) {
+    if (!free_.empty()) {
+      const uint32_t h = free_.back();
+      free_.pop_back();
+      blocks_[h] = Blk{l, r, f};
+      return h;
+    }
+    blocks_.push_back(Blk{l, r, f});
+    return static_cast<uint32_t>(blocks_.size() - 1);
+  }
+
+  void Free(uint32_t h) { free_.push_back(h); }
+
+  uint32_t m_;
+  std::vector<uint32_t> f_to_t_;
+  std::vector<Slot> slots_;
+  std::vector<Blk> blocks_;
+  std::vector<uint32_t> free_;
+};
+
+/// ns per ±1 update replaying `events` into `p` (Apply loop, no engine).
+template <typename P>
+double UpdateNsPerEvent(P* p, const std::vector<Event>& events) {
+  WallTimer timer;
+  for (const Event& e : events) {
+    // The generated streams carry delta = +/-1.
+    p->Apply(e.id, e.delta > 0);
+  }
+  const double secs = timer.ElapsedSeconds();
+  return secs * 1e9 / static_cast<double>(events.size());
 }
 
 uint64_t PercentileNs(std::vector<uint64_t> samples, double q) {
@@ -139,25 +277,49 @@ int main() {
       sprofile::stream::MakePaperStreamConfig(1, sizes.m, /*seed=*/777));
   gen.GenerateEvents(sizes.n, &events);
 
-  TablePrinter table({"shards", "events/sec", "vs 1 shard"});
+  const uint32_t hw_cores = std::thread::hardware_concurrency();
+  TablePrinter table({"shards", "alloc", "pin", "events/sec", "vs 1 shard"});
   double single = 0.0;
   for (uint32_t shards : {1u, 2u, 4u, 8u}) {
-    const double eps =
-        RunIngestion(sizes, shards, /*snapshot_interval=*/0,
-                     engine::SnapshotMode::kCow, events)
-            .events_per_sec;
-    if (shards == 1) single = eps;
-    char rate[32], rel[32];
-    std::snprintf(rate, sizeof(rate), "%.3g", eps);
-    std::snprintf(rel, sizeof(rel), "%.2fx", eps / single);
-    table.AddRow({std::to_string(shards), rate, rel});
-    EmitJsonLine("bench_engine_scaling", "events_per_sec", eps,
-                 {{"shards", std::to_string(shards)}});
-    EmitJsonLine("bench_engine_scaling", "speedup_vs_1shard", eps / single,
-                 {{"shards", std::to_string(shards)}});
+    for (const auto alloc : {engine::PageAllocatorKind::kArena,
+                             engine::PageAllocatorKind::kHeap}) {
+      const char* alloc_name =
+          alloc == engine::PageAllocatorKind::kArena ? "arena" : "heap";
+      for (const bool pin : {false, true}) {
+        // EngineOptions validation rejects pinning more shards than cores;
+        // skip those matrix cells rather than crash on small runners.
+        if (pin && hw_cores > 0 && shards > hw_cores) continue;
+        const RunResult r =
+            RunIngestion(sizes, shards, /*snapshot_interval=*/0,
+                         engine::SnapshotMode::kCow, events, alloc, pin);
+        const double eps = r.events_per_sec;
+        if (shards == 1 && alloc == engine::PageAllocatorKind::kArena && !pin) {
+          single = eps;
+        }
+        char rate[32], rel[32];
+        std::snprintf(rate, sizeof(rate), "%.3g", eps);
+        std::snprintf(rel, sizeof(rel), "%.2fx", eps / single);
+        table.AddRow({std::to_string(shards), alloc_name, pin ? "on" : "off",
+                      rate, rel});
+        const std::vector<JsonTag> tags = {{"shards", std::to_string(shards)},
+                                           {"alloc", alloc_name},
+                                           {"pin", pin ? "on" : "off"}};
+        EmitJsonLine("bench_engine_scaling", "events_per_sec", eps, tags);
+        EmitJsonLine("bench_engine_scaling", "speedup_vs_1shard", eps / single,
+                     tags);
+        if (alloc == engine::PageAllocatorKind::kArena && !pin) {
+          EmitJsonLine("bench_engine_scaling", "arena_hugepage_arenas",
+                       static_cast<double>(r.memory.totals.hugepage_arenas),
+                       tags);
+          EmitJsonLine("bench_engine_scaling", "arena_pages_live",
+                       static_cast<double>(r.memory.totals.pages_live()), tags);
+        }
+      }
+    }
   }
   std::printf("%s\n", table.ToString().c_str());
-  std::printf("# target: >= 2x at 4 shards on a multi-core runner\n\n");
+  std::printf("# target: >= 2x at 4 shards on a multi-core runner "
+              "(baseline row: 1 shard / arena / pin=off)\n\n");
 
   // -----------------------------------------------------------------------
   // Snapshot-publish stall: deep_copy vs cow. Interval chosen for ~64
@@ -206,6 +368,57 @@ int main() {
   std::printf("%s\n", stall_table.ToString().c_str());
   std::printf("# target: cow p99 stall well below deep_copy at m >= 1M "
               "(deep_copy clones O(m/shards) per publish; cow grabs "
-              "O(#pages))\n");
+              "O(#pages))\n\n");
+
+  // -----------------------------------------------------------------------
+  // Update-path cost: flat reference vs paged core on heap vs arena pages.
+  // Single thread, Apply loop — isolates the storage layout from the
+  // engine machinery. ISSUE 4 acceptance: arena_over_flat <= 1.25 at
+  // m = 1M (most of the heap-paged 1.5-2x tax recovered).
+  // -----------------------------------------------------------------------
+  std::printf("# update-path cost (single thread, ns per +/-1 update, "
+              "m=%s, n=%s)\n", sprofile::HumanCount(sizes.m).c_str(),
+              sprofile::HumanCount(sizes.n).c_str());
+  TablePrinter update_table({"storage", "ns/update", "vs flat"});
+  double flat_ns = 0.0;
+  {
+    FlatProfile flat(sizes.m);
+    flat_ns = UpdateNsPerEvent(&flat, events);
+    Sink(flat.ModeFrequency());
+  }
+  double arena_faults = 0.0;
+  struct Contender {
+    const char* name;
+    sprofile::cow::PageAllocatorRef alloc;
+  };
+  for (const Contender& c :
+       {Contender{"flat", nullptr},
+        Contender{"heap_pages",
+                  std::make_shared<sprofile::cow::HeapPageAllocator>()},
+        Contender{"arena_pages", sprofile::cow::MakeArenaPageAllocator()}}) {
+    double ns = flat_ns;
+    if (c.alloc != nullptr) {
+      sprofile::FrequencyProfile p(sizes.m, c.alloc);
+      ns = UpdateNsPerEvent(&p, events);
+      Sink(p.Mode().frequency);
+      if (std::string(c.name) == "arena_pages") {
+        arena_faults = static_cast<double>(c.alloc->Stats().cow_faults);
+      }
+    }
+    char nss[32], rel[32];
+    std::snprintf(nss, sizeof(nss), "%.3g", ns);
+    std::snprintf(rel, sizeof(rel), "%.2fx", ns / flat_ns);
+    update_table.AddRow({c.name, nss, rel});
+    EmitJsonLine("bench_engine_scaling", "update_ns_per_event", ns,
+                 {{"storage", c.name}, {"m", std::to_string(sizes.m)}});
+    EmitJsonLine("bench_engine_scaling",
+                 std::string(c.name) + "_over_flat", ns / flat_ns,
+                 {{"m", std::to_string(sizes.m)}});
+  }
+  EmitJsonLine("bench_engine_scaling", "arena_update_cow_faults", arena_faults,
+               {{"m", std::to_string(sizes.m)}});
+  std::printf("%s\n", update_table.ToString().c_str());
+  std::printf("# target: arena_pages <= 1.25x flat at m >= 1M (ISSUE 4); "
+              "heap_pages is the PR 3 layout tax being recovered\n");
   return 0;
 }

@@ -60,6 +60,9 @@ inline std::vector<int64_t> FrequenciesOf(
 class SProfile : public ProfilerBase<SProfile> {
  public:
   explicit SProfile(uint32_t num_objects) : p_(num_objects) {}
+  /// Pages from an injected allocator (the engine's per-shard arenas).
+  SProfile(uint32_t num_objects, cow::PageAllocatorRef alloc)
+      : p_(num_objects, std::move(alloc)) {}
   explicit SProfile(FrequencyProfile profile) : p_(std::move(profile)) {}
 
   uint32_t capacity() const { return p_.capacity(); }
@@ -92,6 +95,11 @@ class SProfile : public ProfilerBase<SProfile> {
     std::vector<FrequencyEntry> entries;
     p_.TopK(k, &entries);
     return internal::FrequenciesOf(entries);
+  }
+
+  /// The allocator behind this profile's storage pages (engine MemoryStats).
+  const cow::PageAllocatorRef& page_allocator() const {
+    return p_.page_allocator();
   }
 
   FrequencyProfile& backend() { return p_; }
@@ -227,7 +235,8 @@ class Keyed : public ProfilerBase<Keyed> {
   explicit Keyed(uint32_t num_objects)
       : p_(KeyedProfileOptions{.initial_capacity = num_objects,
                                .release_zero_keys = false,
-                               .create_on_remove = true}) {
+                               .create_on_remove = true,
+                               .page_allocator = {}}) {
     for (uint32_t id = 0; id < num_objects; ++id) {
       p_.Add(id);
       (void)p_.Remove(id);

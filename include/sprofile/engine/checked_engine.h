@@ -43,6 +43,10 @@ class CheckedShardedProfiler {
   uint32_t num_shards() const { return e_.num_shards(); }
   int64_t total_count() const { return e_.total_count(); }
 
+  /// Aggregated per-shard storage counters (infallible; see
+  /// ShardedProfilerT::MemoryStats).
+  EngineMemoryStats MemoryStats() const { return e_.MemoryStats(); }
+
   // ---------------------------------------------------------------------
   // Checked ingestion.
   // ---------------------------------------------------------------------

@@ -51,20 +51,30 @@
 #include <concepts>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "core/cow_pages.h"
+#include "core/page_arena.h"
 #include "sprofile/adapters.h"
 #include "sprofile/engine/engine_options.h"
 #include "sprofile/engine/ring_buffer.h"
 #include "sprofile/event.h"
 #include "sprofile/profiler_concept.h"
 #include "util/logging.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace sprofile {
 namespace engine {
@@ -91,6 +101,29 @@ struct ShardSnapshot {
   Backend profile;
 };
 
+/// Backends that can take their storage pages from an injected allocator
+/// (the per-shard arena seam; adapters::SProfile models this).
+template <typename B>
+concept AllocatorAwareBackend =
+    requires(uint32_t n, cow::PageAllocatorRef a) { B(n, std::move(a)); };
+
+/// Backends that can report which allocator backs them (snapshot-restored
+/// engines recover MemoryStats through this).
+template <typename B>
+concept ReportsPageAllocator = requires(const B& b) {
+  { b.page_allocator() } -> std::convertible_to<cow::PageAllocatorRef>;
+};
+
+/// Aggregated storage counters across every shard whose allocator the
+/// engine knows (ShardedProfilerT::MemoryStats): arena lifecycle, live
+/// pages, and the post-publish COW fault tally.
+struct EngineMemoryStats {
+  cow::PageAllocStats totals;
+  /// Shards contributing to `totals` (a backend without an allocator seam
+  /// reports nothing).
+  uint32_t shards_reporting = 0;
+};
+
 namespace internal {
 
 /// One shard: the ingestion queue, the worker thread that drains it, the
@@ -103,16 +136,22 @@ namespace internal {
 template <ShardBackend Backend>
 class ShardWorker {
  public:
-  ShardWorker(Backend initial, const EngineOptions& options)
+  /// The backend is NOT constructed here: `factory` runs on the worker
+  /// thread after it has (optionally) pinned itself, so the profile's
+  /// arena pages are first touched — and therefore NUMA-placed — on the
+  /// core that will run every update (EngineOptions::numa_policy).
+  /// Callers must WaitReady() before reading snapshots.
+  ShardWorker(std::function<Backend()> factory, const EngineOptions& options,
+              int pin_core, cow::PageAllocatorRef allocator)
       : queue_(options.queue_capacity),
         drain_batch_(options.drain_batch),
         snapshot_interval_(options.snapshot_interval == 0
                                ? std::numeric_limits<uint64_t>::max()
                                : options.snapshot_interval),
         cow_snapshots_(options.snapshot_mode == SnapshotMode::kCow),
-        live_(std::move(initial)),
-        snapshot_(std::make_shared<const ShardSnapshot<Backend>>(
-            ShardSnapshot<Backend>{0, MakePublishCopy()})) {
+        pin_core_(pin_core),
+        allocator_(std::move(allocator)),
+        factory_(std::move(factory)) {
     worker_ = std::thread([this] { Run(); });
   }
 
@@ -121,6 +160,27 @@ class ShardWorker {
     WakeIfParked();
     worker_.join();
   }
+
+  /// Blocks until the worker has constructed its backend and published
+  /// the epoch-0 snapshot. The engine constructor calls this for every
+  /// shard before returning, so all other members may assume readiness.
+  /// If backend construction threw on the worker thread (e.g. bad_alloc
+  /// on a huge capacity), the exception is rethrown HERE, on the caller,
+  /// keeping engine construction failures catchable at the construction
+  /// site exactly as when backends were built on the caller thread.
+  void WaitReady() {
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> lock(done_mu_);
+      done_cv_.wait(lock, [&] { return ready_; });
+      error = init_error_;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+  /// The allocator backing this shard's pages; null when unknown (backend
+  /// without an allocator seam).
+  const cow::PageAllocatorRef& allocator() const { return allocator_; }
 
   ShardWorker(const ShardWorker&) = delete;
   ShardWorker& operator=(const ShardWorker&) = delete;
@@ -175,12 +235,38 @@ class ShardWorker {
 
  private:
   void Run() {
+    PinIfConfigured();
+    try {
+      // Construct the backend on THIS thread: with an arena allocator the
+      // construction loop is the first touch of every storage page, which
+      // places the mapping node-local under a pinned worker (the
+      // libnuma-free half of numa_policy=local).
+      live_.emplace(factory_());
+      factory_ = nullptr;  // release captured state (restored backends)
+      Publish(/*record_pause=*/false);  // the epoch-0 snapshot
+    } catch (...) {
+      // Hand the failure to WaitReady (the engine constructor) instead of
+      // letting it escape the thread function as std::terminate.
+      {
+        std::lock_guard<std::mutex> lock(done_mu_);
+        init_error_ = std::current_exception();
+        ready_ = true;
+      }
+      done_cv_.notify_all();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      ready_ = true;
+    }
+    done_cv_.notify_all();
+
     std::vector<Event> batch(drain_batch_);
     uint64_t since_snapshot = 0;
     for (;;) {
       const size_t n = queue_.TryPopBatch(batch.data(), drain_batch_);
       if (n > 0) {
-        live_.ApplyBatch(std::span<const Event>(batch.data(), n));
+        live_->ApplyBatch(std::span<const Event>(batch.data(), n));
         applied_.fetch_add(n, std::memory_order_release);
         since_snapshot += n;
         if (since_snapshot >= snapshot_interval_ || SnapshotDue()) {
@@ -214,13 +300,28 @@ class ShardWorker {
   }
 
   /// The snapshot copy per the configured mode: COW page grab or deep
-  /// clone. Called on the worker thread (and once in the constructor,
-  /// before the thread starts).
+  /// clone. Worker thread only (the backend lives there).
   Backend MakePublishCopy() const {
-    return cow_snapshots_ ? live_.Snapshot() : live_.Clone();
+    return cow_snapshots_ ? live_->Snapshot() : live_->Clone();
   }
 
-  void Publish() {
+  void PinIfConfigured() {
+#if defined(__linux__)
+    // Cores beyond the static cpu_set_t range are skipped rather than
+    // wrapped: pinning shard 1500 to core 1500 % 1024 would collide two
+    // workers on one core and bind arenas to the wrong node. Best-effort
+    // throughout: any failure (cpuset-restricted container, exotic
+    // machine) leaves the worker floating — correct, just without the
+    // locality win.
+    if (pin_core_ < 0 || pin_core_ >= static_cast<int>(CPU_SETSIZE)) return;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(pin_core_), &set);
+    (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#endif
+  }
+
+  void Publish(bool record_pause = true) {
     const uint64_t epoch = applied_.load(std::memory_order_relaxed);
     // The publish stall is everything between the worker pausing ingestion
     // and resuming it: producing the copy, swapping it in, and retiring
@@ -240,7 +341,7 @@ class ShardWorker {
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - pause_start)
             .count());
-    {
+    if (record_pause) {
       std::lock_guard<std::mutex> lock(snapshot_mu_);
       if (pause_ns_.size() < kMaxPauseSamples) {
         pause_ns_.push_back(pause_ns);
@@ -284,6 +385,7 @@ class ShardWorker {
   const uint32_t drain_batch_;
   const uint64_t snapshot_interval_;
   const bool cow_snapshots_;
+  const int pin_core_;  // -1 = unpinned
 
   std::atomic<uint64_t> enqueued_{0};
   std::atomic<uint64_t> applied_{0};
@@ -292,7 +394,9 @@ class ShardWorker {
   std::atomic<bool> stop_{false};
   std::atomic<bool> parked_{false};
 
-  Backend live_;  // worker-private after construction
+  cow::PageAllocatorRef allocator_;     // may be null; stats only
+  std::function<Backend()> factory_;    // consumed by the worker thread
+  std::optional<Backend> live_;         // worker-private; built in Run()
 
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const ShardSnapshot<Backend>> snapshot_;
@@ -301,6 +405,8 @@ class ShardWorker {
 
   std::mutex done_mu_;
   std::condition_variable done_cv_;
+  bool ready_ = false;                 // guarded by done_mu_
+  std::exception_ptr init_error_;      // guarded by done_mu_
   std::mutex wake_mu_;
   std::condition_variable wake_cv_;
 
@@ -322,14 +428,28 @@ class ShardedProfilerT {
     SPROFILE_CHECK_MSG(options.Validate().ok(), "invalid EngineOptions");
     shards_.reserve(options_.shards);
     for (uint32_t s = 0; s < options_.shards; ++s) {
+      const uint32_t shard_capacity =
+          ShardCapacity(capacity, options_.shards, s);
+      const int core = PinCoreFor(s);
+      cow::PageAllocatorRef alloc = MakeShardAllocator(options_, core);
+      std::function<Backend()> factory;
+      if constexpr (AllocatorAwareBackend<Backend>) {
+        factory = [shard_capacity, alloc] {
+          return Backend(shard_capacity, alloc);
+        };
+      } else {
+        factory = [shard_capacity] { return Backend(shard_capacity); };
+      }
       shards_.push_back(std::make_unique<internal::ShardWorker<Backend>>(
-          Backend(ShardCapacity(capacity, options_.shards, s)), options_));
+          std::move(factory), options_, core, std::move(alloc)));
     }
+    WaitAllReady();
   }
 
   /// Rebuilds an engine from per-shard backends (snapshot restore).
   /// backends.size() must equal options.shards and each backend's capacity
-  /// must match the stride partition of `capacity`.
+  /// must match the stride partition of `capacity`. The backends carry
+  /// their own storage (options.page_allocator does not re-seat them).
   ShardedProfilerT(std::vector<Backend> backends, uint32_t capacity,
                    const EngineOptions& options)
       : capacity_(capacity), options_(options) {
@@ -341,9 +461,18 @@ class ShardedProfilerT {
       SPROFILE_CHECK_MSG(
           backends[s].capacity() == ShardCapacity(capacity, options_.shards, s),
           "backend capacity does not match the stride partition");
+      cow::PageAllocatorRef alloc;
+      if constexpr (ReportsPageAllocator<Backend>) {
+        alloc = backends[s].page_allocator();
+      }
+      // shared_ptr holder: std::function requires a copyable callable, the
+      // backend is move-only. The factory runs exactly once.
+      auto holder = std::make_shared<Backend>(std::move(backends[s]));
       shards_.push_back(std::make_unique<internal::ShardWorker<Backend>>(
-          std::move(backends[s]), options_));
+          [holder] { return std::move(*holder); }, options_, PinCoreFor(s),
+          std::move(alloc)));
     }
+    WaitAllReady();
   }
 
   // Movable (shards live behind stable unique_ptrs), not copyable.
@@ -467,6 +596,21 @@ class ShardedProfilerT {
   /// One shard's snapshot (for tests / snapshot IO).
   std::shared_ptr<const Snapshot> ShardSnapshotOf(uint32_t shard) const {
     return shards_[shard]->snapshot();
+  }
+
+  /// Aggregated storage counters across shards with a known allocator:
+  /// live pages and bytes, COW fault count, arena lifecycle
+  /// (created / live / reclaimed / hugepage-flagged), mapped bytes. The
+  /// values are per-counter atomic reads, not a consistent cut — fine for
+  /// monitoring, not for exact accounting under load.
+  EngineMemoryStats MemoryStats() const {
+    EngineMemoryStats out;
+    for (const auto& s : shards_) {
+      if (s->allocator() == nullptr) continue;
+      out.totals.Accumulate(s->allocator()->Stats());
+      ++out.shards_reporting;
+    }
+    return out;
   }
 
   /// Publish-pause samples (ns) from every shard, unordered: how long each
@@ -615,6 +759,52 @@ class ShardedProfilerT {
   }
 
  private:
+  /// The core shard s's worker pins to, or -1 when pinning is off.
+  /// Validate() guarantees shards <= cores when the core count is known.
+  int PinCoreFor(uint32_t s) const {
+    return options_.pin_threads ? static_cast<int>(s) : -1;
+  }
+
+  /// Per-shard allocator per options.page_allocator; null for backends
+  /// without an allocator seam (they construct their own storage).
+  static cow::PageAllocatorRef MakeShardAllocator(const EngineOptions& options,
+                                                  int pin_core) {
+    (void)pin_core;
+    if constexpr (!AllocatorAwareBackend<Backend>) {
+      return nullptr;
+    } else {
+      bool arena;
+      switch (options.page_allocator) {
+        case PageAllocatorKind::kArena:
+          arena = true;
+          break;
+        case PageAllocatorKind::kHeap:
+          arena = false;
+          break;
+        case PageAllocatorKind::kDefault:
+        default:
+          // The build default: arenas, except where the sanitizer needs
+          // per-page allocations (SPROFILE_HEAP_PAGES_DEFAULT).
+          arena = !SPROFILE_HEAP_PAGES_DEFAULT;
+          break;
+      }
+      if (!arena) return std::make_shared<cow::HeapPageAllocator>();
+      cow::ArenaOptions ao;
+      ao.arena_bytes = static_cast<size_t>(options.arena_bytes);
+#if defined(SPROFILE_HAVE_NUMA)
+      if (options.numa_policy == NumaPolicy::kLocal && pin_core >= 0 &&
+          numa_available() >= 0) {
+        ao.numa_node = numa_node_of_cpu(pin_core);
+      }
+#endif
+      return cow::MakeArenaPageAllocator(ao);
+    }
+  }
+
+  void WaitAllReady() {
+    for (const auto& s : shards_) s->WaitReady();
+  }
+
   void PushOne(uint32_t id, int32_t delta) {
     SPROFILE_DCHECK(id < capacity_);
     const Event e{LocalId(id), delta};

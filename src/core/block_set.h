@@ -49,7 +49,15 @@ struct Block {
 /// Copying a BlockPool shares pages (COW); DeepClone() copies them.
 class BlockPool {
  public:
+  /// Heap-backed pool with default page geometry.
   BlockPool() = default;
+
+  /// Pool whose pages come from `alloc` (null = process heap), with page
+  /// geometry adapted to a profile of `capacity_hint` objects (a profile
+  /// of m objects holds at most m + 1 blocks).
+  BlockPool(cow::PageAllocatorRef alloc, uint64_t capacity_hint)
+      : blocks_(alloc, capacity_hint),
+        free_list_(std::move(alloc), capacity_hint / 4 + 1) {}
 
   /// Pre-sizes the pool's page tables (handles are assigned on Alloc).
   void Reserve(size_t n) {

@@ -1,17 +1,36 @@
 // Copy-on-write paged storage — the page layer under FrequencyProfile.
 //
-// A PagedArray<T> is a flat array split into fixed-size pages (kPageBytes of
-// payload each). Pages are refcounted: copying a PagedArray shares every
-// page and costs O(#pages) pointer grabs + refcount bumps, NOT O(n). The
-// first write to a shared page copy-on-write *faults* it — copies just that
-// page — so an owner that keeps mutating after handing out a snapshot pays
-// one bounded page copy per distinct page touched, amortized O(1) per
-// update (cf. the amortized-resizing discipline of Tarjan & Zwick,
-// "Optimal resizable arrays").
+// A PagedArray<T> is a flat array split into fixed-size pages. Pages are
+// refcounted: copying a PagedArray shares every page and costs O(#pages)
+// pointer grabs + refcount bumps, NOT O(n). The first write to a shared
+// page copy-on-write *faults* it — copies just that page — so an owner
+// that keeps mutating after handing out a snapshot pays one bounded page
+// copy per distinct page touched, amortized O(1) per update (cf. the
+// amortized-resizing discipline of Tarjan & Zwick, "Optimal resizable
+// arrays").
 //
 // This is what turns FrequencyProfile::Snapshot() into an O(#pages)
 // operation and bounds the engine's snapshot-publish pause (previously an
 // O(m) stop-the-shard clone; see docs/ENGINE.md).
+//
+// Storage comes from an injectable PageAllocator:
+//   - HeapPageAllocator: one aligned operator-new block per page. The
+//     fallback for sanitizer builds (ASan sees every page as a distinct
+//     allocation) and the default for small arrays.
+//   - cow::ArenaPageAllocator (core/page_arena.h): pages carved out of
+//     madvise(MADV_HUGEPAGE) arenas, which is what recovers the
+//     memory-layout tax scattered per-page heap allocations put on the
+//     update path (adjacency prefetch + store-address latency; ROADMAP
+//     "Arena-backed COW pages").
+// Every PagedArray holds a shared reference to its allocator, so pages
+// can be released from any thread that drops a snapshot: the allocator
+// outlives every page it handed out.
+//
+// Page geometry is chosen per array (AdaptivePageElems): elements per
+// page are capped so the COW fault tax — one page copy — scales with the
+// element width instead of a fixed 4 KiB, and small arrays get small
+// pages. Geometry is fixed at construction and shared by every snapshot
+// of the array (pages are exchanged between them).
 //
 // Concurrency contract (exactly the engine's shape):
 //   - ONE writer thread owns a given PagedArray and calls the mutating API.
@@ -27,11 +46,13 @@
 //     fetch_sub of a reader dropping its snapshot, ordering the reader's
 //     page reads before the writer's stores. Shared pages (refcount > 1)
 //     are never written — the writer copies them first.
-//   - The per-array "known exclusive" page bitmap is a pure owner-private
-//     cache of "refcount was 1 and no share happened since": refcounts
-//     only decrease while a bit is set, so the fast write path may skip
-//     the page-header load (saving a cache line per write) without ever
-//     writing a page a snapshot still references.
+//   - The per-page "known exclusive" tag (bit 0 of the owner's page-table
+//     entry) is a pure owner-private cache of "refcount was 1 and no share
+//     happened since": refcounts only decrease while the tag is set, so
+//     the fast write path may skip the page-header load (saving a cache
+//     line per write) without ever writing a page a snapshot still
+//     references. The tag lives in the word the read path loads anyway,
+//     so the write fast path costs one test, zero extra cache lines.
 //
 // Pages are stable in memory: growing the array never moves existing
 // pages, so references returned by Mutable()/operator[] survive push_back
@@ -47,18 +68,186 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
+#include <new>
 #include <type_traits>
 #include <vector>
 
 #include "util/logging.h"
 
+// Builds where the per-page heap allocator must stay the default so the
+// sanitizer sees page lifetimes individually: explicit opt-out
+// (-DSPROFILE_FORCE_HEAP_PAGES, wired to the CMake option of the same
+// name) or any AddressSanitizer build.
+#if defined(SPROFILE_FORCE_HEAP_PAGES) || defined(__SANITIZE_ADDRESS__)
+#define SPROFILE_HEAP_PAGES_DEFAULT 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SPROFILE_HEAP_PAGES_DEFAULT 1
+#endif
+#endif
+#ifndef SPROFILE_HEAP_PAGES_DEFAULT
+#define SPROFILE_HEAP_PAGES_DEFAULT 0
+#endif
+
 namespace sprofile {
 namespace cow {
 
-/// Payload bytes per page. 4 KiB keeps the fault cost (one page copy)
-/// firmly bounded while a 1M-slot array needs only a few thousand page
-/// pointers per snapshot.
+/// Target payload bytes per page for 8-byte elements (the RankSlot hot
+/// array): the baseline of the adaptive geometry below.
 inline constexpr size_t kPageBytes = 4096;
+
+/// Elements-per-page bounds for AdaptivePageElems. The cap keeps the COW
+/// fault tax (one page copy) proportional to the element width — a 4-byte
+/// permutation entry should not drag a 4 KiB copy behind every
+/// post-publish fault; the floor keeps tiny arrays from degenerating into
+/// one page per handful of elements.
+inline constexpr size_t kMaxPageElems = 512;
+inline constexpr size_t kMinPageElems = 64;
+
+/// Large-array geometry targets (see AdaptivePageElems): keep the page
+/// table at about this many entries, and never let one COW fault copy
+/// more than this much payload.
+inline constexpr size_t kTargetPageTableEntries = 512;
+inline constexpr size_t kMaxPagePayloadBytes = 64 * 1024;
+
+/// Page geometry for an array of `elem_size`-byte elements expected to
+/// hold about `capacity_hint` of them (0 = unknown). Always a power of
+/// two, always >= 1:
+///   - at most kPageBytes of payload (so a page of 8-byte elements is the
+///     classic 4 KiB),
+///   - at most kMaxPageElems (so the fault-copy cost scales with element
+///     width, not a fixed 4 KiB),
+///   - shrunk toward the hint for small arrays (a 100-element array gets
+///     one sub-KiB page, not a 4 KiB one), floored at kMinPageElems.
+constexpr size_t AdaptivePageElems(size_t elem_size, uint64_t capacity_hint) {
+  const size_t per_target =
+      std::bit_floor(std::max<size_t>(kPageBytes / std::max<size_t>(elem_size, 1),
+                                      size_t{1}));
+  size_t elems = std::min(per_target, kMaxPageElems);
+  if (capacity_hint > 0 && capacity_hint < elems) {
+    const size_t fit = std::bit_ceil(static_cast<size_t>(capacity_hint));
+    elems = std::max(fit, std::min(elems, kMinPageElems));
+  } else if (capacity_hint > (kTargetPageTableEntries <<
+                              std::countr_zero(elems))) {
+    // Large arrays scale the page UP so the page table stays ~L1-resident
+    // (kTargetPageTableEntries entries): every access chains through the
+    // table, and a table that spills to L2/L3 taxes each of the ~dozen
+    // storage touches per S-Profile update. Fault copies grow with the
+    // page, but the payload cap keeps each COW fault bounded.
+    const size_t scaled = std::bit_ceil(
+        static_cast<size_t>(capacity_hint / kTargetPageTableEntries));
+    const size_t payload_cap = std::max<size_t>(
+        std::bit_floor(kMaxPagePayloadBytes / std::max<size_t>(elem_size, 1)),
+        size_t{1});
+    elems = std::min(scaled, payload_cap);
+  }
+  return std::max<size_t>(elems, 1);
+}
+
+/// Allocator counters, readable from any thread (Stats() below). Plain
+/// struct: a snapshot, not the live atomics.
+struct PageAllocStats {
+  uint64_t pages_allocated = 0;   ///< page blocks handed out, cumulative
+  uint64_t pages_freed = 0;       ///< page blocks returned, cumulative
+  uint64_t page_bytes_live = 0;   ///< bytes of pages currently out
+  uint64_t cow_faults = 0;        ///< COW page copies (PagedArray reports)
+  uint64_t arenas_created = 0;    ///< arena mappings created (arena only)
+  uint64_t arenas_reclaimed = 0;  ///< fully drained arenas returned to the OS
+  uint64_t arenas_live = 0;       ///< mappings currently held (incl. warm spares)
+  uint64_t hugepage_arenas = 0;   ///< live mappings flagged MADV_HUGEPAGE (gauge)
+  uint64_t arena_bytes_mapped = 0;///< bytes currently mmap-reserved (incl. spares)
+
+  uint64_t pages_live() const { return pages_allocated - pages_freed; }
+
+  PageAllocStats& Accumulate(const PageAllocStats& o) {
+    pages_allocated += o.pages_allocated;
+    pages_freed += o.pages_freed;
+    page_bytes_live += o.page_bytes_live;
+    cow_faults += o.cow_faults;
+    arenas_created += o.arenas_created;
+    arenas_reclaimed += o.arenas_reclaimed;
+    arenas_live += o.arenas_live;
+    hugepage_arenas += o.hugepage_arenas;
+    arena_bytes_mapped += o.arena_bytes_mapped;
+    return *this;
+  }
+};
+
+/// Where PagedArray pages come from. Implementations must be thread-safe:
+/// Allocate runs on whichever thread owns the allocating array (usually
+/// one writer, but independent profiles may share an allocator), and
+/// Deallocate runs on ANY thread that drops the last reference to a page
+/// — including snapshot readers retiring an engine snapshot.
+///
+/// Returned blocks are at least 64-byte aligned (page payloads must tile
+/// cache lines) and at least `bytes` long.
+class PageAllocator {
+ public:
+  virtual ~PageAllocator() = default;
+
+  virtual void* Allocate(size_t bytes) = 0;
+  virtual void Deallocate(void* block, size_t bytes) noexcept = 0;
+
+  /// Counter snapshot (cross-thread safe; values are individually atomic,
+  /// not a consistent cut).
+  virtual PageAllocStats Stats() const = 0;
+
+  /// PagedArray reports each COW page fault here so MemoryStats can
+  /// surface the post-publish write tax.
+  void CountFault() { cow_faults_.fetch_add(1, std::memory_order_relaxed); }
+
+ protected:
+  uint64_t FaultCount() const {
+    return cow_faults_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> cow_faults_{0};
+};
+
+using PageAllocatorRef = std::shared_ptr<PageAllocator>;
+
+/// One aligned operator-new block per page. Thread-safe (the system
+/// allocator is), and the right default under ASan: every page is an
+/// individually tracked allocation, so leaks and use-after-frees in the
+/// refcount discipline surface with page-exact reports.
+class HeapPageAllocator final : public PageAllocator {
+ public:
+  void* Allocate(size_t bytes) override {
+    pages_allocated_.fetch_add(1, std::memory_order_relaxed);
+    bytes_live_.fetch_add(bytes, std::memory_order_relaxed);
+    return ::operator new(bytes, std::align_val_t{64});
+  }
+
+  void Deallocate(void* block, size_t bytes) noexcept override {
+    pages_freed_.fetch_add(1, std::memory_order_relaxed);
+    bytes_live_.fetch_sub(bytes, std::memory_order_relaxed);
+    ::operator delete(block, std::align_val_t{64});
+  }
+
+  PageAllocStats Stats() const override {
+    PageAllocStats s;
+    s.pages_allocated = pages_allocated_.load(std::memory_order_relaxed);
+    s.pages_freed = pages_freed_.load(std::memory_order_relaxed);
+    s.page_bytes_live = bytes_live_.load(std::memory_order_relaxed);
+    s.cow_faults = FaultCount();
+    return s;
+  }
+
+ private:
+  std::atomic<uint64_t> pages_allocated_{0};
+  std::atomic<uint64_t> pages_freed_{0};
+  std::atomic<uint64_t> bytes_live_{0};
+};
+
+/// Process-wide heap allocator: the backing store for default-constructed
+/// PagedArrays and small profiles, where per-profile arenas would cost
+/// more in mappings than they save in locality.
+inline const PageAllocatorRef& GlobalHeapPageAllocator() {
+  static const PageAllocatorRef global = std::make_shared<HeapPageAllocator>();
+  return global;
+}
 
 template <typename T>
 class PagedArray {
@@ -67,44 +256,63 @@ class PagedArray {
                 "memcpy; T must be trivially copyable");
 
  public:
-  /// Elements per page: the largest power of two fitting kPageBytes
-  /// (at least 1, for T larger than a page).
-  static constexpr size_t kPageElems =
-      std::bit_floor(kPageBytes / sizeof(T) > 0 ? kPageBytes / sizeof(T)
-                                                : size_t{1});
-  static constexpr size_t kPageShift = std::countr_zero(kPageElems);
-  static constexpr size_t kPageMask = kPageElems - 1;
+  /// Default elements per page for a T array with no capacity hint (the
+  /// geometry of default-constructed arrays; kept as a constant for tests
+  /// and back-of-envelope math).
+  static constexpr size_t kPageElems = AdaptivePageElems(sizeof(T), 0);
 
-  PagedArray() = default;
-  explicit PagedArray(size_t n) { resize(n); }
+  /// Heap-backed, default geometry.
+  PagedArray() : PagedArray(PageAllocatorRef(), 0) {}
+
+  /// Heap-backed, geometry adapted to n, sized to n.
+  explicit PagedArray(size_t n) : PagedArray(PageAllocatorRef(), n) {
+    resize(n);
+  }
+
+  /// The fully injected form: pages from `alloc` (null = process heap),
+  /// geometry adapted to `capacity_hint` elements (0 = default). The
+  /// array starts empty; geometry is fixed for the array's lifetime and
+  /// inherited by every snapshot.
+  PagedArray(PageAllocatorRef alloc, uint64_t capacity_hint)
+      : alloc_(alloc ? std::move(alloc) : GlobalHeapPageAllocator()) {
+    SetGeometry(AdaptivePageElems(sizeof(T), capacity_hint));
+  }
 
   /// Copying SHARES pages: O(#pages). Use DeepClone() for an independent
-  /// copy. This is the snapshot primitive.
-  PagedArray(const PagedArray& other) { ShareFrom(other); }
+  /// copy. This is the snapshot primitive. The copy adopts the source's
+  /// allocator and geometry (they co-own the same pages).
+  PagedArray(const PagedArray& other) : alloc_(other.alloc_) {
+    AdoptGeometry(other);
+    ShareFrom(other);
+  }
   PagedArray& operator=(const PagedArray& other) {
     if (this != &other) {
       Release();
+      alloc_ = other.alloc_;
+      AdoptGeometry(other);
       ShareFrom(other);
     }
     return *this;
   }
 
   PagedArray(PagedArray&& other) noexcept
-      : pages_(std::move(other.pages_)),
-        exclusive_(std::move(other.exclusive_)),
+      : alloc_(std::move(other.alloc_)),
+        pages_(std::move(other.pages_)),
         size_(other.size_) {
+    AdoptGeometry(other);
+    other.alloc_ = GlobalHeapPageAllocator();
     other.pages_.clear();
-    other.exclusive_.clear();
     other.size_ = 0;
   }
   PagedArray& operator=(PagedArray&& other) noexcept {
     if (this != &other) {
       Release();
+      alloc_ = std::move(other.alloc_);
+      AdoptGeometry(other);
       pages_ = std::move(other.pages_);
-      exclusive_ = std::move(other.exclusive_);
       size_ = other.size_;
+      other.alloc_ = GlobalHeapPageAllocator();
       other.pages_.clear();
-      other.exclusive_.clear();
       other.size_ = 0;
     }
     return *this;
@@ -119,24 +327,30 @@ class PagedArray {
   /// with the owner writing OTHER arrays (see the concurrency contract).
   const T& operator[](size_t i) const {
     SPROFILE_DCHECK(i < size_);
-    return pages_[i >> kPageShift]->data[i & kPageMask];
+    return PageAt(i >> page_shift_)[i & page_mask_];
   }
 
   /// Write access: copy-on-write faults the covering page if any snapshot
   /// still shares it, then returns a reference into the (now exclusive)
   /// page. Owner thread only.
   ///
-  /// Hot path: pages this array KNOWS it owns exclusively (tracked in a
-  /// small owner-private bitmap, cleared whenever a copy shares the
-  /// pages) skip the refcount load — touching the page header would cost
-  /// a second cache line per write, which measurably taxes the S-Profile
-  /// update loop. The slow path re-checks the refcount, faults if the
-  /// page is still shared, and re-arms the bit either way.
+  /// Hot path: pages this array KNOWS it owns exclusively skip the
+  /// refcount load — touching the page header would cost a second cache
+  /// line per write, which measurably taxes the S-Profile update loop.
+  /// The known-exclusive marker is the LOW BIT of the page-table entry
+  /// itself (pages are 64-aligned, so the bit is free): the write path
+  /// loads exactly the word the read path loads, one test, no separate
+  /// bitmap line. The slow path re-checks the refcount, faults if the
+  /// page is still shared, and re-arms the tag either way.
   T& Mutable(size_t i) {
     SPROFILE_DCHECK(i < size_);
-    const size_t page_index = i >> kPageShift;
-    if (!TestExclusive(page_index)) EnsureExclusive(page_index);
-    return pages_[page_index]->data[i & kPageMask];
+    const size_t page_index = i >> page_shift_;
+    const uintptr_t tagged = pages_[page_index];
+    if (tagged & kExclusiveTag) [[likely]] {
+      return reinterpret_cast<T*>(tagged & ~kExclusiveTag)[i & page_mask_];
+    }
+    EnsureExclusive(page_index);
+    return PageAt(page_index)[i & page_mask_];
   }
 
   /// Grows with value-initialized elements / shrinks, like vector::resize.
@@ -147,21 +361,19 @@ class PagedArray {
     const size_t want = PageCountFor(n);
     if (want > old_pages) {
       pages_.reserve(want);
-      exclusive_.resize((want + 63) / 64, 0);
       while (pages_.size() < want) {
-        MarkExclusive(pages_.size());  // fresh pages are exclusively ours
-        pages_.push_back(NewZeroPage());
+        // Fresh pages are exclusively ours: born tagged.
+        pages_.push_back(TagExclusive(NewZeroPage()));
       }
     } else if (want < old_pages) {
-      for (size_t p = want; p < old_pages; ++p) Unref(pages_[p]);
+      for (size_t p = want; p < old_pages; ++p) Unref(PageAt(p));
       pages_.resize(want);
-      exclusive_.resize((want + 63) / 64);
     }
     size_ = n;
     if (n > old_size) {
       // Freshly allocated pages are born zeroed; only reused tail cells of
       // a page that previously held live elements need re-zeroing.
-      const size_t reused_end = std::min(n, old_pages * kPageElems);
+      const size_t reused_end = std::min(n, old_pages << page_shift_);
       if (reused_end > old_size) ZeroRange(old_size, reused_end);
     }
   }
@@ -169,12 +381,7 @@ class PagedArray {
   void push_back(const T& value) {
     const size_t i = size_;
     if (PageCountFor(i + 1) > pages_.size()) {
-      const size_t page_index = pages_.size();
-      if ((page_index >> 6) >= exclusive_.size()) {
-        exclusive_.resize((page_index >> 6) + 1, 0);
-      }
-      MarkExclusive(page_index);
-      pages_.push_back(NewZeroPage());
+      pages_.push_back(TagExclusive(NewZeroPage()));
     }
     ++size_;
     Mutable(i) = value;
@@ -188,16 +395,17 @@ class PagedArray {
   /// Pre-sizes the page TABLE only; pages are allocated on growth.
   void reserve(size_t n) { pages_.reserve(PageCountFor(n)); }
 
-  /// An independent deep copy: O(n) page copies, shares nothing.
+  /// An independent deep copy: O(n) page copies, shares nothing. Pages
+  /// come from the same allocator.
   PagedArray DeepClone() const {
-    PagedArray out;
+    PagedArray out(alloc_, 0);
+    out.SetGeometry(page_elems_);
     out.pages_.reserve(pages_.size());
-    for (const Page* p : pages_) {
-      Page* fresh = NewRawPage();
-      std::memcpy(fresh->data, p->data, sizeof(fresh->data));
-      out.pages_.push_back(fresh);
+    for (size_t p = 0; p < pages_.size(); ++p) {
+      T* fresh = NewRawPage();
+      std::memcpy(static_cast<void*>(fresh), PageAt(p), payload_bytes_);
+      out.pages_.push_back(TagExclusive(fresh));
     }
-    out.exclusive_.assign((pages_.size() + 63) / 64, ~uint64_t{0});
     out.size_ = size_;
     return out;
   }
@@ -208,11 +416,18 @@ class PagedArray {
 
   size_t num_pages() const { return pages_.size(); }
 
+  /// Elements per page of THIS array (geometry may differ from the static
+  /// default when a capacity hint shrank it).
+  size_t elems_per_page() const { return page_elems_; }
+
+  /// The allocator this array's pages come from (never null).
+  const PageAllocatorRef& page_allocator() const { return alloc_; }
+
   /// Pages still co-owned by at least one other PagedArray (snapshots).
   size_t SharedPageCount() const {
     size_t shared = 0;
-    for (const Page* p : pages_) {
-      if (p->refs.load(std::memory_order_relaxed) > 1) ++shared;
+    for (size_t p = 0; p < pages_.size(); ++p) {
+      if (RefsOf(PageAt(p)).load(std::memory_order_relaxed) > 1) ++shared;
     }
     return shared;
   }
@@ -220,115 +435,157 @@ class PagedArray {
   /// Heap bytes held via this array. Shared pages are counted in full on
   /// every co-owner (no amortization across snapshots).
   size_t MemoryBytes() const {
-    return pages_.size() * sizeof(Page) + pages_.capacity() * sizeof(Page*) +
-           exclusive_.capacity() * sizeof(uint64_t);
+    return pages_.size() * block_bytes_ + pages_.capacity() * sizeof(uintptr_t);
   }
 
  private:
-  // Payload first and cache-line aligned: elements must tile lines cleanly
-  // (a leading header would shift every slot by its size and make 1-in-8
-  // RankSlots straddle two lines); the refcount rides behind the payload,
-  // where only the snapshot/fault slow paths touch it.
-  struct alignas(64) Page {
-    T data[kPageElems];
-    std::atomic<uint32_t> refs;
-  };
+  // Page block layout: [payload: page_elems_ * sizeof(T)][refcount].
+  // Payload first and 64-aligned (the allocator contract): elements must
+  // tile cache lines cleanly — a leading header would shift every slot by
+  // its size and make 1-in-8 RankSlots straddle two lines. The refcount
+  // rides behind the payload, where only the snapshot/fault slow paths
+  // touch it.
+  using RefCount = std::atomic<uint32_t>;
 
-  static size_t PageCountFor(size_t n) {
-    return (n + kPageElems - 1) >> kPageShift;
+  RefCount& RefsOf(const T* page) const {
+    return *reinterpret_cast<RefCount*>(
+        reinterpret_cast<char*>(const_cast<T*>(page)) + refs_offset_);
   }
 
-  static Page* NewZeroPage() {
-    Page* p = new Page();  // value-init: data zeroed
-    p->refs.store(1, std::memory_order_relaxed);
-    return p;
+  void SetGeometry(size_t page_elems) {
+    SPROFILE_DCHECK(std::has_single_bit(page_elems));
+    page_elems_ = page_elems;
+    page_shift_ = static_cast<uint32_t>(std::countr_zero(page_elems));
+    page_mask_ = page_elems - 1;
+    payload_bytes_ = page_elems * sizeof(T);
+    refs_offset_ = (payload_bytes_ + alignof(RefCount) - 1) &
+                   ~(alignof(RefCount) - 1);
+    block_bytes_ = refs_offset_ + sizeof(RefCount);
   }
 
-  static Page* NewRawPage() {
-    Page* p = new Page;  // default-init: data left for the caller to fill
-    p->refs.store(1, std::memory_order_relaxed);
-    return p;
+  void AdoptGeometry(const PagedArray& other) {
+    page_elems_ = other.page_elems_;
+    page_shift_ = other.page_shift_;
+    page_mask_ = other.page_mask_;
+    payload_bytes_ = other.payload_bytes_;
+    refs_offset_ = other.refs_offset_;
+    block_bytes_ = other.block_bytes_;
   }
 
-  static void Unref(Page* p) {
+  size_t PageCountFor(size_t n) const {
+    return (n + page_mask_) >> page_shift_;
+  }
+
+  T* NewRawPage() const {
+    void* block = alloc_->Allocate(block_bytes_);
+    ::new (static_cast<char*>(block) + refs_offset_) RefCount(1);
+    return static_cast<T*>(block);
+  }
+
+  T* NewZeroPage() const {
+    T* page = NewRawPage();
+    // Explicit zeroing (arena blocks may be recycled, so "fresh" is not
+    // "zero"); doubles as the NUMA first-touch when the owner thread runs
+    // pinned — the zeroing store is the first write to the mapping.
+    std::memset(static_cast<void*>(page), 0, payload_bytes_);
+    return page;
+  }
+
+  void Unref(T* page) {
     // Release so our prior reads/writes of the page complete before any
     // other thread frees it; acquire (on the freeing side) so all owners'
-    // accesses complete before delete.
-    if (p->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete p;
+    // accesses complete before the block returns to the allocator.
+    RefCount& refs = RefsOf(page);
+    if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      refs.~RefCount();
+      alloc_->Deallocate(page, block_bytes_);
+    }
   }
 
   void ShareFrom(const PagedArray& other) {
     pages_.reserve(other.pages_.size());
-    for (Page* p : other.pages_) {
-      p->refs.fetch_add(1, std::memory_order_relaxed);
-      pages_.push_back(p);
+    for (size_t p = 0; p < other.pages_.size(); ++p) {
+      T* page = other.PageAt(p);
+      RefsOf(page).fetch_add(1, std::memory_order_relaxed);
+      pages_.push_back(reinterpret_cast<uintptr_t>(page));  // untagged
     }
     size_ = other.size_;
-    // Sharing voids BOTH sides' exclusivity caches: every page now has a
-    // co-owner. (Mutating the source's cache is why taking a copy is an
-    // owner-side operation; see the concurrency contract.)
-    exclusive_.assign((pages_.size() + 63) / 64, 0);
-    other.exclusive_.assign(other.exclusive_.size(), 0);
+    // Sharing voids the SOURCE's exclusivity tags too: every page now has
+    // a co-owner. (Mutating the source's page table is why taking a copy
+    // is an owner-side operation; see the concurrency contract.)
+    for (uintptr_t& p : other.pages_) p &= ~kExclusiveTag;
   }
 
   void Release() {
-    for (Page* p : pages_) Unref(p);
+    for (size_t p = 0; p < pages_.size(); ++p) Unref(PageAt(p));
     pages_.clear();
-    exclusive_.clear();
   }
 
   /// Copies `*slot`'s page into a fresh exclusive one and drops the shared
   /// reference. The old page stays alive for (and unchanged under) its
   /// remaining snapshot owners.
-  void FaultPage(Page** slot) {
-    Page* old = *slot;
-    Page* fresh = NewRawPage();
-    std::memcpy(fresh->data, old->data, sizeof(fresh->data));
+  void FaultPage(uintptr_t* slot) {
+    T* old = reinterpret_cast<T*>(*slot & ~kExclusiveTag);
+    T* fresh = NewRawPage();
+    std::memcpy(static_cast<void*>(fresh), old, payload_bytes_);
     Unref(old);
-    *slot = fresh;
+    *slot = reinterpret_cast<uintptr_t>(fresh);
+    alloc_->CountFault();
   }
 
   /// Zeroes elements [begin, end), faulting shared pages as needed.
   void ZeroRange(size_t begin, size_t end) {
     size_t i = begin;
     while (i < end) {
-      const size_t page_index = i >> kPageShift;
-      if (!TestExclusive(page_index)) EnsureExclusive(page_index);
-      const size_t in_page = i & kPageMask;
-      const size_t count = std::min(end - i, kPageElems - in_page);
-      std::memset(static_cast<void*>(pages_[page_index]->data + in_page), 0,
+      const size_t page_index = i >> page_shift_;
+      if (!(pages_[page_index] & kExclusiveTag)) EnsureExclusive(page_index);
+      const size_t in_page = i & page_mask_;
+      const size_t count = std::min(end - i, page_elems_ - in_page);
+      std::memset(static_cast<void*>(PageAt(page_index) + in_page), 0,
                   count * sizeof(T));
       i += count;
     }
   }
 
   // -----------------------------------------------------------------------
-  // The exclusivity cache (see the concurrency contract above).
+  // The exclusivity tag (see Mutable above): bit 0 of a page-table entry
+  // means "refcount was observed as 1 and no copy has been taken since".
   // -----------------------------------------------------------------------
 
-  bool TestExclusive(size_t page_index) const {
-    return (exclusive_[page_index >> 6] >> (page_index & 63)) & 1;
+  static constexpr uintptr_t kExclusiveTag = 1;
+
+  T* PageAt(size_t page_index) const {
+    return reinterpret_cast<T*>(pages_[page_index] & ~kExclusiveTag);
   }
 
-  void MarkExclusive(size_t page_index) {
-    exclusive_[page_index >> 6] |= uint64_t{1} << (page_index & 63);
+  static uintptr_t TagExclusive(T* page) {
+    return reinterpret_cast<uintptr_t>(page) | kExclusiveTag;
   }
 
   /// Slow path of Mutable: the page is not known-exclusive — re-check the
   /// refcount (a snapshot may have died), fault if it is still shared,
-  /// and re-arm the bit either way.
+  /// and re-arm the tag either way.
   void EnsureExclusive(size_t page_index) {
-    Page*& page = pages_[page_index];
-    if (page->refs.load(std::memory_order_acquire) != 1) FaultPage(&page);
-    MarkExclusive(page_index);
+    uintptr_t& slot = pages_[page_index];
+    if (RefsOf(PageAt(page_index)).load(std::memory_order_acquire) != 1) {
+      FaultPage(&slot);
+    }
+    slot |= kExclusiveTag;
   }
 
-  std::vector<Page*> pages_;
-  // One bit per page: "refcount was observed as 1 and no copy has been
-  // taken since". mutable because sharing FROM a (logically const) array
-  // must invalidate its cache.
-  mutable std::vector<uint64_t> exclusive_;
+  PageAllocatorRef alloc_;  // never null
+  // Page-table entries: page pointer | exclusivity tag (bit 0). mutable
+  // because sharing FROM a (logically const) array must clear its tags.
+  mutable std::vector<uintptr_t> pages_;
   size_t size_ = 0;
+
+  // Geometry (fixed at construction; see SetGeometry).
+  size_t page_elems_ = kPageElems;
+  uint32_t page_shift_ = 0;
+  size_t page_mask_ = 0;
+  size_t payload_bytes_ = 0;
+  size_t refs_offset_ = 0;
+  size_t block_bytes_ = 0;
 };
 
 }  // namespace cow

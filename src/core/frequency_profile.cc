@@ -4,10 +4,30 @@
 #include <cmath>
 #include <numeric>
 #include <string>
+#include <utility>
+
+#include "core/page_arena.h"
+
+namespace {
+/// Paged-storage bytes a profile of m objects needs, for the default
+/// allocator choice (arena vs shared heap; see MakeProfileDefaultAllocator).
+uint64_t FootprintHint(uint32_t m) {
+  return static_cast<uint64_t>(m) *
+         (sizeof(sprofile::internal::RankSlot) + sizeof(uint32_t) +
+          sizeof(sprofile::Block));
+}
+}  // namespace
 
 namespace sprofile {
 
-FrequencyProfile::FrequencyProfile(uint32_t num_objects) : m_(num_objects) {
+FrequencyProfile::FrequencyProfile(uint32_t num_objects,
+                                   cow::PageAllocatorRef alloc)
+    : m_(num_objects),
+      alloc_(alloc ? std::move(alloc)
+                   : cow::MakeProfileDefaultAllocator(FootprintHint(num_objects))),
+      pool_(alloc_, m_),
+      f_to_t_(alloc_, m_),
+      slots_(alloc_, m_) {
   f_to_t_.resize(m_);
   slots_.resize(m_);
   if (m_ == 0) return;
@@ -24,7 +44,7 @@ FrequencyProfile FrequencyProfile::Clone() const {
   // Deep-copies directly — deliberately NOT via the sharing copy ctor: a
   // transient share would clear this profile's exclusivity bitmaps and
   // put every subsequent write back on the refcount slow path.
-  FrequencyProfile copy(0u);
+  FrequencyProfile copy(0u, alloc_);
   copy.m_ = m_;
   copy.frozen_ = frozen_;
   copy.total_count_ = total_count_;
@@ -36,8 +56,9 @@ FrequencyProfile FrequencyProfile::Clone() const {
 }
 
 FrequencyProfile FrequencyProfile::FromFrequencies(
-    const std::vector<int64_t>& frequencies) {
-  FrequencyProfile p(static_cast<uint32_t>(frequencies.size()));
+    const std::vector<int64_t>& frequencies, cow::PageAllocatorRef alloc) {
+  FrequencyProfile p(static_cast<uint32_t>(frequencies.size()),
+                     std::move(alloc));
   if (frequencies.empty()) return p;
 
   const uint32_t m = p.m_;

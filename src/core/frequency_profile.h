@@ -187,11 +187,19 @@ struct GroupStat {
 class FrequencyProfile {
  public:
   /// Creates a profile of `num_objects` objects, all at frequency 0.
-  explicit FrequencyProfile(uint32_t num_objects);
+  ///
+  /// Storage pages come from `alloc`; passing null picks the default for
+  /// the profile's footprint (cow::MakeProfileDefaultAllocator): a private
+  /// hugepage arena for large profiles, the shared heap for small ones,
+  /// and always the heap in ASan / forced-heap builds. Snapshots and
+  /// Clone()s share the allocator, so it outlives every page.
+  explicit FrequencyProfile(uint32_t num_objects,
+                            cow::PageAllocatorRef alloc = nullptr);
 
   /// Bulk-builds a profile from initial frequencies in O(m log m)
   /// (ablation A6 measures this against m repeated Adds).
-  static FrequencyProfile FromFrequencies(const std::vector<int64_t>& frequencies);
+  static FrequencyProfile FromFrequencies(const std::vector<int64_t>& frequencies,
+                                          cow::PageAllocatorRef alloc = nullptr);
 
   // Movable but not copyable by accident (profiles can be large); use
   // Snapshot() for an O(#pages) copy-on-write copy or Clone() for an
@@ -372,6 +380,17 @@ class FrequencyProfile {
     return f_to_t_.num_pages() + slots_.num_pages() + pool_.PageCount();
   }
 
+  /// The allocator every storage page of this profile (and its snapshots)
+  /// comes from. Never null.
+  const cow::PageAllocatorRef& page_allocator() const { return alloc_; }
+
+  /// Allocator counters for this profile's storage: pages live, COW
+  /// faults, arenas created/reclaimed (zero arena fields under the heap
+  /// allocator). Shared-allocator caveat: profiles constructed with the
+  /// same allocator (e.g. small profiles on the process heap) share one
+  /// counter set.
+  cow::PageAllocStats StorageStats() const { return alloc_->Stats(); }
+
  private:
   using RankSlot = internal::RankSlot;
 
@@ -382,6 +401,7 @@ class FrequencyProfile {
         frozen_(other.frozen_),
         total_count_(other.total_count_),
         generation_(other.generation_),
+        alloc_(other.alloc_),
         pool_(other.pool_),
         f_to_t_(other.f_to_t_),
         slots_(other.slots_) {}
@@ -416,6 +436,7 @@ class FrequencyProfile {
   int64_t total_count_ = 0;
   uint64_t generation_ = 0;  // see BumpGeneration()
 
+  cow::PageAllocatorRef alloc_;       // backs every paged member below
   BlockPool pool_;
   cow::PagedArray<uint32_t> f_to_t_;  // id -> rank (FtoT)
   internal::RankSlotArray slots_;     // rank -> (id, block)

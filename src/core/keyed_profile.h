@@ -40,6 +40,12 @@ struct KeyedProfileOptions {
   /// matching the paper's unchecked semantics). When false such a Remove
   /// returns NotFound.
   bool create_on_remove = false;
+
+  /// Backing store for the dense profile's pages (null = the footprint
+  /// default; see FrequencyProfile). A keyed profile grows from zero
+  /// capacity, so inject an arena allocator explicitly when the key
+  /// universe is known to be large.
+  cow::PageAllocatorRef page_allocator;
 };
 
 /// A group of tied keys (materialized; unlike GroupView this stays valid
@@ -54,7 +60,7 @@ template <typename Key, typename Hash = ProfileHash<Key>>
 class KeyedProfile {
  public:
   explicit KeyedProfile(KeyedProfileOptions options = {})
-      : options_(options), profile_(0) {
+      : options_(options), profile_(0, options.page_allocator) {
     if (options_.initial_capacity > 0) {
       map_.Reserve(options_.initial_capacity);
       id_to_key_.reserve(options_.initial_capacity);

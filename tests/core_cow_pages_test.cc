@@ -149,6 +149,53 @@ TEST(CowPagedArrayTest, ClearDropsReferencesNotSnapshots) {
   EXPECT_EQ(snap[0], 9u) << "snapshot keeps the page alive";
 }
 
+TEST(CowPagedArrayTest, InjectedAllocatorBacksEveryPageAndCountsFaults) {
+  auto alloc = std::make_shared<HeapPageAllocator>();
+  {
+    PagedArray<uint32_t> a(alloc, 3 * kElems);
+    a.resize(3 * kElems);
+    EXPECT_EQ(a.page_allocator().get(), alloc.get());
+    EXPECT_EQ(alloc->Stats().pages_allocated, a.num_pages());
+    const PagedArray<uint32_t> snap = a;
+    a.Mutable(0) = 1;  // faults page 0
+    a.Mutable(1) = 2;  // same page: no second fault
+    EXPECT_EQ(alloc->Stats().cow_faults, 1u);
+    EXPECT_EQ(snap.page_allocator().get(), alloc.get())
+        << "snapshots share the allocator";
+  }
+  EXPECT_EQ(alloc->Stats().page_bytes_live, 0u) << "all pages returned";
+  EXPECT_EQ(alloc->Stats().pages_allocated, alloc->Stats().pages_freed);
+}
+
+TEST(CowPagedArrayTest, CapacityHintShrinksPagesForSmallArrays) {
+  PagedArray<uint64_t> small(PageAllocatorRef(), 10);
+  small.resize(10);
+  EXPECT_EQ(small.elems_per_page(), kMinPageElems);
+  EXPECT_EQ(small.num_pages(), 1u);
+  // Geometry is fixed at construction: growing past the hint just adds
+  // (small) pages.
+  small.resize(5 * kMinPageElems);
+  EXPECT_EQ(small.num_pages(), 5u);
+  for (size_t i = 0; i < small.size(); ++i) ASSERT_EQ(small[i], 0u);
+}
+
+TEST(CowPagedArrayTest, LargeArraysScalePagesUpKeepingTableSmall) {
+  constexpr uint64_t kHint = 1u << 20;
+  PagedArray<uint64_t> big(PageAllocatorRef(), kHint);
+  // The page table stays near kTargetPageTableEntries entries...
+  const size_t pages_at_hint = kHint / big.elems_per_page();
+  EXPECT_LE(pages_at_hint, 2 * kTargetPageTableEntries);
+  // ...and a single COW fault never copies more than the payload cap.
+  EXPECT_LE(big.elems_per_page() * sizeof(uint64_t), kMaxPagePayloadBytes);
+  // Geometry still works end to end.
+  big.resize(3 * big.elems_per_page() + 5);
+  for (size_t i = 0; i < big.size(); i += 7) big.Mutable(i) = i;
+  const PagedArray<uint64_t> snap = big;
+  big.Mutable(0) = 12345;
+  EXPECT_EQ(snap[0], 0u);
+  EXPECT_EQ(big[7], 7u);
+}
+
 // The engine's exact shape: one owner thread keeps writing while reader
 // threads query and drop snapshots. TSan-gated in CI; here it also checks
 // that every snapshot observes exactly the state at its creation.

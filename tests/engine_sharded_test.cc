@@ -518,6 +518,160 @@ TEST(CheckedEngineTest, FactoryRejectsBadOptions) {
                   .ok());
 }
 
+// ---------------------------------------------------------------------------
+// ISSUE 4: the memory-layer knobs (page allocator, arena sizing, pinning,
+// NUMA policy) validate before any thread spawns, and the arena-backed
+// engine works end to end with MemoryStats reporting.
+// ---------------------------------------------------------------------------
+
+TEST(EngineOptionsTest, ValidateRejectsBadMemoryLayerSettings) {
+  // arena_bytes must be a multiple of the 4 KiB base page...
+  EngineOptions o;
+  o.arena_bytes = (2u << 20) + 123;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  // ...and inside [64 KiB, 1 GiB].
+  o.arena_bytes = 4096;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  o.arena_bytes = uint64_t{2} << 30;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  o.arena_bytes = EngineOptions{}.arena_bytes;
+  EXPECT_TRUE(o.Validate().ok());
+
+  // Enum fields reject out-of-range values smuggled in by cast.
+  o.page_allocator = static_cast<PageAllocatorKind>(250);
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  o.page_allocator = PageAllocatorKind::kArena;
+  EXPECT_TRUE(o.Validate().ok());
+  o.numa_policy = static_cast<NumaPolicy>(99);
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+
+  // numa_policy=local is meaningless without pinning.
+  o.numa_policy = NumaPolicy::kLocal;
+  o.pin_threads = false;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  o.pin_threads = true;
+  o.shards = 1;  // 1 <= hardware_concurrency everywhere
+  EXPECT_TRUE(o.Validate().ok());
+}
+
+TEST(EngineOptionsTest, ValidateRejectsPinningMoreShardsThanCores) {
+  const uint32_t cores = std::thread::hardware_concurrency();
+  if (cores == 0) GTEST_SKIP() << "hardware_concurrency unknown";
+  EngineOptions over;
+  over.shards = cores + 1;
+  over.pin_threads = true;
+  EXPECT_EQ(over.Validate().code(), StatusCode::kInvalidArgument);
+  // The factory rejects it before any worker thread exists.
+  EXPECT_EQ(MakeShardedProfiler(ProfilerOptions().SetInitialCapacity(64), over)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  over.pin_threads = false;
+  EXPECT_TRUE(over.Validate().ok());
+}
+
+TEST(ShardedProfilerTest, ArenaBackedEngineMatchesOracleAndReportsStats) {
+  constexpr uint32_t kCapacity = 500;
+  const std::vector<Event> events = RandomEvents(kCapacity, 30000, 7);
+  const baselines::NaiveProfiler oracle = OracleOf(kCapacity, events);
+
+  EngineOptions options = SmallOptions(3);
+  options.page_allocator = PageAllocatorKind::kArena;
+  options.arena_bytes = 64 * 1024;
+  options.snapshot_interval = 512;  // force publish/fault/retire churn
+  ShardedProfiler engine(kCapacity, options);
+  engine.ApplyBatch(events);
+  engine.Drain();
+  ExpectMatchesOracle(engine, oracle);
+
+  const EngineMemoryStats stats = engine.MemoryStats();
+  EXPECT_EQ(stats.shards_reporting, 3u);
+  EXPECT_GT(stats.totals.pages_allocated, 0u);
+  EXPECT_GT(stats.totals.arenas_created, 0u);
+  EXPECT_GT(stats.totals.page_bytes_live, 0u);
+  // Interval publishing + continued ingestion must have COW-faulted pages.
+  EXPECT_GT(stats.totals.cow_faults, 0u);
+}
+
+TEST(ShardedProfilerTest, HeapBackedEngineMatchesArenaBackedEngine) {
+  constexpr uint32_t kCapacity = 257;
+  const std::vector<Event> events = RandomEvents(kCapacity, 20000, 11);
+
+  EngineOptions arena_opts = SmallOptions(2);
+  arena_opts.page_allocator = PageAllocatorKind::kArena;
+  EngineOptions heap_opts = SmallOptions(2);
+  heap_opts.page_allocator = PageAllocatorKind::kHeap;
+
+  ShardedProfiler arena_engine(kCapacity, arena_opts);
+  ShardedProfiler heap_engine(kCapacity, heap_opts);
+  arena_engine.ApplyBatch(events);
+  heap_engine.ApplyBatch(events);
+  arena_engine.Drain();
+  heap_engine.Drain();
+
+  EXPECT_EQ(arena_engine.Histogram(), heap_engine.Histogram());
+  for (uint32_t id = 0; id < kCapacity; ++id) {
+    ASSERT_EQ(arena_engine.Frequency(id), heap_engine.Frequency(id)) << id;
+  }
+  // Heap-backed shards report too (per-shard HeapPageAllocator instances).
+  EXPECT_EQ(heap_engine.MemoryStats().shards_reporting, 2u);
+  EXPECT_EQ(heap_engine.MemoryStats().totals.arenas_created, 0u);
+}
+
+TEST(ShardedProfilerTest, PinnedSingleShardEngineWorks) {
+  // One shard pins to core 0 on any machine; exercises the worker-side
+  // construct-after-pin path (the first-touch half of numa_policy=local).
+  EngineOptions options = SmallOptions(1);
+  options.pin_threads = true;
+  options.numa_policy = NumaPolicy::kLocal;
+  options.page_allocator = PageAllocatorKind::kArena;
+  ASSERT_TRUE(options.Validate().ok());
+
+  constexpr uint32_t kCapacity = 128;
+  const std::vector<Event> events = RandomEvents(kCapacity, 10000, 3);
+  const baselines::NaiveProfiler oracle = OracleOf(kCapacity, events);
+  ShardedProfiler engine(kCapacity, options);
+  engine.ApplyBatch(events);
+  engine.Drain();
+  ExpectMatchesOracle(engine, oracle);
+}
+
+TEST(CheckedEngineTest, MemoryStatsPassesThrough) {
+  EngineOptions options = SmallOptions(2);
+  options.page_allocator = PageAllocatorKind::kArena;
+  auto made = MakeCheckedShardedProfiler(
+      ProfilerOptions().SetInitialCapacity(100), options);
+  ASSERT_TRUE(made.ok());
+  CheckedShardedProfiler checked = std::move(made).value();
+  ASSERT_TRUE(checked.TryAdd(5).ok());
+  checked.Flush();
+  const EngineMemoryStats stats = checked.MemoryStats();
+  EXPECT_EQ(stats.shards_reporting, 2u);
+  EXPECT_GT(stats.totals.pages_allocated, 0u);
+}
+
+TEST(ShardedProfilerTest, SnapshotRestoredEngineKeepsAllocatorStats) {
+  // A restore-constructed engine (the LoadAll path) recovers its shards'
+  // allocators through the backend's page_allocator() seam.
+  EngineOptions options = SmallOptions(2);
+  std::vector<adapters::SProfile> backends;
+  backends.push_back(adapters::SProfile(
+      ShardedProfiler::ShardCapacity(10, 2, 0),
+      cow::MakeArenaPageAllocator(cow::ArenaOptions{
+          .arena_bytes = 64 * 1024, .first_arena_bytes = 64 * 1024})));
+  backends.push_back(adapters::SProfile(
+      ShardedProfiler::ShardCapacity(10, 2, 1),
+      cow::MakeArenaPageAllocator(cow::ArenaOptions{
+          .arena_bytes = 64 * 1024, .first_arena_bytes = 64 * 1024})));
+  ShardedProfiler engine(std::move(backends), 10, options);
+  engine.Add(3);
+  engine.Drain();
+  EXPECT_EQ(engine.Frequency(3), 1);
+  const EngineMemoryStats stats = engine.MemoryStats();
+  EXPECT_EQ(stats.shards_reporting, 2u);
+  EXPECT_GT(stats.totals.arenas_created, 0u);
+}
+
 }  // namespace
 }  // namespace engine
 }  // namespace sprofile
