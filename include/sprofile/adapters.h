@@ -102,6 +102,15 @@ class SProfile : public ProfilerBase<SProfile> {
     return p_.page_allocator();
   }
 
+  /// Storage-maintenance hook (engine::MaintainsStorage): try to re-enter
+  /// the exclusive-epoch flat layout while the shard is idle. O(1) when
+  /// blocked by a live snapshot; one dirty-run copy per faulted page when
+  /// it succeeds.
+  void MaintainStorage() { p_.TryReflatten(); }
+
+  /// True while updates run through the flat (no page-table) kernel.
+  bool storage_flat() const { return p_.storage_flat(); }
+
   FrequencyProfile& backend() { return p_; }
   const FrequencyProfile& backend() const { return p_; }
 

@@ -47,6 +47,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <concepts>
 #include <condition_variable>
@@ -113,6 +114,16 @@ template <typename B>
 concept ReportsPageAllocator = requires(const B& b) {
   { b.page_allocator() } -> std::convertible_to<cow::PageAllocatorRef>;
 };
+
+/// Backends with a storage-maintenance hook (adapters::SProfile models
+/// this with FrequencyProfile::TryReflatten): the shard worker calls it
+/// whenever its queue runs dry, so the backend can re-enter its
+/// exclusive-epoch flat layout — merging post-publish fault copies back
+/// into contiguous runs — off the ingestion path. Bounded work: O(1)
+/// while the last published snapshot still pins pages (a witness
+/// refcount is polled), one dirty-run copy per faulted page otherwise.
+template <typename B>
+concept MaintainsStorage = requires(B& b) { b.MaintainStorage(); };
 
 /// Aggregated storage counters across every shard whose allocator the
 /// engine knows (ShardedProfilerT::MemoryStats): arena lifecycle, live
@@ -283,6 +294,14 @@ class ShardWorker {
         Publish();
         since_snapshot = 0;
       }
+      // Idle storage maintenance: let the backend re-flatten toward its
+      // exclusive-epoch layout while nothing is queued (deep-copy
+      // snapshot mode and burst-idle COW workloads profit; under a live
+      // COW snapshot this is one witness poll). The backend also probes
+      // per drained batch inside its own ApplyBatch.
+      if constexpr (MaintainsStorage<Backend>) {
+        live_->MaintainStorage();
+      }
       if (stop_.load(std::memory_order_acquire)) {
         if (queue_.Empty()) return;
         continue;  // a straggler push raced the stop flag; drain it
@@ -431,7 +450,8 @@ class ShardedProfilerT {
       const uint32_t shard_capacity =
           ShardCapacity(capacity, options_.shards, s);
       const int core = PinCoreFor(s);
-      cow::PageAllocatorRef alloc = MakeShardAllocator(options_, core);
+      cow::PageAllocatorRef alloc =
+          MakeShardAllocator(options_, core, shard_capacity);
       std::function<Backend()> factory;
       if constexpr (AllocatorAwareBackend<Backend>) {
         factory = [shard_capacity, alloc] {
@@ -767,8 +787,17 @@ class ShardedProfilerT {
 
   /// Per-shard allocator per options.page_allocator; null for backends
   /// without an allocator seam (they construct their own storage).
+  ///
+  /// `shard_capacity` sizes the FIRST arena mapping to the shard's
+  /// expected storage footprint (clamped to [64 KiB, arena_bytes]): a
+  /// shard whose data is hugepage-sized starts on a hugepage-eligible
+  /// mapping instead of climbing the 64 KiB doubling ladder — which made
+  /// `hugepage_arenas` depend on where the ladder happened to stop (the
+  /// ISSUE 5 "0 at 8 shards" report: small per-shard m simply never
+  /// reached a 2 MiB arena; see MemoryStats docs).
   static cow::PageAllocatorRef MakeShardAllocator(const EngineOptions& options,
-                                                  int pin_core) {
+                                                  int pin_core,
+                                                  uint32_t shard_capacity) {
     (void)pin_core;
     if constexpr (!AllocatorAwareBackend<Backend>) {
       return nullptr;
@@ -791,6 +820,13 @@ class ShardedProfilerT {
       if (!arena) return std::make_shared<cow::HeapPageAllocator>();
       cow::ArenaOptions ao;
       ao.arena_bytes = static_cast<size_t>(options.arena_bytes);
+      // The default backend's per-slot storage cost (an estimate for
+      // other allocator-aware backends), rounded down to a power of two.
+      const uint64_t footprint = ProfileFootprintBytes(shard_capacity);
+      if (footprint > ao.first_arena_bytes) {
+        ao.first_arena_bytes = static_cast<size_t>(
+            std::min<uint64_t>(std::bit_floor(footprint), ao.arena_bytes));
+      }
 #if defined(SPROFILE_HAVE_NUMA)
       if (options.numa_policy == NumaPolicy::kLocal && pin_core >= 0 &&
           numa_available() >= 0) {

@@ -47,6 +47,16 @@ struct Block {
 /// other pool operations.
 ///
 /// Copying a BlockPool shares pages (COW); DeepClone() copies them.
+///
+/// Flat fast path (ISSUE 5): when both paged arrays are in their
+/// exclusive-epoch flat view (cow_pages.h), BeginFlat() caches raw base
+/// pointers and the Flat* methods below run the same free-list discipline
+/// with zero page-table indirection. A Flat* call that has to grow an
+/// array past its run degrades flat_ok() — callers (the FrequencyProfile
+/// update kernel) check it once per operation and fall back to the paged
+/// path. The cached pointers are only valid while the owning profile's
+/// flat epoch holds; taking a snapshot of the pool invalidates the epoch
+/// at the profile layer, which gates every Flat* call.
 class BlockPool {
  public:
   /// Heap-backed pool with default page geometry.
@@ -104,6 +114,77 @@ class BlockPool {
     return blocks_.Mutable(h);
   }
 
+  // ---------------------------------------------------------------------
+  // Flat fast path (see class comment). Owner thread only.
+  // ---------------------------------------------------------------------
+
+  /// Attempts to put both arrays into their flat view and caches the base
+  /// pointers. Returns flat_ok().
+  bool BeginFlat() {
+    if (!blocks_.EnsureFlat() || !free_list_.EnsureFlat()) {
+      flat_ok_ = false;
+      return false;
+    }
+    flat_blocks_ = blocks_.flat_data();
+    flat_free_ = free_list_.flat_data();
+    flat_ok_ = true;
+    return true;
+  }
+
+  /// True while the Flat* methods below are usable. Degrades when a flat
+  /// alloc/free had to grow an array past its run.
+  bool flat_ok() const { return flat_ok_; }
+
+  /// Raw base of the flat block array, for callers that hoist it out of
+  /// their update loop. Stable across FlatAlloc/FlatFree: the base only
+  /// moves on a consolidation (never mid-update), and a degrading alloc
+  /// leaves previously issued handles readable at the old base.
+  Block* flat_blocks_base() { return flat_blocks_; }
+
+  /// Alloc on the flat path; degrades flat_ok() (and keeps working) when
+  /// growth pushes an array past its run.
+  BlockHandle FlatAlloc(uint32_t l, uint32_t r, int64_t f) {
+    if (!flat_ok_) [[unlikely]] return Alloc(l, r, f);
+    if (free_count_ > 0) {
+      const BlockHandle h = flat_free_[--free_count_];
+      flat_blocks_[h] = Block{l, r, f};
+      ++live_;
+      return h;
+    }
+    const BlockHandle h = static_cast<BlockHandle>(blocks_.size());
+    blocks_.push_back(Block{l, r, f});
+    ++live_;
+    if (blocks_.flat()) {
+      flat_blocks_ = blocks_.flat_data();  // base may go null -> valid
+    } else {
+      flat_ok_ = false;
+    }
+    return h;
+  }
+
+  /// Free on the flat path; may degrade flat_ok() when the free list has
+  /// to grow past its run.
+  void FlatFree(BlockHandle h) {
+    SPROFILE_DCHECK(h < blocks_.size());
+    if (!flat_ok_) [[unlikely]] {
+      Free(h);
+      return;
+    }
+    if (free_count_ == free_list_.size()) {
+      free_list_.push_back(h);
+      if (free_list_.flat()) {
+        flat_free_ = free_list_.flat_data();
+      } else {
+        flat_ok_ = false;
+      }
+    } else {
+      flat_free_[free_count_] = h;
+    }
+    ++free_count_;
+    SPROFILE_DCHECK(live_ > 0);
+    --live_;
+  }
+
   /// Number of live (allocated, not freed) blocks.
   size_t live() const { return live_; }
 
@@ -115,6 +196,9 @@ class BlockPool {
     free_list_.clear();
     free_count_ = 0;
     live_ = 0;
+    flat_ok_ = false;
+    flat_blocks_ = nullptr;
+    flat_free_ = nullptr;
   }
 
   /// An independent deep copy (Clone() path; snapshots use the copy ctor).
@@ -150,6 +234,13 @@ class BlockPool {
   cow::PagedArray<BlockHandle> free_list_;
   size_t free_count_ = 0;
   size_t live_ = 0;
+
+  // Flat-path cache (BeginFlat). Copied along by the implicit copy ctor,
+  // but a copy's pointers are only ever consulted after its own BeginFlat
+  // — the profile-level flat_ready_ flag gates every Flat* call.
+  Block* flat_blocks_ = nullptr;
+  BlockHandle* flat_free_ = nullptr;
+  bool flat_ok_ = false;
 };
 
 }  // namespace sprofile

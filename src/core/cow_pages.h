@@ -13,15 +13,33 @@
 // operation and bounds the engine's snapshot-publish pause (previously an
 // O(m) stop-the-shard clone; see docs/ENGINE.md).
 //
+// THE EXCLUSIVE-EPOCH FLAT VIEW (ISSUE 5). Allocators that support it
+// (cow::ArenaPageAllocator) hand out pages in *runs*: one block whose
+// page payloads are carved ADJACENTLY, so when the array owns every page
+// exclusively and each sits in its home run slot — the common steady
+// state between snapshot publications — element i lives at a fixed
+// offset from one base pointer and the page-table indirection vanishes
+// from the update path entirely (flat_data() + EnsureFlat() below; the
+// FrequencyProfile update kernel is instantiated over this view).
+// Snapshot() flips the array back to paged/COW mode. Each post-publish
+// fault copies to a standalone block that TRACKS ITS DIRTY RUN (first /
+// last element written since the fault); once the pinning snapshot dies,
+// EnsureFlat() re-flattens by copying only each page's dirty run back
+// into its home slot — the COW tax is proportional to how recently a
+// snapshot was taken, not a permanent per-update cost. Growth past the
+// run falls back to standalone pages; re-flattening then consolidates
+// into a doubled run (amortized O(1) per appended element).
+//
 // Storage comes from an injectable PageAllocator:
 //   - HeapPageAllocator: one aligned operator-new block per page. The
 //     fallback for sanitizer builds (ASan sees every page as a distinct
-//     allocation) and the default for small arrays.
-//   - cow::ArenaPageAllocator (core/page_arena.h): pages carved out of
-//     madvise(MADV_HUGEPAGE) arenas, which is what recovers the
-//     memory-layout tax scattered per-page heap allocations put on the
-//     update path (adjacency prefetch + store-address latency; ROADMAP
-//     "Arena-backed COW pages").
+//     allocation) and the default for small arrays. Runs are DISABLED
+//     here (SupportsRuns() == false): the flat view never engages, every
+//     other behavior is identical.
+//   - cow::ArenaPageAllocator (core/page_arena.h): blocks carved out of
+//     madvise(MADV_HUGEPAGE) arenas; run blocks of one array are a
+//     single carve, which is what makes the flat view a pointer + bounds
+//     rather than a copy (ROADMAP "delete the page-table indirection").
 // Every PagedArray holds a shared reference to its allocator, so pages
 // can be released from any thread that drops a snapshot: the allocator
 // outlives every page it handed out.
@@ -33,10 +51,11 @@
 // of the array (pages are exchanged between them).
 //
 // Concurrency contract (exactly the engine's shape):
-//   - ONE writer thread owns a given PagedArray and calls the mutating API.
-//     Copying FROM an array (taking a snapshot) is also an owner-side
-//     operation: it clears the source's exclusivity cache (below), so it
-//     must run on the owner thread or under external synchronization.
+//   - ONE writer thread owns a given PagedArray and calls the mutating API
+//     (EnsureFlat() included). Copying FROM an array (taking a snapshot)
+//     is also an owner-side operation: it clears the source's exclusivity
+//     cache (below), so it must run on the owner thread or under external
+//     synchronization.
 //   - Snapshots (copies) may be read — and dropped — from any number of
 //     other threads concurrently with the owner's writes.
 //   - Safety argument: a writer only stores into a page whose refcount it
@@ -44,20 +63,25 @@
 //     they don't already reference (only the owner creates references), so
 //     refcount 1 means exclusive; the acquire pairs with the release
 //     fetch_sub of a reader dropping its snapshot, ordering the reader's
-//     page reads before the writer's stores. Shared pages (refcount > 1)
-//     are never written — the writer copies them first.
+//     page reads before the writer's stores. Shared pages are never
+//     written — the writer copies them first. Re-flattening writes into a
+//     HOME slot only after observing its refcount at 0 (acquire), which
+//     orders the last reader's accesses before the owner's copy-back.
 //   - The per-page "known exclusive" tag (bit 0 of the owner's page-table
 //     entry) is a pure owner-private cache of "refcount was 1 and no share
 //     happened since": refcounts only decrease while the tag is set, so
-//     the fast write path may skip the page-header load (saving a cache
-//     line per write) without ever writing a page a snapshot still
-//     references. The tag lives in the word the read path loads anyway,
-//     so the write fast path costs one test, zero extra cache lines.
+//     the fast write path may skip the control-block load without ever
+//     writing a page a snapshot still references. Dirty-tracked standalone
+//     pages deliberately stay UNTAGGED so every write routes through the
+//     slow path that extends the dirty run; tracking self-disables (tag
+//     re-armed, dirty run widened to the whole page) once the run covers
+//     half the page and the bookkeeping stops paying for itself.
 //
-// Pages are stable in memory: growing the array never moves existing
-// pages, so references returned by Mutable()/operator[] survive push_back
-// (they do NOT survive a later fault of the same page — don't hold
-// references across other mutating calls; copy values out instead).
+// Pages are stable in memory while no snapshot interleaves: growing the
+// array never moves existing pages, so references returned by
+// Mutable()/operator[] survive push_back. They do NOT survive a fault of
+// the same page or an EnsureFlat() — don't hold references across other
+// mutating calls; copy values out instead.
 
 #ifndef SPROFILE_CORE_COW_PAGES_H_
 #define SPROFILE_CORE_COW_PAGES_H_
@@ -71,6 +95,7 @@
 #include <memory>
 #include <new>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/logging.h"
@@ -148,9 +173,10 @@ constexpr size_t AdaptivePageElems(size_t elem_size, uint64_t capacity_hint) {
 /// Allocator counters, readable from any thread (Stats() below). Plain
 /// struct: a snapshot, not the live atomics.
 struct PageAllocStats {
-  uint64_t pages_allocated = 0;   ///< page blocks handed out, cumulative
-  uint64_t pages_freed = 0;       ///< page blocks returned, cumulative
-  uint64_t page_bytes_live = 0;   ///< bytes of pages currently out
+  uint64_t pages_allocated = 0;   ///< blocks handed out, cumulative (a run
+                                  ///< of many pages is ONE block)
+  uint64_t pages_freed = 0;       ///< blocks returned, cumulative
+  uint64_t page_bytes_live = 0;   ///< bytes of blocks currently out
   uint64_t cow_faults = 0;        ///< COW page copies (PagedArray reports)
   uint64_t arenas_created = 0;    ///< arena mappings created (arena only)
   uint64_t arenas_reclaimed = 0;  ///< fully drained arenas returned to the OS
@@ -174,7 +200,7 @@ struct PageAllocStats {
   }
 };
 
-/// Where PagedArray pages come from. Implementations must be thread-safe:
+/// Where PagedArray blocks come from. Implementations must be thread-safe:
 /// Allocate runs on whichever thread owns the allocating array (usually
 /// one writer, but independent profiles may share an allocator), and
 /// Deallocate runs on ANY thread that drops the last reference to a page
@@ -192,6 +218,13 @@ class PageAllocator {
   /// Counter snapshot (cross-thread safe; values are individually atomic,
   /// not a consistent cut).
   virtual PageAllocStats Stats() const = 0;
+
+  /// True when PagedArray may carve multi-page runs (the contiguous
+  /// layout behind the exclusive-epoch flat view) from this allocator.
+  /// Default false: per-page blocks, no flat view, the PR-3 behavior.
+  /// HeapPageAllocator keeps this false on purpose — one allocation per
+  /// page is what gives ASan page-exact lifetime reports.
+  virtual bool SupportsRuns() const { return false; }
 
   /// PagedArray reports each COW page fault here so MemoryStats can
   /// surface the post-publish write tax.
@@ -211,7 +244,8 @@ using PageAllocatorRef = std::shared_ptr<PageAllocator>;
 /// One aligned operator-new block per page. Thread-safe (the system
 /// allocator is), and the right default under ASan: every page is an
 /// individually tracked allocation, so leaks and use-after-frees in the
-/// refcount discipline surface with page-exact reports.
+/// refcount discipline surface with page-exact reports. No runs, so no
+/// flat view (SupportsRuns() above).
 class HeapPageAllocator final : public PageAllocator {
  public:
   void* Allocate(size_t bytes) override {
@@ -249,11 +283,44 @@ inline const PageAllocatorRef& GlobalHeapPageAllocator() {
   return global;
 }
 
+namespace internal {
+
+/// Header at offset 0 of a run block: pages of the run die individually
+/// (refcounts), the BLOCK goes back to the allocator when the last page —
+/// and the owning array's anchor — let go.
+struct RunHeader {
+  std::atomic<uint64_t> live{0};  ///< active pages + the owner's anchor
+  size_t block_bytes = 0;         ///< Deallocate size (block starts at this)
+};
+
+/// Per-page control block: the refcount that used to ride behind each
+/// payload, moved out of line so run payloads can sit ADJACENTLY (the
+/// whole point of the flat view). Lives either in a run's control strip
+/// or at the head of a standalone single-page block (run == nullptr, the
+/// block then starts at the control itself).
+///
+/// dirty_lo/dirty_hi (owner-private, in-page element indices) record the
+/// DIRTY RUN of a standalone fault copy: the span written since the page
+/// diverged from its home run slot. lo > hi means "not tracked". The
+/// re-flatten step copies only this span back home.
+struct PageCtrl {
+  std::atomic<uint32_t> refs{0};
+  uint32_t dirty_lo = 1;  ///< lo > hi: no dirty tracking on this page
+  uint32_t dirty_hi = 0;
+  RunHeader* run = nullptr;  ///< owning run; null = standalone block
+};
+
+static_assert(sizeof(RunHeader) <= 64, "run header must fit its prelude");
+static_assert(sizeof(PageCtrl) <= 64, "page ctrl must fit a prelude");
+
+}  // namespace internal
+
 template <typename T>
 class PagedArray {
   static_assert(std::is_trivially_copyable_v<T>,
                 "PagedArray pages are shared across threads and copied with "
                 "memcpy; T must be trivially copyable");
+  static_assert(alignof(T) <= 64, "payloads are 64-byte aligned");
 
  public:
   /// Default elements per page for a T array with no capacity hint (the
@@ -280,7 +347,8 @@ class PagedArray {
 
   /// Copying SHARES pages: O(#pages). Use DeepClone() for an independent
   /// copy. This is the snapshot primitive. The copy adopts the source's
-  /// allocator and geometry (they co-own the same pages).
+  /// allocator and geometry (they co-own the same pages); it has no home
+  /// run of its own until it consolidates one via EnsureFlat().
   PagedArray(const PagedArray& other) : alloc_(other.alloc_) {
     AdoptGeometry(other);
     ShareFrom(other);
@@ -298,11 +366,20 @@ class PagedArray {
   PagedArray(PagedArray&& other) noexcept
       : alloc_(std::move(other.alloc_)),
         pages_(std::move(other.pages_)),
-        size_(other.size_) {
+        ctrls_(std::move(other.ctrls_)),
+        size_(other.size_),
+        run_(other.run_),
+        run_ctrls_(other.run_ctrls_),
+        run_base_(other.run_base_),
+        run_capacity_(other.run_capacity_),
+        flat_(other.flat_),
+        outgrew_run_(other.outgrew_run_),
+        witness_(other.witness_),
+        witness_unblock_(other.witness_unblock_),
+        witness_pinned_(other.witness_pinned_) {
     AdoptGeometry(other);
     other.alloc_ = GlobalHeapPageAllocator();
-    other.pages_.clear();
-    other.size_ = 0;
+    other.ResetToEmpty();
   }
   PagedArray& operator=(PagedArray&& other) noexcept {
     if (this != &other) {
@@ -310,10 +387,19 @@ class PagedArray {
       alloc_ = std::move(other.alloc_);
       AdoptGeometry(other);
       pages_ = std::move(other.pages_);
+      ctrls_ = std::move(other.ctrls_);
       size_ = other.size_;
+      run_ = other.run_;
+      run_ctrls_ = other.run_ctrls_;
+      run_base_ = other.run_base_;
+      run_capacity_ = other.run_capacity_;
+      flat_ = other.flat_;
+      outgrew_run_ = other.outgrew_run_;
+      witness_ = other.witness_;
+      witness_unblock_ = other.witness_unblock_;
+      witness_pinned_ = other.witness_pinned_;
       other.alloc_ = GlobalHeapPageAllocator();
-      other.pages_.clear();
-      other.size_ = 0;
+      other.ResetToEmpty();
     }
     return *this;
   }
@@ -335,13 +421,13 @@ class PagedArray {
   /// page. Owner thread only.
   ///
   /// Hot path: pages this array KNOWS it owns exclusively skip the
-  /// refcount load — touching the page header would cost a second cache
-  /// line per write, which measurably taxes the S-Profile update loop.
-  /// The known-exclusive marker is the LOW BIT of the page-table entry
-  /// itself (pages are 64-aligned, so the bit is free): the write path
-  /// loads exactly the word the read path loads, one test, no separate
-  /// bitmap line. The slow path re-checks the refcount, faults if the
-  /// page is still shared, and re-arms the tag either way.
+  /// control-block load — touching it would cost a second cache line per
+  /// write, which measurably taxes the S-Profile update loop. The
+  /// known-exclusive marker is the LOW BIT of the page-table entry itself
+  /// (pages are 64-aligned, so the bit is free): one load, one test. The
+  /// slow path re-checks the refcount, faults if the page is still
+  /// shared, extends the dirty run of a tracked fault copy, and re-arms
+  /// the tag where tracking isn't (or stopped being) worthwhile.
   T& Mutable(size_t i) {
     SPROFILE_DCHECK(i < size_);
     const size_t page_index = i >> page_shift_;
@@ -349,7 +435,7 @@ class PagedArray {
     if (tagged & kExclusiveTag) [[likely]] {
       return reinterpret_cast<T*>(tagged & ~kExclusiveTag)[i & page_mask_];
     }
-    EnsureExclusive(page_index);
+    EnsureWritable(page_index, i & page_mask_, i & page_mask_);
     return PageAt(page_index)[i & page_mask_];
   }
 
@@ -360,14 +446,14 @@ class PagedArray {
     const size_t old_pages = pages_.size();
     const size_t want = PageCountFor(n);
     if (want > old_pages) {
+      if (old_pages == 0) MaybeCreateHomeRun(want);
       pages_.reserve(want);
-      while (pages_.size() < want) {
-        // Fresh pages are exclusively ours: born tagged.
-        pages_.push_back(TagExclusive(NewZeroPage()));
-      }
+      ctrls_.reserve(want);
+      while (pages_.size() < want) AppendPage(nullptr);
     } else if (want < old_pages) {
-      for (size_t p = want; p < old_pages; ++p) Unref(PageAt(p));
+      for (size_t p = want; p < old_pages; ++p) UnrefPage(ctrls_[p]);
       pages_.resize(want);
+      ctrls_.resize(want);
     }
     size_ = n;
     if (n > old_size) {
@@ -380,9 +466,7 @@ class PagedArray {
 
   void push_back(const T& value) {
     const size_t i = size_;
-    if (PageCountFor(i + 1) > pages_.size()) {
-      pages_.push_back(TagExclusive(NewZeroPage()));
-    }
+    if (PageCountFor(i + 1) > pages_.size()) AppendPage(nullptr);
     ++size_;
     Mutable(i) = value;
   }
@@ -392,22 +476,110 @@ class PagedArray {
     size_ = 0;
   }
 
-  /// Pre-sizes the page TABLE only; pages are allocated on growth.
-  void reserve(size_t n) { pages_.reserve(PageCountFor(n)); }
+  /// Pre-sizes the page TABLE, and — on run-capable allocators — carves
+  /// the home run for n elements up front so growth stays flat.
+  void reserve(size_t n) {
+    pages_.reserve(PageCountFor(n));
+    ctrls_.reserve(PageCountFor(n));
+    if (pages_.empty()) MaybeCreateHomeRun(PageCountFor(n));
+  }
 
   /// An independent deep copy: O(n) page copies, shares nothing. Pages
-  /// come from the same allocator.
+  /// come from the same allocator; on run-capable allocators the clone is
+  /// born flat (one contiguous run).
   PagedArray DeepClone() const {
     PagedArray out(alloc_, 0);
     out.SetGeometry(page_elems_);
+    out.MaybeCreateHomeRun(pages_.size());
     out.pages_.reserve(pages_.size());
-    for (size_t p = 0; p < pages_.size(); ++p) {
-      T* fresh = NewRawPage();
-      std::memcpy(static_cast<void*>(fresh), PageAt(p), payload_bytes_);
-      out.pages_.push_back(TagExclusive(fresh));
-    }
+    out.ctrls_.reserve(pages_.size());
+    for (size_t p = 0; p < pages_.size(); ++p) out.AppendPage(PageAt(p));
     out.size_ = size_;
     return out;
+  }
+
+  // -----------------------------------------------------------------------
+  // The exclusive-epoch flat view.
+  // -----------------------------------------------------------------------
+
+  /// True when every page is exclusive AND home-resident in one run:
+  /// element i lives at flat_data()[i]. Owner-private; any Snapshot(),
+  /// fault, or growth past the run clears it.
+  bool flat() const { return flat_; }
+
+  /// Base pointer of the flat view; element i at flat_data()[i] while
+  /// flat() holds. Null before the first run exists.
+  T* flat_data() { return run_base_; }
+  const T* flat_data() const { return run_base_; }
+
+  /// Attempts to (re-)enter the flat epoch. Owner thread only.
+  ///
+  /// Cheap when it can't succeed: a *pin witness* — the control block of
+  /// the page that blocked the last attempt — is polled first (one atomic
+  /// load), so a long-lived snapshot costs O(1) per attempt, not a page
+  /// scan. When every page is exclusive: displaced fault copies are
+  /// merged back into their free home slots (copying only each page's
+  /// dirty run), or, after growth past the run / for run-less arrays, the
+  /// whole array is consolidated into a fresh run with doubled headroom.
+  /// Returns flat().
+  bool EnsureFlat() {
+    if (flat_) return true;
+    if (!alloc_->SupportsRuns()) return false;
+    if (pages_.empty()) {
+      flat_ = true;
+      return true;
+    }
+    if (witness_ != nullptr) {
+      if (witness_->refs.load(std::memory_order_acquire) > witness_unblock_) {
+        return false;
+      }
+      ClearWitness();
+    }
+    // Pass 1: every page must be exclusively ours; a displaced page's home
+    // slot must additionally be unpinned (its last snapshot gone).
+    const bool repairable = run_ != nullptr && !outgrew_run_;
+    for (size_t p = 0; p < pages_.size(); ++p) {
+      internal::PageCtrl* c = ctrls_[p];
+      if (c->refs.load(std::memory_order_acquire) != 1) {
+        SetPageWitness(c);
+        return false;
+      }
+      if (!repairable || c == &run_ctrls_[p]) continue;
+      if (run_ctrls_[p].refs.load(std::memory_order_acquire) != 0) {
+        SetHomeWitness(&run_ctrls_[p]);
+        return false;
+      }
+    }
+    if (!repairable) return Consolidate();
+    // Pass 2: merge displaced fault copies back into their home slots.
+    // The home slot still holds the page's content as of the fault (the
+    // copy source), so only the accumulated dirty run differs.
+    for (size_t p = 0; p < pages_.size(); ++p) {
+      internal::PageCtrl* c = ctrls_[p];
+      internal::PageCtrl* home = &run_ctrls_[p];
+      if (c != home) {
+        T* home_page = run_base_ + p * page_elems_;
+        const T* cur = PageAt(p);
+        size_t lo = c->dirty_lo, hi = c->dirty_hi;
+        if (lo > hi) {  // divergence unknown: copy the whole page
+          lo = 0;
+          hi = page_elems_ - 1;
+        }
+        std::memcpy(static_cast<void*>(home_page + lo), cur + lo,
+                    (hi - lo + 1) * sizeof(T));
+        home->refs.store(1, std::memory_order_relaxed);
+        home->dirty_lo = 1;
+        home->dirty_hi = 0;
+        run_->live.fetch_add(1, std::memory_order_relaxed);
+        UnrefPage(c);
+        pages_[p] = TagExclusive(home_page);
+        ctrls_[p] = home;
+      } else {
+        pages_[p] |= kExclusiveTag;
+      }
+    }
+    flat_ = true;
+    return true;
   }
 
   // -----------------------------------------------------------------------
@@ -427,30 +599,57 @@ class PagedArray {
   size_t SharedPageCount() const {
     size_t shared = 0;
     for (size_t p = 0; p < pages_.size(); ++p) {
-      if (RefsOf(PageAt(p)).load(std::memory_order_relaxed) > 1) ++shared;
+      if (ctrls_[p]->refs.load(std::memory_order_relaxed) > 1) ++shared;
     }
     return shared;
+  }
+
+  /// Pages living outside their home run slot (fault copies + growth
+  /// overflow); the re-flatten work queue. 0 while flat.
+  size_t DisplacedPageCount() const {
+    if (run_ == nullptr) return pages_.size();
+    size_t displaced = 0;
+    for (size_t p = 0; p < pages_.size(); ++p) {
+      if (p >= run_capacity_ || ctrls_[p] != &run_ctrls_[p]) ++displaced;
+    }
+    return displaced;
+  }
+
+  /// Dirty run of page p as [lo, hi] in-page element indices; {1, 0} when
+  /// the page is not dirty-tracked. Tests only.
+  std::pair<uint32_t, uint32_t> DirtyRunForTest(size_t p) const {
+    return {ctrls_[p]->dirty_lo, ctrls_[p]->dirty_hi};
   }
 
   /// Heap bytes held via this array. Shared pages are counted in full on
   /// every co-owner (no amortization across snapshots).
   size_t MemoryBytes() const {
-    return pages_.size() * block_bytes_ + pages_.capacity() * sizeof(uintptr_t);
+    size_t bytes = pages_.capacity() * sizeof(uintptr_t) +
+                   ctrls_.capacity() * sizeof(internal::PageCtrl*);
+    if (run_ != nullptr) bytes += run_->block_bytes;
+    for (size_t p = 0; p < pages_.size(); ++p) {
+      const internal::PageCtrl* c = ctrls_[p];
+      if (c->run == nullptr) {
+        bytes += kBlockPrelude + payload_bytes_;
+      } else if (c->run != run_) {
+        // A page borrowed from another array's run (we are a snapshot):
+        // charge the payload; the run overhead is the owner's.
+        bytes += payload_bytes_;
+      }
+    }
+    return bytes;
   }
 
  private:
-  // Page block layout: [payload: page_elems_ * sizeof(T)][refcount].
-  // Payload first and 64-aligned (the allocator contract): elements must
-  // tile cache lines cleanly — a leading header would shift every slot by
-  // its size and make 1-in-8 RankSlots straddle two lines. The refcount
-  // rides behind the payload, where only the snapshot/fault slow paths
-  // touch it.
-  using RefCount = std::atomic<uint32_t>;
+  using RunHeader = internal::RunHeader;
+  using PageCtrl = internal::PageCtrl;
 
-  RefCount& RefsOf(const T* page) const {
-    return *reinterpret_cast<RefCount*>(
-        reinterpret_cast<char*>(const_cast<T*>(page)) + refs_offset_);
-  }
+  /// One cache line at the head of every block: the RunHeader of a run
+  /// block, or the PageCtrl of a standalone page block. Keeps payloads
+  /// 64-aligned either way.
+  static constexpr size_t kBlockPrelude = 64;
+
+  static size_t RoundUp64Sz(size_t n) { return (n + 63) & ~size_t{63}; }
 
   void SetGeometry(size_t page_elems) {
     SPROFILE_DCHECK(std::has_single_bit(page_elems));
@@ -458,9 +657,6 @@ class PagedArray {
     page_shift_ = static_cast<uint32_t>(std::countr_zero(page_elems));
     page_mask_ = page_elems - 1;
     payload_bytes_ = page_elems * sizeof(T);
-    refs_offset_ = (payload_bytes_ + alignof(RefCount) - 1) &
-                   ~(alignof(RefCount) - 1);
-    block_bytes_ = refs_offset_ + sizeof(RefCount);
   }
 
   void AdoptGeometry(const PagedArray& other) {
@@ -468,69 +664,247 @@ class PagedArray {
     page_shift_ = other.page_shift_;
     page_mask_ = other.page_mask_;
     payload_bytes_ = other.payload_bytes_;
-    refs_offset_ = other.refs_offset_;
-    block_bytes_ = other.block_bytes_;
   }
 
   size_t PageCountFor(size_t n) const {
     return (n + page_mask_) >> page_shift_;
   }
 
-  T* NewRawPage() const {
-    void* block = alloc_->Allocate(block_bytes_);
-    ::new (static_cast<char*>(block) + refs_offset_) RefCount(1);
-    return static_cast<T*>(block);
+  void ResetToEmpty() {
+    // Moved-from state: the witness pin (if any) traveled with the move.
+    pages_.clear();
+    ctrls_.clear();
+    size_ = 0;
+    run_ = nullptr;
+    run_ctrls_ = nullptr;
+    run_base_ = nullptr;
+    run_capacity_ = 0;
+    flat_ = true;
+    outgrew_run_ = false;
+    witness_ = nullptr;
+    witness_pinned_ = false;
   }
 
-  T* NewZeroPage() const {
-    T* page = NewRawPage();
-    // Explicit zeroing (arena blocks may be recycled, so "fresh" is not
-    // "zero"); doubles as the NUMA first-touch when the owner thread runs
-    // pinned — the zeroing store is the first write to the mapping.
-    std::memset(static_cast<void*>(page), 0, payload_bytes_);
-    return page;
+  /// Watch a CURRENT table page's ctrl: pin an extra page reference so
+  /// the block outlives re-faults and snapshot retirements while watched.
+  /// refs >= 1 is guaranteed here (our table holds one), so the increment
+  /// cannot race a concurrent free. Unblocked at refs <= 2: the pin plus
+  /// our table reference (or the pin alone after a re-fault — a spurious
+  /// unblock only costs one scan, which re-arms on the real blocker).
+  void SetPageWitness(PageCtrl* c) const {
+    c->refs.fetch_add(1, std::memory_order_relaxed);
+    witness_ = c;
+    witness_unblock_ = 2;
+    witness_pinned_ = true;
   }
 
-  void Unref(T* page) {
+  /// Watch a HOME-slot ctrl (displaced page, home still pinned by an old
+  /// snapshot). The strip lives in OUR anchored run — no pin needed, and
+  /// none would be safe: its refcount legitimately reaches 0.
+  void SetHomeWitness(PageCtrl* c) const {
+    witness_ = c;
+    witness_unblock_ = 0;
+    witness_pinned_ = false;
+  }
+
+  void ClearWitness() const {
+    if (witness_ == nullptr) return;
+    if (witness_pinned_) UnrefPage(witness_);
+    witness_ = nullptr;
+    witness_pinned_ = false;
+  }
+
+  /// Carves a run block for `cap` pages: [RunHeader][ctrl strip][payloads
+  /// — adjacent]. The returned header starts with live == 1: the owning
+  /// array's anchor, which keeps the block mapped (so home slots stay
+  /// mergeable) until the array re-homes or dies.
+  void AllocateRun(size_t cap, RunHeader** hdr, PageCtrl** ctrls,
+                   T** base) const {
+    const size_t strip = RoundUp64Sz(cap * sizeof(PageCtrl));
+    const size_t bytes = kBlockPrelude + strip + cap * payload_bytes_;
+    char* block = static_cast<char*>(alloc_->Allocate(bytes));
+    auto* h = new (block) RunHeader();
+    h->live.store(1, std::memory_order_relaxed);
+    h->block_bytes = bytes;
+    auto* cs = reinterpret_cast<PageCtrl*>(block + kBlockPrelude);
+    for (size_t i = 0; i < cap; ++i) {
+      auto* c = new (&cs[i]) PageCtrl();
+      c->run = h;
+    }
+    *hdr = h;
+    *ctrls = cs;
+    *base = reinterpret_cast<T*>(block + kBlockPrelude + strip);
+  }
+
+  void MaybeCreateHomeRun(size_t want_pages) {
+    if (run_ != nullptr || want_pages == 0 || !alloc_->SupportsRuns()) return;
+    AllocateRun(want_pages, &run_, &run_ctrls_, &run_base_);
+    run_capacity_ = want_pages;
+    outgrew_run_ = false;
+  }
+
+  /// Drops one reference on a run block (a page death or the owner's
+  /// anchor); frees the block when the last one goes. Runs on any thread
+  /// (snapshot readers retire pages).
+  void DropRunRef(RunHeader* run) const {
+    const size_t bytes = run->block_bytes;
+    if (run->live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      alloc_->Deallocate(run, bytes);
+    }
+  }
+
+  /// Standalone single-page block: [PageCtrl][payload]. refs starts at 1.
+  T* NewStandalonePage(PageCtrl** ctrl_out) const {
+    char* block =
+        static_cast<char*>(alloc_->Allocate(kBlockPrelude + payload_bytes_));
+    auto* ctrl = new (block) PageCtrl();
+    ctrl->refs.store(1, std::memory_order_relaxed);
+    *ctrl_out = ctrl;
+    return reinterpret_cast<T*>(block + kBlockPrelude);
+  }
+
+  void UnrefPage(PageCtrl* ctrl) const {
     // Release so our prior reads/writes of the page complete before any
-    // other thread frees it; acquire (on the freeing side) so all owners'
-    // accesses complete before the block returns to the allocator.
-    RefCount& refs = RefsOf(page);
-    if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      refs.~RefCount();
-      alloc_->Deallocate(page, block_bytes_);
+    // other thread frees or re-homes it; acquire (on the freeing side) so
+    // all owners' accesses complete before the block returns.
+    if (ctrl->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      RunHeader* run = ctrl->run;
+      if (run != nullptr) {
+        DropRunRef(run);
+      } else {
+        alloc_->Deallocate(ctrl, kBlockPrelude + payload_bytes_);
+      }
+    }
+  }
+
+  /// Appends one page: the home run slot when it is free, else a
+  /// standalone block. `src` null = zero-fill (fresh logical page).
+  void AppendPage(const T* src) {
+    const size_t p = pages_.size();
+    if (pages_.empty() && run_ == nullptr) MaybeCreateHomeRun(1);
+    if (run_ != nullptr && p < run_capacity_) {
+      PageCtrl* home = &run_ctrls_[p];
+      // acquire: pairs with the release decrement of whoever dropped the
+      // slot last, ordering their accesses before our fill.
+      if (home->refs.load(std::memory_order_acquire) == 0) {
+        // Re-arming a slot a home witness still watches would freeze the
+        // witness at refs == 1 forever (it is now our own table page) and
+        // wedge every future EnsureFlat at the poll.
+        if (witness_ == home) ClearWitness();
+        home->refs.store(1, std::memory_order_relaxed);
+        home->dirty_lo = 1;
+        home->dirty_hi = 0;
+        run_->live.fetch_add(1, std::memory_order_relaxed);
+        T* page = run_base_ + p * page_elems_;
+        FillPage(page, src);
+        pages_.push_back(TagExclusive(page));
+        ctrls_.push_back(home);
+        return;
+      }
+    }
+    // Fallback: no run, the home slot is still pinned by an old snapshot,
+    // or we grew past the run.
+    if (run_ != nullptr && p >= run_capacity_) outgrew_run_ = true;
+    PageCtrl* c = nullptr;
+    T* page = NewStandalonePage(&c);
+    FillPage(page, src);
+    if (run_ != nullptr && p < run_capacity_) {
+      // Born displaced with a live home slot underneath: divergence from
+      // whatever the slot holds is unknowable — mark fully dirty so a
+      // later re-flatten copies the whole page.
+      c->dirty_lo = 0;
+      c->dirty_hi = static_cast<uint32_t>(page_mask_);
+    }
+    flat_ = false;
+    pages_.push_back(TagExclusive(page));
+    ctrls_.push_back(c);
+  }
+
+  void FillPage(T* page, const T* src) const {
+    if (src == nullptr) {
+      // Explicit zeroing (blocks may be recycled, so "fresh" is not
+      // "zero"); doubles as the NUMA first-touch when the owner thread
+      // runs pinned — the zeroing store is the first write to the mapping.
+      std::memset(static_cast<void*>(page), 0, payload_bytes_);
+    } else {
+      std::memcpy(static_cast<void*>(page), src, payload_bytes_);
     }
   }
 
   void ShareFrom(const PagedArray& other) {
     pages_.reserve(other.pages_.size());
+    ctrls_.reserve(other.pages_.size());
     for (size_t p = 0; p < other.pages_.size(); ++p) {
       T* page = other.PageAt(p);
-      RefsOf(page).fetch_add(1, std::memory_order_relaxed);
+      PageCtrl* c = other.ctrls_[p];
+      c->refs.fetch_add(1, std::memory_order_relaxed);
       pages_.push_back(reinterpret_cast<uintptr_t>(page));  // untagged
+      ctrls_.push_back(c);
     }
     size_ = other.size_;
-    // Sharing voids the SOURCE's exclusivity tags too: every page now has
-    // a co-owner. (Mutating the source's page table is why taking a copy
-    // is an owner-side operation; see the concurrency contract.)
+    // Sharing voids the SOURCE's exclusivity tags and flat view: every
+    // page now has a co-owner. (Mutating the source's page table is why
+    // taking a copy is an owner-side operation; see the contract.)
     for (uintptr_t& p : other.pages_) p &= ~kExclusiveTag;
+    other.flat_ = other.pages_.empty();
+    flat_ = pages_.empty();
   }
 
   void Release() {
-    for (size_t p = 0; p < pages_.size(); ++p) Unref(PageAt(p));
+    ClearWitness();
+    for (size_t p = 0; p < pages_.size(); ++p) UnrefPage(ctrls_[p]);
     pages_.clear();
+    ctrls_.clear();
+    if (run_ != nullptr) DropRunRef(run_);
+    run_ = nullptr;
+    run_ctrls_ = nullptr;
+    run_base_ = nullptr;
+    run_capacity_ = 0;
+    flat_ = true;
+    outgrew_run_ = false;
   }
 
-  /// Copies `*slot`'s page into a fresh exclusive one and drops the shared
+  /// Copies page `p` into a fresh standalone block and drops the shared
   /// reference. The old page stays alive for (and unchanged under) its
-  /// remaining snapshot owners.
-  void FaultPage(uintptr_t* slot) {
-    T* old = reinterpret_cast<T*>(*slot & ~kExclusiveTag);
-    T* fresh = NewRawPage();
+  /// remaining snapshot owners. When a home run exists, the copy starts
+  /// dirty-tracking at [lo, hi] — inheriting any divergence the faulted
+  /// source had already accumulated against the home slot — and stays
+  /// UNTAGGED so subsequent writes keep extending the run.
+  void FaultPage(size_t p, size_t lo, size_t hi) {
+    PageCtrl* old_ctrl = ctrls_[p];
+    const T* old = PageAt(p);
+    PageCtrl* c = nullptr;
+    T* fresh = NewStandalonePage(&c);
     std::memcpy(static_cast<void*>(fresh), old, payload_bytes_);
-    Unref(old);
-    *slot = reinterpret_cast<uintptr_t>(fresh);
+    uintptr_t entry = reinterpret_cast<uintptr_t>(fresh);
+    if (run_ != nullptr && p < run_capacity_) {
+      c->dirty_lo = static_cast<uint32_t>(lo);
+      c->dirty_hi = static_cast<uint32_t>(hi);
+      if (old_ctrl->run == nullptr && old_ctrl->dirty_lo <= old_ctrl->dirty_hi) {
+        c->dirty_lo = std::min(c->dirty_lo, old_ctrl->dirty_lo);
+        c->dirty_hi = std::max(c->dirty_hi, old_ctrl->dirty_hi);
+      }
+      if (DirtyRunWidth(c) * 2 >= page_elems_) {
+        SetFullyDirty(c);
+        entry |= kExclusiveTag;
+      }
+    } else {
+      entry |= kExclusiveTag;  // no home to merge back into: plain COW
+    }
+    pages_[p] = entry;
+    ctrls_[p] = c;
+    UnrefPage(old_ctrl);
+    flat_ = false;
     alloc_->CountFault();
+  }
+
+  size_t DirtyRunWidth(const PageCtrl* c) const {
+    return static_cast<size_t>(c->dirty_hi) - c->dirty_lo + 1;
+  }
+
+  void SetFullyDirty(PageCtrl* c) const {
+    c->dirty_lo = 0;
+    c->dirty_hi = static_cast<uint32_t>(page_mask_);
   }
 
   /// Zeroes elements [begin, end), faulting shared pages as needed.
@@ -538,9 +912,11 @@ class PagedArray {
     size_t i = begin;
     while (i < end) {
       const size_t page_index = i >> page_shift_;
-      if (!(pages_[page_index] & kExclusiveTag)) EnsureExclusive(page_index);
       const size_t in_page = i & page_mask_;
       const size_t count = std::min(end - i, page_elems_ - in_page);
+      if (!(pages_[page_index] & kExclusiveTag)) {
+        EnsureWritable(page_index, in_page, in_page + count - 1);
+      }
       std::memset(static_cast<void*>(PageAt(page_index) + in_page), 0,
                   count * sizeof(T));
       i += count;
@@ -562,30 +938,96 @@ class PagedArray {
     return reinterpret_cast<uintptr_t>(page) | kExclusiveTag;
   }
 
-  /// Slow path of Mutable: the page is not known-exclusive — re-check the
-  /// refcount (a snapshot may have died), fault if it is still shared,
-  /// and re-arm the tag either way.
-  void EnsureExclusive(size_t page_index) {
-    uintptr_t& slot = pages_[page_index];
-    if (RefsOf(PageAt(page_index)).load(std::memory_order_acquire) != 1) {
-      FaultPage(&slot);
+  /// Slow path of Mutable/ZeroRange before writing elements [lo, hi] of a
+  /// page: re-check the refcount (a snapshot may have died), fault if
+  /// still shared, extend the dirty run of a tracked fault copy, and
+  /// re-arm the tag where tracking isn't worthwhile.
+  void EnsureWritable(size_t page_index, size_t lo, size_t hi) {
+    PageCtrl* c = ctrls_[page_index];
+    if (c->refs.load(std::memory_order_acquire) != 1) {
+      FaultPage(page_index, lo, hi);
+      return;
     }
-    slot |= kExclusiveTag;
+    if (c->run == nullptr && c->dirty_lo <= c->dirty_hi && run_ != nullptr) {
+      // Dirty-tracked fault copy: extend the run; once it covers half the
+      // page the bookkeeping stops paying for itself — widen to the whole
+      // page and fall back to the tagged fast path.
+      c->dirty_lo = std::min(c->dirty_lo, static_cast<uint32_t>(lo));
+      c->dirty_hi = std::max(c->dirty_hi, static_cast<uint32_t>(hi));
+      if (DirtyRunWidth(c) * 2 >= page_elems_) {
+        SetFullyDirty(c);
+        pages_[page_index] |= kExclusiveTag;
+      }
+      return;
+    }
+    pages_[page_index] |= kExclusiveTag;
+  }
+
+  /// Full consolidation: every page copied into a fresh run (doubled
+  /// headroom after growth), restoring adjacency. Precondition: every
+  /// page verified exclusive (EnsureFlat pass 1).
+  bool Consolidate() {
+    const size_t want = pages_.size();
+    size_t cap = want;
+    if (outgrew_run_) cap = std::bit_ceil(want + want / 2 + 1);
+    RunHeader* old_run = run_;
+    RunHeader* nr = nullptr;
+    PageCtrl* nctrls = nullptr;
+    T* nbase = nullptr;
+    AllocateRun(cap, &nr, &nctrls, &nbase);
+    for (size_t p = 0; p < want; ++p) {
+      T* home = nbase + p * page_elems_;
+      std::memcpy(static_cast<void*>(home), PageAt(p), payload_bytes_);
+      nctrls[p].refs.store(1, std::memory_order_relaxed);
+      nr->live.fetch_add(1, std::memory_order_relaxed);
+      UnrefPage(ctrls_[p]);
+      pages_[p] = TagExclusive(home);
+      ctrls_[p] = &nctrls[p];
+    }
+    if (old_run != nullptr) DropRunRef(old_run);
+    run_ = nr;
+    run_ctrls_ = nctrls;
+    run_base_ = nbase;
+    run_capacity_ = cap;
+    outgrew_run_ = false;
+    flat_ = true;
+    return true;
   }
 
   PageAllocatorRef alloc_;  // never null
   // Page-table entries: page pointer | exclusivity tag (bit 0). mutable
   // because sharing FROM a (logically const) array must clear its tags.
   mutable std::vector<uintptr_t> pages_;
+  // Parallel COLD table: per-page control blocks (refcount, dirty run,
+  // owning run). Off the read/fast-write paths by design.
+  mutable std::vector<PageCtrl*> ctrls_;
   size_t size_ = 0;
+
+  // Home run (owner-private; snapshots have none until they consolidate).
+  RunHeader* run_ = nullptr;
+  PageCtrl* run_ctrls_ = nullptr;
+  T* run_base_ = nullptr;
+  size_t run_capacity_ = 0;  // pages
+
+  mutable bool flat_ = true;  // empty arrays are trivially flat
+  bool outgrew_run_ = false;
+  // Pin witness: the control block that blocked the last EnsureFlat, and
+  // the refcount at-or-below which the block is lifted. One atomic load
+  // per failed attempt instead of a page scan. Two forms (SetPageWitness /
+  // SetHomeWitness): a CURRENT-page ctrl is kept alive with an extra
+  // pinned page reference (witness_pinned_) — without it, a re-fault plus
+  // the last snapshot retiring would free the block (and maybe unmap its
+  // arena) under the watcher; a HOME-slot ctrl needs no pin, its run is
+  // anchored by this array.
+  mutable PageCtrl* witness_ = nullptr;
+  mutable uint32_t witness_unblock_ = 0;
+  mutable bool witness_pinned_ = false;
 
   // Geometry (fixed at construction; see SetGeometry).
   size_t page_elems_ = kPageElems;
   uint32_t page_shift_ = 0;
   size_t page_mask_ = 0;
   size_t payload_bytes_ = 0;
-  size_t refs_offset_ = 0;
-  size_t block_bytes_ = 0;
 };
 
 }  // namespace cow

@@ -8,23 +8,14 @@
 
 #include "core/page_arena.h"
 
-namespace {
-/// Paged-storage bytes a profile of m objects needs, for the default
-/// allocator choice (arena vs shared heap; see MakeProfileDefaultAllocator).
-uint64_t FootprintHint(uint32_t m) {
-  return static_cast<uint64_t>(m) *
-         (sizeof(sprofile::internal::RankSlot) + sizeof(uint32_t) +
-          sizeof(sprofile::Block));
-}
-}  // namespace
-
 namespace sprofile {
 
 FrequencyProfile::FrequencyProfile(uint32_t num_objects,
                                    cow::PageAllocatorRef alloc)
     : m_(num_objects),
       alloc_(alloc ? std::move(alloc)
-                   : cow::MakeProfileDefaultAllocator(FootprintHint(num_objects))),
+                   : cow::MakeProfileDefaultAllocator(
+                         ProfileFootprintBytes(num_objects))),
       pool_(alloc_, m_),
       f_to_t_(alloc_, m_),
       slots_(alloc_, m_) {
@@ -90,89 +81,54 @@ FrequencyProfile FrequencyProfile::FromFrequencies(
   return p;
 }
 
-// Algorithm 1, "add" branch (0-based). One extra step relative to the
-// paper's pseudocode: x must first be swapped to the *end* of its block
-// (Figure 1(b) shows the swap; the listing leaves it implicit).
-void FrequencyProfile::Add(uint32_t id) {
-  SPROFILE_DCHECK(id < m_);
-  SPROFILE_DCHECK(f_to_t_[id] >= frozen_);
-  BumpGeneration();
-
-  const uint32_t rank = f_to_t_[id];
-  const BlockHandle bh = slots_[rank].block;
-  // Copy the block out: writes below may COW-fault its page, and pool
-  // references must not be held across other pool operations.
-  const Block b = pool_.Get(bh);
-  const uint32_t r = b.r;
-  const int64_t f = b.f;
-
-  // Move x to the right edge of its block; ranks inside a block are
-  // interchangeable, so this keeps T sorted.
-  SwapRanks(rank, r);
-
-  // Shrink the block from the right (steps 5-8); drop it when empty.
-  if (b.l == r) {
-    pool_.Free(bh);
-  } else {
-    pool_.GetMutable(bh).r = r - 1;
+// The paged halves of Add/Remove. Out of line on purpose: the inline
+// wrappers stay small enough to vanish into callers' update loops. Every
+// kReflattenPeriod-th paged update probes whether the flat epoch can
+// resume (O(1) while a witness pin holds), so even callers that never
+// touch ApplyBatch/TryReflatten drift back to the fast path.
+void FrequencyProfile::AddPaged(uint32_t id) {
+  if (ShouldProbeReflatten() && TryReflatten()) {
+    FlatOps ops = MakeFlatOps();
+    AddImpl(ops, id);
+    if (!pool_.flat_ok()) [[unlikely]] flat_ready_ = false;
+    return;
   }
-
-  // Attach rank r at frequency f+1: extend the right neighbour when it
-  // already holds f+1 (steps 9-11), otherwise open a new block (12-14).
-  if (r + 1 < m_) {
-    const BlockHandle nh = slots_[r + 1].block;
-    if (pool_.Get(nh).f == f + 1) {
-      pool_.GetMutable(nh).l = r;
-      slots_.Mutable(r).block = nh;
-      ++total_count_;
-      return;
-    }
-  }
-  slots_.Mutable(r).block = pool_.Alloc(r, r, f + 1);
-  ++total_count_;
+  PagedOps ops{this};
+  AddImpl(ops, id);
+  ++paged_updates_;
 }
 
-// Algorithm 1, "remove" branch (steps 16-27), mirrored.
-void FrequencyProfile::Remove(uint32_t id) {
-  SPROFILE_DCHECK(id < m_);
-  SPROFILE_DCHECK(f_to_t_[id] >= frozen_);
-  BumpGeneration();
-
-  const uint32_t rank = f_to_t_[id];
-  const BlockHandle bh = slots_[rank].block;
-  const Block b = pool_.Get(bh);  // copy: see Add()
-  const uint32_t l = b.l;
-  const int64_t f = b.f;
-
-  // Move x to the left edge of its block.
-  SwapRanks(rank, l);
-
-  // Shrink from the left (steps 17-20).
-  if (b.r == l) {
-    pool_.Free(bh);
-  } else {
-    pool_.GetMutable(bh).l = l + 1;
+void FrequencyProfile::RemovePaged(uint32_t id) {
+  if (ShouldProbeReflatten() && TryReflatten()) {
+    FlatOps ops = MakeFlatOps();
+    RemoveImpl(ops, id);
+    if (!pool_.flat_ok()) [[unlikely]] flat_ready_ = false;
+    return;
   }
+  PagedOps ops{this};
+  RemoveImpl(ops, id);
+  ++paged_updates_;
+}
 
-  // Attach rank l at frequency f-1: merge into the left neighbour when it
-  // holds f-1 (steps 21-23) — but never across the frozen boundary —
-  // otherwise open a new block (24-26).
-  if (l > frozen_) {
-    const BlockHandle ph = slots_[l - 1].block;
-    if (pool_.Get(ph).f == f - 1) {
-      pool_.GetMutable(ph).r = l;
-      slots_.Mutable(l).block = ph;
-      --total_count_;
-      return;
-    }
+bool FrequencyProfile::TryReflatten() {
+  if (flat_ready_) return true;
+  if (!f_to_t_.EnsureFlat() || !slots_.EnsureFlat() || !pool_.BeginFlat()) {
+    return false;
   }
-  slots_.Mutable(l).block = pool_.Alloc(l, l, f - 1);
-  --total_count_;
+  flat_f_to_t_ = f_to_t_.flat_data();
+  flat_slots_ = slots_.flat_data();
+  flat_ready_ = true;
+  return true;
 }
 
 // Applies the coalesced net delta of one id as repeated O(1) steps.
 void FrequencyProfile::ApplyBatch(std::span<const Event> events) {
   if (events.empty()) return;
+
+  // The kernel is selected once per drained batch: one flat-epoch probe
+  // here (O(1) while a witness snapshot still pins a page), then the
+  // replay loop below dispatches on the cached flag only.
+  TryReflatten();
 
   // Lazily (re)size the epoch-stamped scratch; InsertSlot may have grown m_
   // since the last batch.
@@ -321,6 +277,9 @@ size_t FrequencyProfile::MemoryBytes() const {
 
 FrequencyEntry FrequencyProfile::PeelMin() {
   SPROFILE_DCHECK(num_active() > 0);
+  // Structural op on the paged path; pool growth here could silently
+  // outdate the flat caches, so drop the epoch and re-enter lazily.
+  flat_ready_ = false;
   BumpGeneration();
   const uint32_t rank = frozen_;
   const uint32_t id = slots_[rank].id;
@@ -343,6 +302,10 @@ FrequencyEntry FrequencyProfile::PeelMin() {
 }
 
 uint32_t FrequencyProfile::InsertSlot() {
+  // Grows every array; growth past a run falls back to standalone pages,
+  // so drop the flat epoch and let TryReflatten consolidate (runs double
+  // on consolidation: amortized O(1) per inserted slot).
+  flat_ready_ = false;
   BumpGeneration();
   const uint32_t new_id = m_;
   // The zero-frequency slot must sit just before the first positive

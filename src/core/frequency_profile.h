@@ -168,6 +168,17 @@ class GroupView {
   uint64_t born_generation_;
 };
 
+/// Paged-storage bytes a dense profile of `m` objects needs: rank slots
+/// (TtoF+PtrB) + the FtoT permutation + block pool (at most m+1 blocks;
+/// free-list slack folded into the Block term). The single authority for
+/// footprint-based allocator sizing — the profile's own default-allocator
+/// choice, KeyedProfile's initial_capacity hint, and the engine's
+/// per-shard first-arena sizing all call this.
+constexpr uint64_t ProfileFootprintBytes(uint64_t num_objects) {
+  return num_objects *
+         (sizeof(internal::RankSlot) + sizeof(uint32_t) + sizeof(Block));
+}
+
 /// Aggregate row of the frequency histogram: `count` objects share
 /// `frequency`.
 struct GroupStat {
@@ -239,9 +250,18 @@ class FrequencyProfile {
   // ---------------------------------------------------------------------
 
   /// F[id] += 1. `id` must be in range and not frozen.
+  ///
+  /// Dispatches to the exclusive-epoch FLAT kernel when storage is flat
+  /// (no snapshot pins any page; see TryReflatten): the same Algorithm 1
+  /// steps against raw contiguous arrays, no page-table indirection.
+  /// Otherwise the paged/COW kernel runs, and every kReflattenPeriod-th
+  /// paged update cheaply re-probes whether the flat epoch can resume.
+  /// Defined inline (bottom of this header) so callers' update loops can
+  /// hoist the flat bases into registers — the whole point of the path.
   void Add(uint32_t id);
 
-  /// F[id] -= 1. `id` must be in range and not frozen.
+  /// F[id] -= 1. `id` must be in range and not frozen. Same flat/paged
+  /// dispatch as Add.
   void Remove(uint32_t id);
 
   /// Applies one log-stream tuple (x, c): Add when `is_add`, else Remove.
@@ -384,6 +404,34 @@ class FrequencyProfile {
   /// comes from. Never null.
   const cow::PageAllocatorRef& page_allocator() const { return alloc_; }
 
+  // ---------------------------------------------------------------------
+  // Storage epochs (the flat fast path; see docs/ENGINE.md memory layout).
+  // ---------------------------------------------------------------------
+
+  /// True while updates run through the flat kernel: every storage page
+  /// is exclusively owned and home-resident in its contiguous run. Any
+  /// Snapshot() ends the epoch; it resumes via TryReflatten once the last
+  /// pinning snapshot dies.
+  bool storage_flat() const { return flat_ready_; }
+
+  /// Attempts to (re-)enter the flat epoch now (ApplyBatch and the engine
+  /// worker's idle loop call this; singles re-probe every
+  /// kReflattenPeriod paged updates). O(1) while a known snapshot still
+  /// pins a page (a witness refcount is polled); otherwise O(#pages) plus
+  /// one dirty-run copy per page faulted since the last publication.
+  /// Returns storage_flat(). Never available on non-run allocators
+  /// (HeapPageAllocator / ASan builds) — everything else behaves
+  /// identically there.
+  bool TryReflatten();
+
+  /// Updates that ran through the PAGED kernel since construction (the
+  /// flat share of N total updates is (N - paged_updates()) / N). Counted
+  /// on the paged path only so the flat hot path stays counter-free.
+  uint64_t paged_updates() const { return paged_updates_; }
+
+  /// Paged updates between flat re-entry probes on the singles path.
+  static constexpr uint32_t kReflattenPeriod = 64;
+
   /// Allocator counters for this profile's storage: pages live, COW
   /// faults, arenas created/reclaimed (zero arena fields under the heap
   /// allocator). Shared-allocator caveat: profiles constructed with the
@@ -396,6 +444,9 @@ class FrequencyProfile {
 
   /// COW share: O(#pages). Backs Snapshot(); the batch scratch is not
   /// carried (it is not logical state and copying it would cost O(m)).
+  /// Sharing ends the SOURCE's flat epoch too (its pages are now pinned),
+  /// so its flat_ready_ cache is cleared — the flag is mutable for
+  /// exactly this owner-side bookkeeping.
   FrequencyProfile(const FrequencyProfile& other)
       : m_(other.m_),
         frozen_(other.frozen_),
@@ -404,7 +455,9 @@ class FrequencyProfile {
         alloc_(other.alloc_),
         pool_(other.pool_),
         f_to_t_(other.f_to_t_),
-        slots_(other.slots_) {}
+        slots_(other.slots_) {
+    other.flat_ready_ = false;
+  }
 
   /// Swaps the objects at ranks a and b (both must belong to one block, so
   /// the block pointers need no fixup).
@@ -416,6 +469,88 @@ class FrequencyProfile {
     slots_.Mutable(b).id = ida;
     f_to_t_.Mutable(ida) = b;
     f_to_t_.Mutable(idb) = a;
+  }
+
+  // ---------------------------------------------------------------------
+  // The update kernel, written ONCE and instantiated over two storage
+  // policies (frequency_profile.cc): PagedOps (the COW arrays, exactly
+  // the PR-3/4 path) and FlatOps (raw base pointers from the exclusive
+  // epoch — zero page-table loads, the layout of the pre-COW flat
+  // arrays). Selected per drained batch / cached flag for singles.
+  // ---------------------------------------------------------------------
+
+  struct PagedOps {
+    FrequencyProfile* p;
+
+    uint32_t rank(uint32_t id) const { return p->f_to_t_[id]; }
+    BlockHandle slot_block(uint32_t r) const { return p->slots_[r].block; }
+    // Copy the block out: writes may COW-fault its page, and pool
+    // references must not be held across other pool operations.
+    Block block(BlockHandle h) const { return p->pool_.Get(h); }
+    Block& mutable_block(BlockHandle h) { return p->pool_.GetMutable(h); }
+    void set_slot_block(uint32_t r, BlockHandle h) {
+      p->slots_.Mutable(r).block = h;
+    }
+    BlockHandle alloc_block(uint32_t l, uint32_t r, int64_t f) {
+      return p->pool_.Alloc(l, r, f);
+    }
+    void free_block(BlockHandle h) { p->pool_.Free(h); }
+    void swap_ranks(uint32_t a, uint32_t b) { p->SwapRanks(a, b); }
+  };
+
+  /// Raw-pointer ops for the exclusive epoch. The block base is hoisted
+  /// once per update: it only moves on consolidation (never mid-update),
+  /// and the one op that can degrade the pool mid-update (alloc_block
+  /// growing past the run) is always the kernel's last block access — the
+  /// wrapper re-checks pool_.flat_ok() before the next update.
+  struct FlatOps {
+    FrequencyProfile* p;
+    uint32_t* f_to_t;
+    internal::RankSlot* slots;
+    Block* blocks;
+
+    uint32_t rank(uint32_t id) const { return f_to_t[id]; }
+    BlockHandle slot_block(uint32_t r) const { return slots[r].block; }
+    Block block(BlockHandle h) const { return blocks[h]; }
+    Block& mutable_block(BlockHandle h) { return blocks[h]; }
+    void set_slot_block(uint32_t r, BlockHandle h) { slots[r].block = h; }
+    BlockHandle alloc_block(uint32_t l, uint32_t r, int64_t f) {
+      return p->pool_.FlatAlloc(l, r, f);
+    }
+    void free_block(BlockHandle h) { p->pool_.FlatFree(h); }
+    void swap_ranks(uint32_t a, uint32_t b) {
+      if (a == b) return;
+      const uint32_t ida = slots[a].id;
+      const uint32_t idb = slots[b].id;
+      slots[a].id = idb;
+      slots[b].id = ida;
+      f_to_t[ida] = b;
+      f_to_t[idb] = a;
+    }
+  };
+
+  template <typename Ops>
+  void AddImpl(Ops& ops, uint32_t id);
+  template <typename Ops>
+  void RemoveImpl(Ops& ops, uint32_t id);
+
+  /// Paged-epoch halves of Add/Remove, kept out of line (.cc) so the
+  /// inline wrappers stay small enough to disappear into callers' update
+  /// loops: a flag test plus the flat kernel.
+  void AddPaged(uint32_t id);
+  void RemovePaged(uint32_t id);
+
+  FlatOps MakeFlatOps() {
+    return FlatOps{this, flat_f_to_t_, flat_slots_, pool_.flat_blocks_base()};
+  }
+
+  /// Singles-path re-entry throttle: probe TryReflatten every
+  /// kReflattenPeriod paged updates (the probe itself is O(1) while a
+  /// witness page stays pinned).
+  bool ShouldProbeReflatten() {
+    if (++reflatten_tick_ < kReflattenPeriod) return false;
+    reflatten_tick_ = 0;
+    return true;
   }
 
   /// First active rank whose frequency is >= f (== m_ when none).
@@ -441,6 +576,15 @@ class FrequencyProfile {
   cow::PagedArray<uint32_t> f_to_t_;  // id -> rank (FtoT)
   internal::RankSlotArray slots_;     // rank -> (id, block)
 
+  // Flat-epoch state: cached raw bases (valid only while flat_ready_) and
+  // the dispatch flag itself. Mutable: taking a snapshot of a logically
+  // const profile must end the source's flat epoch.
+  mutable bool flat_ready_ = false;
+  uint32_t* flat_f_to_t_ = nullptr;
+  internal::RankSlot* flat_slots_ = nullptr;
+  uint32_t reflatten_tick_ = 0;
+  uint64_t paged_updates_ = 0;
+
   // ApplyBatch scratch, epoch-stamped so a batch costs O(|batch|) and no
   // per-batch O(m) clear. Lazily sized to m on first use.
   std::vector<uint32_t> batch_epoch_;
@@ -448,6 +592,114 @@ class FrequencyProfile {
   std::vector<uint32_t> batch_touched_;
   uint32_t batch_epoch_counter_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// The update kernel: Algorithm 1 written once, instantiated over the two
+// storage policies (PagedOps — the COW page path, exactly the PR-3/4
+// behavior — and FlatOps — the exclusive-epoch raw-pointer path). Inline
+// in the header so a caller's update loop sees through the dispatch and
+// keeps the flat bases in registers.
+// ---------------------------------------------------------------------------
+
+// Algorithm 1, "add" branch (0-based). One extra step relative to the
+// paper's pseudocode: x must first be swapped to the *end* of its block
+// (Figure 1(b) shows the swap; the listing leaves it implicit).
+template <typename Ops>
+inline void FrequencyProfile::AddImpl(Ops& ops, uint32_t id) {
+  BumpGeneration();
+
+  const uint32_t rank = ops.rank(id);
+  const BlockHandle bh = ops.slot_block(rank);
+  const Block b = ops.block(bh);
+  const uint32_t r = b.r;
+  const int64_t f = b.f;
+
+  // Move x to the right edge of its block; ranks inside a block are
+  // interchangeable, so this keeps T sorted.
+  ops.swap_ranks(rank, r);
+
+  // Shrink the block from the right (steps 5-8); drop it when empty.
+  if (b.l == r) {
+    ops.free_block(bh);
+  } else {
+    ops.mutable_block(bh).r = r - 1;
+  }
+
+  // Attach rank r at frequency f+1: extend the right neighbour when it
+  // already holds f+1 (steps 9-11), otherwise open a new block (12-14).
+  if (r + 1 < m_) {
+    const BlockHandle nh = ops.slot_block(r + 1);
+    if (ops.block(nh).f == f + 1) {
+      ops.mutable_block(nh).l = r;
+      ops.set_slot_block(r, nh);
+      ++total_count_;
+      return;
+    }
+  }
+  ops.set_slot_block(r, ops.alloc_block(r, r, f + 1));
+  ++total_count_;
+}
+
+// Algorithm 1, "remove" branch (steps 16-27), mirrored.
+template <typename Ops>
+inline void FrequencyProfile::RemoveImpl(Ops& ops, uint32_t id) {
+  BumpGeneration();
+
+  const uint32_t rank = ops.rank(id);
+  const BlockHandle bh = ops.slot_block(rank);
+  const Block b = ops.block(bh);
+  const uint32_t l = b.l;
+  const int64_t f = b.f;
+
+  // Move x to the left edge of its block.
+  ops.swap_ranks(rank, l);
+
+  // Shrink from the left (steps 17-20).
+  if (b.r == l) {
+    ops.free_block(bh);
+  } else {
+    ops.mutable_block(bh).l = l + 1;
+  }
+
+  // Attach rank l at frequency f-1: merge into the left neighbour when it
+  // holds f-1 (steps 21-23) — but never across the frozen boundary —
+  // otherwise open a new block (24-26).
+  if (l > frozen_) {
+    const BlockHandle ph = ops.slot_block(l - 1);
+    if (ops.block(ph).f == f - 1) {
+      ops.mutable_block(ph).r = l;
+      ops.set_slot_block(l, ph);
+      --total_count_;
+      return;
+    }
+  }
+  ops.set_slot_block(l, ops.alloc_block(l, l, f - 1));
+  --total_count_;
+}
+
+inline void FrequencyProfile::Add(uint32_t id) {
+  SPROFILE_DCHECK(id < m_);
+  SPROFILE_DCHECK(f_to_t_[id] >= frozen_);
+  if (flat_ready_) [[likely]] {
+    FlatOps ops = MakeFlatOps();
+    AddImpl(ops, id);
+    if (!pool_.flat_ok()) [[unlikely]] flat_ready_ = false;
+    return;
+  }
+  AddPaged(id);
+}
+
+inline void FrequencyProfile::Remove(uint32_t id) {
+  SPROFILE_DCHECK(id < m_);
+  SPROFILE_DCHECK(f_to_t_[id] >= frozen_);
+  if (flat_ready_) [[likely]] {
+    FlatOps ops = MakeFlatOps();
+    RemoveImpl(ops, id);
+    if (!pool_.flat_ok()) [[unlikely]] flat_ready_ = false;
+    return;
+  }
+  RemovePaged(id);
+}
 
 }  // namespace sprofile
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/frequency_profile.h"
+#include "core/page_arena.h"
 #include "core/robin_hood_map.h"
 #include "util/status.h"
 
@@ -41,10 +42,13 @@ struct KeyedProfileOptions {
   /// returns NotFound.
   bool create_on_remove = false;
 
-  /// Backing store for the dense profile's pages (null = the footprint
-  /// default; see FrequencyProfile). A keyed profile grows from zero
-  /// capacity, so inject an arena allocator explicitly when the key
-  /// universe is known to be large.
+  /// Backing store for the dense profile's pages. Null picks the
+  /// footprint default FOR initial_capacity (cow::
+  /// MakeProfileDefaultAllocator): a keyed profile grows from zero
+  /// capacity, so without the hint it would always land on the shared
+  /// heap — sizing initial_capacity to the expected key universe is what
+  /// buys large keyed profiles an arena (and with it the exclusive-epoch
+  /// flat update path).
   cow::PageAllocatorRef page_allocator;
 };
 
@@ -60,7 +64,12 @@ template <typename Key, typename Hash = ProfileHash<Key>>
 class KeyedProfile {
  public:
   explicit KeyedProfile(KeyedProfileOptions options = {})
-      : options_(options), profile_(0, options.page_allocator) {
+      : options_(std::move(options)),
+        profile_(0, options_.page_allocator
+                        ? options_.page_allocator
+                        : cow::MakeProfileDefaultAllocator(
+                              ProfileFootprintBytes(
+                                  options_.initial_capacity))) {
     if (options_.initial_capacity > 0) {
       map_.Reserve(options_.initial_capacity);
       id_to_key_.reserve(options_.initial_capacity);

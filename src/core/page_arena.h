@@ -170,6 +170,11 @@ class ArenaPageAllocator final : public PageAllocator {
     }
   }
 
+  /// Arena blocks are single carves, so a PagedArray may lay a whole
+  /// run's payloads adjacently inside one — the layout behind the
+  /// exclusive-epoch flat view (core/cow_pages.h).
+  bool SupportsRuns() const override { return true; }
+
   PageAllocStats Stats() const override {
     PageAllocStats s;
     s.pages_allocated = pages_allocated_.load(std::memory_order_relaxed);

@@ -157,6 +157,59 @@ TEST(ArenaPageAllocatorTest, SpareMappingAbsorbsChurn) {
   EXPECT_EQ(s.arena_bytes_mapped, s.arenas_live * (64 * 1024));
 }
 
+// Regression for the BENCH_engine.json "hugepage_arenas = 0 at 8 shards"
+// report (ISSUE 5 satellite): the gauge was CORRECT — small per-shard
+// footprints never climb the doubling ladder to a 2 MiB mapping — but
+// nothing pinned its accounting. This test pins the invariants through
+// every lifecycle edge (create, drain, spare-park, spare-reuse, unmap):
+// the gauge never exceeds live mappings, survives spare recycling without
+// double counting, and collapses to zero when every mapping is returned.
+TEST(ArenaPageAllocatorTest, HugepageGaugeStaysConsistentThroughLifecycle) {
+  const size_t kArena = kDefaultArenaBytes;  // 2 MiB: hugepage-eligible
+  auto check = [](const PageAllocStats& s, const char* where) {
+    EXPECT_LE(s.hugepage_arenas, s.arenas_live) << where;
+    EXPECT_EQ(s.arenas_created - s.arenas_reclaimed, s.arenas_live) << where;
+  };
+  {
+    ArenaPageAllocator alloc(ArenaOptions{.arena_bytes = kArena,
+                                          .first_arena_bytes = kArena,
+                                          .max_spare_arenas = 1});
+    const PageAllocStats empty = alloc.Stats();
+    EXPECT_EQ(empty.hugepage_arenas, 0u);
+    // Waves of whole-arena churn through the spare slot: a recycled huge
+    // spare must stay counted exactly once.
+    for (int wave = 0; wave < 6; ++wave) {
+      std::vector<void*> blocks;
+      for (int i = 0; i < 4; ++i) blocks.push_back(alloc.Allocate(kArena / 8));
+      check(alloc.Stats(), "loaded");
+      for (void* p : blocks) alloc.Deallocate(p, kArena / 8);
+      check(alloc.Stats(), "drained");
+    }
+    // Oversized request: a dedicated >= 2 MiB mapping is hugepage-eligible
+    // too (whole-array runs take this path at large m).
+    void* big = alloc.Allocate(3 * kArena);
+    check(alloc.Stats(), "oversized live");
+    alloc.Deallocate(big, 3 * kArena);
+    check(alloc.Stats(), "oversized freed");
+  }
+  // With max_spare_arenas = 0 every drained mapping unmaps, and the gauge
+  // must return to exactly zero (an underflow would wrap the uint64).
+  ArenaPageAllocator alloc(ArenaOptions{.arena_bytes = kArena,
+                                        .first_arena_bytes = kArena,
+                                        .max_spare_arenas = 0});
+  std::vector<void*> blocks;
+  for (int i = 0; i < 8; ++i) blocks.push_back(alloc.Allocate(kArena / 4));
+  for (void* p : blocks) alloc.Deallocate(p, kArena / 4);
+  const PageAllocStats end = alloc.Stats();
+  check(end, "fully drained");
+  EXPECT_LE(end.arenas_live, 1u);  // at most the current bump target
+  if (end.arenas_live == 0) {
+    EXPECT_EQ(end.hugepage_arenas, 0u)
+        << "gauge must collapse with the last mapping";
+  }
+  EXPECT_EQ(end.page_bytes_live, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // PagedArray on an arena.
 // ---------------------------------------------------------------------------
@@ -310,8 +363,13 @@ TEST(ArenaReclaimTortureTest, RotatingSnapshotsDoNotPinArenasForever) {
   EXPECT_LT(mid.pages_live(), (kPinned + 2) * per_owner_pages);
 
   pinned.clear();
+  // With every snapshot retired, the profile can re-enter its flat epoch:
+  // displaced fault copies merge back into the home runs (dirty runs
+  // only) and their standalone blocks come home to the allocator.
+  EXPECT_TRUE(p.TryReflatten());
+  EXPECT_TRUE(p.storage_flat());
   const PageAllocStats end = alloc->Stats();
-  // With every snapshot retired, only the live profile's pages remain.
+  // Only the live profile's storage remains.
   EXPECT_LE(end.pages_live(), per_owner_pages);
   EXPECT_GT(end.arenas_reclaimed, mid.arenas_reclaimed - 1);
   // Mapped bytes collapse to the arenas the live profile touches.
