@@ -821,12 +821,9 @@ class ShardedProfilerT {
       cow::ArenaOptions ao;
       ao.arena_bytes = static_cast<size_t>(options.arena_bytes);
       // The default backend's per-slot storage cost (an estimate for
-      // other allocator-aware backends), rounded down to a power of two.
-      const uint64_t footprint = ProfileFootprintBytes(shard_capacity);
-      if (footprint > ao.first_arena_bytes) {
-        ao.first_arena_bytes = static_cast<size_t>(
-            std::min<uint64_t>(std::bit_floor(footprint), ao.arena_bytes));
-      }
+      // other allocator-aware backends) sizes the first mapping.
+      ao = cow::ArenaOptionsForFootprint(ProfileFootprintBytes(shard_capacity),
+                                         ao);
 #if defined(SPROFILE_HAVE_NUMA)
       if (options.numa_policy == NumaPolicy::kLocal && pin_core >= 0 &&
           numa_available() >= 0) {

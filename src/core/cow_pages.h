@@ -454,6 +454,10 @@ class PagedArray {
       for (size_t p = want; p < old_pages; ++p) UnrefPage(ctrls_[p]);
       pages_.resize(want);
       ctrls_.resize(want);
+      // Back under the run: every surviving page has a home slot again,
+      // so the next EnsureFlat may take the cheap in-place repair instead
+      // of a full consolidation into a fresh doubled run.
+      if (outgrew_run_ && want <= run_capacity_) outgrew_run_ = false;
     }
     size_ = n;
     if (n > old_size) {
@@ -526,6 +530,10 @@ class PagedArray {
     if (flat_) return true;
     if (!alloc_->SupportsRuns()) return false;
     if (pages_.empty()) {
+      // A witness armed before the array was emptied would otherwise keep
+      // its pinned page block (and potentially its arena) alive for the
+      // rest of the array's life: with flat_ true it is never polled again.
+      ClearWitness();
       flat_ = true;
       return true;
     }
@@ -945,6 +953,17 @@ class PagedArray {
   void EnsureWritable(size_t page_index, size_t lo, size_t hi) {
     PageCtrl* c = ctrls_[page_index];
     if (c->refs.load(std::memory_order_acquire) != 1) {
+      FaultPage(page_index, lo, hi);
+      return;
+    }
+    if (c->run != nullptr && c->run != run_) {
+      // Exclusive, but the payload is the home-run SLOT of another array
+      // (we are a snapshot holding the last reference to a page the owner
+      // already faulted away from). That slot doubles as the owner's
+      // re-flatten merge target — pass 2 assumes it still holds the
+      // page's content as of the fault and copies only the dirty run over
+      // it — so writing it in place would plant our writes into the
+      // owner's array. Copy out instead, exactly as if it were shared.
       FaultPage(page_index, lo, hi);
       return;
     }

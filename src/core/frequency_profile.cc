@@ -10,12 +10,16 @@
 
 namespace sprofile {
 
+cow::PageAllocatorRef ResolveProfileAllocator(cow::PageAllocatorRef alloc,
+                                              uint64_t num_objects) {
+  if (alloc != nullptr) return alloc;
+  return cow::MakeProfileDefaultAllocator(ProfileFootprintBytes(num_objects));
+}
+
 FrequencyProfile::FrequencyProfile(uint32_t num_objects,
                                    cow::PageAllocatorRef alloc)
     : m_(num_objects),
-      alloc_(alloc ? std::move(alloc)
-                   : cow::MakeProfileDefaultAllocator(
-                         ProfileFootprintBytes(num_objects))),
+      alloc_(ResolveProfileAllocator(std::move(alloc), num_objects)),
       pool_(alloc_, m_),
       f_to_t_(alloc_, m_),
       slots_(alloc_, m_) {

@@ -179,6 +179,15 @@ constexpr uint64_t ProfileFootprintBytes(uint64_t num_objects) {
          (sizeof(internal::RankSlot) + sizeof(uint32_t) + sizeof(Block));
 }
 
+/// The allocator a profile construction path uses when the caller passed
+/// none: the footprint-sized default for `num_objects` dense slots
+/// (cow::MakeProfileDefaultAllocator over ProfileFootprintBytes). The
+/// single authority for the null-allocator fallback — FrequencyProfile's
+/// constructors and KeyedProfile's initial_capacity path all resolve
+/// through here, so a policy change lands everywhere at once.
+cow::PageAllocatorRef ResolveProfileAllocator(cow::PageAllocatorRef alloc,
+                                              uint64_t num_objects);
+
 /// Aggregate row of the frequency histogram: `count` objects share
 /// `frequency`.
 struct GroupStat {

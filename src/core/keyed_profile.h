@@ -21,7 +21,6 @@
 #include <vector>
 
 #include "core/frequency_profile.h"
-#include "core/page_arena.h"
 #include "core/robin_hood_map.h"
 #include "util/status.h"
 
@@ -43,8 +42,8 @@ struct KeyedProfileOptions {
   bool create_on_remove = false;
 
   /// Backing store for the dense profile's pages. Null picks the
-  /// footprint default FOR initial_capacity (cow::
-  /// MakeProfileDefaultAllocator): a keyed profile grows from zero
+  /// footprint default FOR initial_capacity (ResolveProfileAllocator in
+  /// frequency_profile.h): a keyed profile grows from zero
   /// capacity, so without the hint it would always land on the shared
   /// heap — sizing initial_capacity to the expected key universe is what
   /// buys large keyed profiles an arena (and with it the exclusive-epoch
@@ -65,11 +64,8 @@ class KeyedProfile {
  public:
   explicit KeyedProfile(KeyedProfileOptions options = {})
       : options_(std::move(options)),
-        profile_(0, options_.page_allocator
-                        ? options_.page_allocator
-                        : cow::MakeProfileDefaultAllocator(
-                              ProfileFootprintBytes(
-                                  options_.initial_capacity))) {
+        profile_(0, ResolveProfileAllocator(options_.page_allocator,
+                                            options_.initial_capacity)) {
     if (options_.initial_capacity > 0) {
       map_.Reserve(options_.initial_capacity);
       id_to_key_.reserve(options_.initial_capacity);

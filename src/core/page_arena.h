@@ -48,6 +48,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -358,6 +359,24 @@ inline PageAllocatorRef MakeArenaPageAllocator(ArenaOptions options = {}) {
   return std::make_shared<ArenaPageAllocator>(options);
 }
 
+/// Sizes `base`'s FIRST arena mapping to an expected paged-storage
+/// footprint, rounded down to a power of two and clamped to
+/// [base.first_arena_bytes, base.arena_bytes]: storage that is
+/// hugepage-sized starts on a hugepage-eligible mapping instead of
+/// climbing the 64 KiB doubling ladder — which made `hugepage_arenas`
+/// depend on where the ladder happened to stop (the ISSUE 5 "0 at 8
+/// shards" report). The single authority for footprint-based first-arena
+/// sizing: the profile default allocator below and the engine's
+/// per-shard allocator both route through here.
+inline ArenaOptions ArenaOptionsForFootprint(uint64_t footprint_bytes,
+                                             ArenaOptions base = {}) {
+  if (footprint_bytes > base.first_arena_bytes) {
+    base.first_arena_bytes = static_cast<size_t>(
+        std::min<uint64_t>(std::bit_floor(footprint_bytes), base.arena_bytes));
+  }
+  return base;
+}
+
 /// The default allocator for a profile expected to hold about
 /// `footprint_bytes_hint` bytes of paged storage: a private arena for
 /// profiles big enough to profit from contiguity, the shared heap for
@@ -373,7 +392,7 @@ inline PageAllocatorRef MakeProfileDefaultAllocator(
   if (footprint_bytes_hint < kArenaDefaultMinBytes) {
     return GlobalHeapPageAllocator();
   }
-  return MakeArenaPageAllocator();
+  return MakeArenaPageAllocator(ArenaOptionsForFootprint(footprint_bytes_hint));
 #endif
 }
 

@@ -188,6 +188,96 @@ TEST(FlatEpochPagedArrayTest, HomeWitnessClearedWhenSlotIsReused) {
   EXPECT_TRUE(a.flat());
 }
 
+// Regression (code review): a snapshot holding the LAST reference to a
+// page that still lives in the owner's home run used to write it in
+// place (refs == 1 looked exclusive). But that slot is the owner's
+// re-flatten merge TARGET: pass 2 assumes it holds the page's content as
+// of the owner's fault and copies only the dirty run over it, so the
+// snapshot's writes outside that span surfaced in the owner's array
+// after the snapshot died — silent corruption, and writable snapshots
+// are documented API. A borrowed home-run page must COW-fault instead.
+TEST(FlatEpochPagedArrayTest, SnapshotWriteToBorrowedHomePageDoesNotCorruptOwner) {
+  auto alloc = SmallArena();
+  cow::PagedArray<uint64_t> a(alloc, 2048);
+  a.resize(2048);
+  ASSERT_TRUE(a.EnsureFlat());
+  for (size_t i = 0; i < a.size(); ++i) a.flat_data()[i] = i;
+  const size_t per_page = a.elems_per_page();
+  const size_t base = per_page;  // page 1
+
+  auto snap = std::make_optional<cow::PagedArray<uint64_t>>(a);
+  // Owner writes first: faults page 1 to a dirty-tracked standalone copy
+  // and drops its home reference — the home slot's last ref is now the
+  // snapshot's.
+  a.Mutable(base + 3) = 111;
+  // Snapshot writes the SAME page, inside and outside the owner's dirty
+  // run. refs == 1, but the payload is the owner's home-run slot: the
+  // write must copy out, never land in place.
+  (*snap).Mutable(base + 7) = 222;
+  (*snap).Mutable(base + 3) = 333;
+  EXPECT_EQ((*snap)[base + 3], 333u);
+  EXPECT_EQ((*snap)[base + 7], 222u);
+  EXPECT_EQ(a[base + 3], 111u);
+  EXPECT_EQ(a[base + 7], base + 7) << "owner must not see snapshot writes";
+
+  snap.reset();
+  // Owner re-flattens: only its dirty run [3, 3] merges back home. With
+  // the bug, the home slot still carried the snapshot's write at +7.
+  ASSERT_TRUE(a.EnsureFlat());
+  // Deep-copy oracle: the owner's array is its pre-snapshot content plus
+  // its own single write.
+  for (size_t i = 0; i < a.size(); ++i) {
+    const uint64_t want = (i == base + 3) ? 111u : i;
+    ASSERT_EQ(a[i], want) << i;
+    ASSERT_EQ(a.flat_data()[i], want) << i;
+  }
+}
+
+// Regression (code review): outgrew_run_ stayed sticky after resize()
+// shrank the array back under the run, so the next EnsureFlat paid a
+// full consolidation (fresh doubled run, every page copied) instead of
+// the cheap in-place repair.
+TEST(FlatEpochPagedArrayTest, ShrinkBackIntoRunRepairsInPlace) {
+  auto alloc = SmallArena();
+  cow::PagedArray<uint64_t> a(alloc, 1024);
+  a.resize(1024);
+  ASSERT_TRUE(a.EnsureFlat());
+  for (size_t i = 0; i < a.size(); ++i) a.flat_data()[i] = i;
+  const uint64_t* run_base = a.flat_data();
+
+  a.resize(4096);  // grow past the run: overflow pages are standalone
+  EXPECT_FALSE(a.flat());
+  a.resize(1024);  // ... and shrink back under it
+  ASSERT_TRUE(a.EnsureFlat());
+  EXPECT_EQ(a.flat_data(), run_base)
+      << "shrinking back under the run must repair in place, not "
+         "consolidate into a new run";
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], i) << i;
+}
+
+// Regression (code review): EnsureFlat's empty-array early return used to
+// skip witness cleanup. A witness armed while pages were shared, followed
+// by resize(0), left its pinned page block (and potentially that block's
+// whole arena) alive for the rest of the array's life — with flat_ true
+// the stale pin was never polled again.
+TEST(FlatEpochPagedArrayTest, EnsureFlatOnEmptiedArrayReleasesWitnessPin) {
+  auto alloc = SmallArena();
+  cow::PagedArray<uint64_t> a(alloc, 1024);
+  a.resize(1024);
+  ASSERT_TRUE(a.EnsureFlat());
+  auto snap1 = std::make_optional<cow::PagedArray<uint64_t>>(a);
+  a.Mutable(0) = 1;  // fault page 0 -> standalone copy
+  auto snap2 = std::make_optional<cow::PagedArray<uint64_t>>(a);
+  EXPECT_FALSE(a.EnsureFlat());  // witness pins the shared standalone ctrl
+  snap2.reset();
+  a.resize(0);
+  snap1.reset();
+  ASSERT_TRUE(a.EnsureFlat());  // empty: must release the stale pin
+  // Only the anchored home-run block may remain live; with the leak the
+  // pinned standalone page block survived too.
+  EXPECT_EQ(alloc->Stats().pages_live(), 1u);
+}
+
 TEST(FlatEpochPagedArrayTest, HeapAllocatorNeverFlat) {
   // Satellite: the HeapPageAllocator path (ASan builds,
   // SPROFILE_FORCE_HEAP_PAGES) must keep the flat view disabled and
@@ -247,7 +337,20 @@ void RunEpochInterleave(cow::PageAllocatorRef alloc, bool expect_flat_possible,
         p.TryReflatten();
         break;
       }
-      case 3: {  // a coalescing batch with duplicate ids
+      case 3:
+      case 4: {  // write THROUGH a held snapshot (documented API): the
+        // snapshot may hold the last reference to a page still sitting in
+        // the parent's home run — its write must COW out, never land in
+        // the parent's merge target (the borrowed-home-page regression).
+        if (!held.empty()) {
+          HeldSnapshot& h = held.back();
+          const uint32_t id = rng.NextBounded(kM);
+          h.snap.Add(id);
+          h.expected[id] += 1;
+        }
+        break;
+      }
+      case 5: {  // a coalescing batch with duplicate ids
         std::vector<Event> batch;
         const uint32_t n = 1 + rng.NextBounded(12);
         for (uint32_t k = 0; k < n; ++k) {

@@ -118,6 +118,29 @@ TEST(ArenaPageAllocatorTest, OversizedRequestGetsDedicatedArena) {
   EXPECT_GE(s.arenas_reclaimed, 1u);
 }
 
+TEST(ArenaPageAllocatorTest, FootprintSizesFirstArenaForEveryCaller) {
+  // The shared sizing helper: first mapping = bit_floor(footprint),
+  // clamped to [the default floor, arena_bytes].
+  EXPECT_EQ(ArenaOptionsForFootprint(uint64_t{3} << 20).first_arena_bytes,
+            kDefaultArenaBytes);
+  EXPECT_EQ(ArenaOptionsForFootprint(300 * 1024).first_arena_bytes,
+            size_t{256} * 1024);
+  EXPECT_EQ(ArenaOptionsForFootprint(1024).first_arena_bytes,
+            ArenaOptions{}.first_arena_bytes);
+#if !SPROFILE_HEAP_PAGES_DEFAULT
+  // Regression (code review): a STANDALONE profile with a hugepage-sized
+  // footprint must also start on a hugepage-eligible mapping instead of
+  // climbing the 64 KiB doubling ladder — the footprint sizing used to
+  // live engine-privately, so only shard allocators got it and a plain
+  // FrequencyProfile/KeyedProfile kept the "hugepage_arenas stays 0"
+  // pathology ISSUE 5 fixed for the engine.
+  const PageAllocatorRef def = MakeProfileDefaultAllocator(uint64_t{4} << 20);
+  const auto* arena = dynamic_cast<const ArenaPageAllocator*>(def.get());
+  ASSERT_NE(arena, nullptr);
+  EXPECT_EQ(arena->options().first_arena_bytes, kDefaultArenaBytes);
+#endif
+}
+
 TEST(ArenaPageAllocatorTest, DrainedSealedArenasAreReclaimed) {
   ArenaPageAllocator alloc(ArenaOptions{.arena_bytes = 64 * 1024,
                                         .first_arena_bytes = 64 * 1024,
