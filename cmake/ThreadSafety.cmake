@@ -1,0 +1,49 @@
+# Clang Thread Safety Analysis — enabled as a hard error on every clang
+# build, plus a pair of try_compile probes that prove the analysis is
+# actually live:
+#
+#   - thread_safety_violation.cc reads a SPROFILE_GUARDED_BY field without
+#     the mutex; it MUST fail to compile. If it compiles, the annotations
+#     have silently degraded to no-ops (a broken macro gate, a dropped
+#     flag) and the whole compile-time proof is void — so we hard-stop the
+#     configure.
+#   - thread_safety_clean.cc is the same access done correctly through
+#     MutexLock; it MUST compile, guarding against the flags being so
+#     broken that everything fails.
+#
+# gcc/MSVC: the SPROFILE_ annotation macros expand to nothing, so neither
+# the warning flags nor the probes apply (see src/util/thread_annotations.h
+# — the TSan CI leg is the cross-compiler backstop).
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  add_compile_options(-Wthread-safety -Werror=thread-safety)
+
+  function(_sprofile_thread_safety_probe src expect_success)
+    try_compile(_probe_ok
+      ${CMAKE_BINARY_DIR}/thread_safety_probes/${src}.dir
+      SOURCES ${CMAKE_SOURCE_DIR}/cmake/probes/${src}
+      CMAKE_FLAGS "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
+      COMPILE_DEFINITIONS "-Wthread-safety -Werror=thread-safety"
+      CXX_STANDARD 20
+      CXX_STANDARD_REQUIRED TRUE
+    )
+    if(expect_success AND NOT _probe_ok)
+      message(FATAL_ERROR
+        "thread-safety probe ${src} failed to compile: the analysis flags "
+        "reject correct MutexLock usage — the toolchain or util/sync.h is "
+        "broken.")
+    endif()
+    if(NOT expect_success AND _probe_ok)
+      message(FATAL_ERROR
+        "thread-safety probe ${src} COMPILED: an unguarded access to a "
+        "SPROFILE_GUARDED_BY field was accepted, so the analysis is not "
+        "live (annotation macros expanded to no-ops, or the flags were "
+        "dropped). Refusing to configure with a dead proof.")
+    endif()
+    unset(_probe_ok CACHE)
+  endfunction()
+
+  _sprofile_thread_safety_probe(thread_safety_clean.cc TRUE)
+  _sprofile_thread_safety_probe(thread_safety_violation.cc FALSE)
+  message(STATUS "Thread safety analysis: live (negative-compile probe verified)")
+endif()

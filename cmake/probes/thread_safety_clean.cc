@@ -1,0 +1,29 @@
+// Positive probe for cmake/ThreadSafety.cmake: identical shape to
+// thread_safety_violation.cc but with the access correctly scoped under
+// MutexLock. MUST compile under -Werror=thread-safety — if it doesn't,
+// the flags are rejecting correct code and the configure aborts.
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  int Bump() {
+    sprofile::MutexLock lock(mu_);
+    ++value_;
+    return value_;
+  }
+
+ private:
+  sprofile::Mutex mu_;
+  int value_ SPROFILE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.Bump();
+}

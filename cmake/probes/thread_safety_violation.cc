@@ -1,0 +1,28 @@
+// Negative-compile probe: this translation unit MUST NOT compile under
+// -Werror=thread-safety. It reads and writes a SPROFILE_GUARDED_BY field
+// without holding its mutex; if clang accepts it, the annotations are
+// dead and cmake/ThreadSafety.cmake aborts the configure.
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  int Bump() {
+    ++value_;       // guarded_by violation: mu_ not held
+    return value_;  // and again on the read
+  }
+
+ private:
+  sprofile::Mutex mu_;
+  int value_ SPROFILE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.Bump();
+}

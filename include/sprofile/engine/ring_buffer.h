@@ -51,6 +51,9 @@ class MpscRingBuffer {
   explicit MpscRingBuffer(size_t min_capacity)
       : mask_(RoundUpToPowerOfTwo(min_capacity) - 1), cells_(mask_ + 1) {
     for (uint64_t i = 0; i <= mask_; ++i) {
+      // orders: relaxed — single-threaded construction; the handoff to
+      // producer/consumer threads is ordered by whatever publishes the
+      // queue itself (e.g. std::thread construction).
       cells_[i].seq.store(i, std::memory_order_relaxed);
     }
   }
@@ -68,19 +71,30 @@ class MpscRingBuffer {
   /// 0 when full, possibly < n when nearly full).
   size_t TryPushSpan(const T* data, size_t n) {
     if (n == 0) return 0;
+    // orders: relaxed — only a CAS seed; the CAS below revalidates it and
+    // cell ownership is transferred by seq, not by this counter.
     uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
     uint64_t take;
     for (;;) {
+      // orders: acquire pairs with the consumer's release store of
+      // dequeue_pos_ in TryPopBatch — a producer that sees deq also sees
+      // those cells' retirement stores, so reusing them cannot race the
+      // consumer's reads.
       const uint64_t deq = dequeue_pos_.load(std::memory_order_acquire);
       const int64_t in_flight = static_cast<int64_t>(pos - deq);
       if (in_flight < 0) {
         // Stale pos from a CAS race; reload and retry.
+        // orders: relaxed — same CAS-seed role as the initial load.
         pos = enqueue_pos_.load(std::memory_order_relaxed);
         continue;
       }
       const uint64_t free = capacity() - static_cast<uint64_t>(in_flight);
       take = n < free ? n : free;
       if (take == 0) return 0;
+      // orders: relaxed — the CAS only arbitrates WHICH producer owns the
+      // span; it publishes nothing. Publication happens per cell via the
+      // seq release store below, which is what the consumer synchronizes
+      // on.
       if (enqueue_pos_.compare_exchange_weak(pos, pos + take,
                                              std::memory_order_relaxed)) {
         break;
@@ -91,8 +105,13 @@ class MpscRingBuffer {
     // retired; this producer owns them exclusively after winning the CAS.
     for (uint64_t i = 0; i < take; ++i) {
       Cell& cell = cells_[(pos + i) & mask_];
+      // orders: relaxed — debug-only sanity read of a cell this producer
+      // already owns exclusively (ownership was established by the
+      // dequeue_pos_ acquire above).
       SPROFILE_DCHECK(cell.seq.load(std::memory_order_relaxed) == pos + i);
       cell.value = data[i];
+      // orders: release pairs with the consumer's seq acquire load in
+      // TryPopBatch — publishes cell.value.
       cell.seq.store(pos + i + 1, std::memory_order_release);
     }
     return take;
@@ -101,23 +120,36 @@ class MpscRingBuffer {
   /// Single consumer: pops up to `max` items into out[0..). Returns the
   /// number popped (0 when empty or the next cell is still being written).
   size_t TryPopBatch(T* out, size_t max) {
+    // orders: relaxed — single consumer: only this thread writes
+    // dequeue_pos_, so it reads back its own last store.
     const uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
     size_t n = 0;
     while (n < max) {
       Cell& cell = cells_[(pos + n) & mask_];
+      // orders: acquire pairs with the producer's seq release store in
+      // TryPushSpan — seeing seq == pos+n+1 makes cell.value visible.
       if (cell.seq.load(std::memory_order_acquire) != pos + n + 1) break;
       out[n] = cell.value;
       // Retire the cell for the producers' next lap before advancing
       // dequeue_pos_ (producers trust dequeue_pos_ as a free-space bound).
+      // orders: release so a producer that observes the retired seq (via
+      // its relaxed DCHECK read after an acquire of dequeue_pos_) is also
+      // ordered after our read of cell.value.
       cell.seq.store(pos + n + capacity(), std::memory_order_release);
       ++n;
     }
+    // orders: release pairs with the producers' dequeue_pos_ acquire load
+    // in TryPushSpan — carries the cell retirements above with it.
     if (n > 0) dequeue_pos_.store(pos + n, std::memory_order_release);
     return n;
   }
 
   /// Approximate emptiness (exact when producers are quiesced).
   bool Empty() const {
+    // orders: acquire on both — pairs with the consumer's dequeue_pos_
+    // release (TryPopBatch) and the producers' enqueue side so a true
+    // result is never stale for the caller's own prior pushes; the
+    // comparison is still approximate under concurrent traffic.
     return dequeue_pos_.load(std::memory_order_acquire) ==
            enqueue_pos_.load(std::memory_order_acquire);
   }

@@ -50,13 +50,11 @@
 #include <bit>
 #include <chrono>
 #include <concepts>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
@@ -64,13 +62,14 @@
 #include <vector>
 
 #include "core/cow_pages.h"
-#include "core/page_arena.h"
 #include "sprofile/adapters.h"
 #include "sprofile/engine/engine_options.h"
 #include "sprofile/engine/ring_buffer.h"
 #include "sprofile/event.h"
 #include "sprofile/profiler_concept.h"
 #include "util/logging.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -137,6 +136,14 @@ struct EngineMemoryStats {
 
 namespace internal {
 
+/// Builds the per-shard arena allocator (NUMA binding included). Defined
+/// out of line in src/engine/sharded_profiler.cc so this public header
+/// does not reach into core/page_arena.h — the splint facade-includes
+/// rule (tools/lint/README.md) holds the boundary.
+cow::PageAllocatorRef MakeEngineArenaAllocator(const EngineOptions& options,
+                                               int pin_core,
+                                               uint64_t footprint_bytes);
+
 /// One shard: the ingestion queue, the worker thread that drains it, the
 /// live (worker-private) profile, and the published snapshot.
 ///
@@ -179,11 +186,11 @@ class ShardWorker {
   /// on a huge capacity), the exception is rethrown HERE, on the caller,
   /// keeping engine construction failures catchable at the construction
   /// site exactly as when backends were built on the caller thread.
-  void WaitReady() {
+  void WaitReady() SPROFILE_EXCLUDES(done_mu_) {
     std::exception_ptr error;
     {
-      std::unique_lock<std::mutex> lock(done_mu_);
-      done_cv_.wait(lock, [&] { return ready_; });
+      MutexLock lock(done_mu_);
+      while (!ready_) done_cv_.Wait(done_mu_);
       error = init_error_;
     }
     if (error) std::rethrow_exception(error);
@@ -217,31 +224,36 @@ class ShardWorker {
   uint64_t applied() const { return applied_.load(std::memory_order_acquire); }
 
   /// The current published snapshot (never null; epoch 0 at startup).
-  std::shared_ptr<const ShardSnapshot<Backend>> snapshot() const {
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
+  std::shared_ptr<const ShardSnapshot<Backend>> snapshot() const
+      SPROFILE_EXCLUDES(snapshot_mu_) {
+    MutexLock lock(snapshot_mu_);
     return snapshot_;
   }
 
   /// Publish pauses observed so far (ns the worker spent producing and
   /// swapping in each snapshot copy — the per-publication ingestion
   /// stall). Bounded history: the most recent kMaxPauseSamples.
-  std::vector<uint64_t> PublishPausesNs() const {
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
+  std::vector<uint64_t> PublishPausesNs() const
+      SPROFILE_EXCLUDES(snapshot_mu_) {
+    MutexLock lock(snapshot_mu_);
     return pause_ns_;
   }
 
   /// Blocks until a snapshot with epoch >= target is published. `target`
   /// must be <= enqueued() (otherwise nothing guarantees progress).
-  void WaitSnapshotAt(uint64_t target) {
+  void WaitSnapshotAt(uint64_t target) SPROFILE_EXCLUDES(done_mu_) {
     uint64_t cur = snapshot_target_.load(std::memory_order_relaxed);
     while (cur < target && !snapshot_target_.compare_exchange_weak(
                                cur, target, std::memory_order_release)) {
     }
     WakeIfParked();
-    std::unique_lock<std::mutex> lock(done_mu_);
-    done_cv_.wait(lock, [&] {
-      return snapshot_epoch_.load(std::memory_order_acquire) >= target;
-    });
+    MutexLock lock(done_mu_);
+    // orders: acquire pairs with Publish's release store of
+    // snapshot_epoch_ — the published snapshot contents happen-before
+    // this waiter's reads.
+    while (snapshot_epoch_.load(std::memory_order_acquire) < target) {
+      done_cv_.Wait(done_mu_);
+    }
   }
 
  private:
@@ -259,18 +271,18 @@ class ShardWorker {
       // Hand the failure to WaitReady (the engine constructor) instead of
       // letting it escape the thread function as std::terminate.
       {
-        std::lock_guard<std::mutex> lock(done_mu_);
+        MutexLock lock(done_mu_);
         init_error_ = std::current_exception();
         ready_ = true;
       }
-      done_cv_.notify_all();
+      done_cv_.NotifyAll();
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(done_mu_);
+      MutexLock lock(done_mu_);
       ready_ = true;
     }
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
 
     std::vector<Event> batch(drain_batch_);
     uint64_t since_snapshot = 0;
@@ -340,7 +352,8 @@ class ShardWorker {
 #endif
   }
 
-  void Publish(bool record_pause = true) {
+  void Publish(bool record_pause = true)
+      SPROFILE_EXCLUDES(snapshot_mu_, done_mu_) {
     const uint64_t epoch = applied_.load(std::memory_order_relaxed);
     // The publish stall is everything between the worker pausing ingestion
     // and resuming it: producing the copy, swapping it in, and retiring
@@ -351,7 +364,7 @@ class ShardWorker {
         ShardSnapshot<Backend>{epoch, MakePublishCopy()});
     std::shared_ptr<const ShardSnapshot<Backend>> retired;
     {
-      std::lock_guard<std::mutex> lock(snapshot_mu_);
+      MutexLock lock(snapshot_mu_);
       retired = std::move(snapshot_);
       snapshot_ = std::move(snap);
     }
@@ -361,7 +374,7 @@ class ShardWorker {
             std::chrono::steady_clock::now() - pause_start)
             .count());
     if (record_pause) {
-      std::lock_guard<std::mutex> lock(snapshot_mu_);
+      MutexLock lock(snapshot_mu_);
       if (pause_ns_.size() < kMaxPauseSamples) {
         pause_ns_.push_back(pause_ns);
       } else {
@@ -370,15 +383,16 @@ class ShardWorker {
     }
     {
       // Epoch advances under done_mu_ so WaitSnapshotAt cannot miss the
-      // notify between its predicate check and its wait.
-      std::lock_guard<std::mutex> lock(done_mu_);
+      // notify between its condition check and its wait.
+      // orders: release pairs with WaitSnapshotAt's acquire load.
+      MutexLock lock(done_mu_);
       snapshot_epoch_.store(epoch, std::memory_order_release);
     }
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   }
 
-  void Park() {
-    std::unique_lock<std::mutex> lock(wake_mu_);
+  void Park() SPROFILE_EXCLUDES(wake_mu_) {
+    MutexLock lock(wake_mu_);
     parked_.store(true, std::memory_order_release);
     // The parked_ flag narrows the missed-wakeup window but cannot close
     // it (a producer can push between Empty() and wait); the bounded
@@ -386,15 +400,18 @@ class ShardWorker {
     // latency instead of a hang.
     if (queue_.Empty() && !stop_.load(std::memory_order_acquire) &&
         !SnapshotDue()) {
-      wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      wake_cv_.WaitFor(wake_mu_, std::chrono::milliseconds(1));
     }
     parked_.store(false, std::memory_order_release);
   }
 
-  void WakeIfParked() {
+  void WakeIfParked() SPROFILE_EXCLUDES(wake_mu_) {
+    // orders: acquire pairs with Park's release store of parked_, so a
+    // producer that sees the flag also sees the worker committed to (or
+    // already inside) the bounded wait.
     if (parked_.load(std::memory_order_acquire)) {
-      std::lock_guard<std::mutex> lock(wake_mu_);
-      wake_cv_.notify_one();
+      MutexLock lock(wake_mu_);
+      wake_cv_.NotifyOne();
     }
   }
 
@@ -417,17 +434,18 @@ class ShardWorker {
   std::function<Backend()> factory_;    // consumed by the worker thread
   std::optional<Backend> live_;         // worker-private; built in Run()
 
-  mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const ShardSnapshot<Backend>> snapshot_;
-  std::vector<uint64_t> pause_ns_;  // guarded by snapshot_mu_
-  size_t pause_ring_next_ = 0;      // worker-only
+  mutable Mutex snapshot_mu_;
+  std::shared_ptr<const ShardSnapshot<Backend>> snapshot_
+      SPROFILE_GUARDED_BY(snapshot_mu_);
+  std::vector<uint64_t> pause_ns_ SPROFILE_GUARDED_BY(snapshot_mu_);
+  size_t pause_ring_next_ = 0;  // worker-only
 
-  std::mutex done_mu_;
-  std::condition_variable done_cv_;
-  bool ready_ = false;                 // guarded by done_mu_
-  std::exception_ptr init_error_;      // guarded by done_mu_
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
+  Mutex done_mu_;
+  CondVar done_cv_;
+  bool ready_ SPROFILE_GUARDED_BY(done_mu_) = false;
+  std::exception_ptr init_error_ SPROFILE_GUARDED_BY(done_mu_);
+  Mutex wake_mu_;
+  CondVar wake_cv_;
 
   std::thread worker_;  // last member: starts after everything is ready
 };
@@ -798,8 +816,8 @@ class ShardedProfilerT {
   static cow::PageAllocatorRef MakeShardAllocator(const EngineOptions& options,
                                                   int pin_core,
                                                   uint32_t shard_capacity) {
-    (void)pin_core;
     if constexpr (!AllocatorAwareBackend<Backend>) {
+      (void)pin_core;
       return nullptr;
     } else {
       bool arena;
@@ -818,19 +836,12 @@ class ShardedProfilerT {
           break;
       }
       if (!arena) return std::make_shared<cow::HeapPageAllocator>();
-      cow::ArenaOptions ao;
-      ao.arena_bytes = static_cast<size_t>(options.arena_bytes);
       // The default backend's per-slot storage cost (an estimate for
-      // other allocator-aware backends) sizes the first mapping.
-      ao = cow::ArenaOptionsForFootprint(ProfileFootprintBytes(shard_capacity),
-                                         ao);
-#if defined(SPROFILE_HAVE_NUMA)
-      if (options.numa_policy == NumaPolicy::kLocal && pin_core >= 0 &&
-          numa_available() >= 0) {
-        ao.numa_node = numa_node_of_cpu(pin_core);
-      }
-#endif
-      return cow::MakeArenaPageAllocator(ao);
+      // other allocator-aware backends) sizes the first mapping; the
+      // arena construction itself lives out of line so this facade
+      // header need not include core/page_arena.h.
+      return internal::MakeEngineArenaAllocator(
+          options, pin_core, ProfileFootprintBytes(shard_capacity));
     }
   }
 

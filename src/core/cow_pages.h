@@ -228,9 +228,13 @@ class PageAllocator {
 
   /// PagedArray reports each COW page fault here so MemoryStats can
   /// surface the post-publish write tax.
+  /// orders: relaxed — a statistics counter; no data is published through
+  /// it and readers (Stats) tolerate arbitrarily stale values.
   void CountFault() { cow_faults_.fetch_add(1, std::memory_order_relaxed); }
 
  protected:
+  // orders: relaxed — pairs with CountFault's relaxed increments; counts
+  // may lag concurrent faults, which Stats documents as approximate.
   uint64_t FaultCount() const {
     return cow_faults_.load(std::memory_order_relaxed);
   }
@@ -249,12 +253,15 @@ using PageAllocatorRef = std::shared_ptr<PageAllocator>;
 class HeapPageAllocator final : public PageAllocator {
  public:
   void* Allocate(size_t bytes) override {
+    // orders: relaxed — statistics only; the page pointer handoff itself
+    // synchronizes any content the caller publishes.
     pages_allocated_.fetch_add(1, std::memory_order_relaxed);
     bytes_live_.fetch_add(bytes, std::memory_order_relaxed);
     return ::operator new(bytes, std::align_val_t{64});
   }
 
   void Deallocate(void* block, size_t bytes) noexcept override {
+    // orders: relaxed — statistics only, as in Allocate.
     pages_freed_.fetch_add(1, std::memory_order_relaxed);
     bytes_live_.fetch_sub(bytes, std::memory_order_relaxed);
     ::operator delete(block, std::align_val_t{64});
@@ -262,6 +269,8 @@ class HeapPageAllocator final : public PageAllocator {
 
   PageAllocStats Stats() const override {
     PageAllocStats s;
+    // orders: relaxed — pairs with the relaxed counter updates above;
+    // Stats is documented as a racy point-in-time read.
     s.pages_allocated = pages_allocated_.load(std::memory_order_relaxed);
     s.pages_freed = pages_freed_.load(std::memory_order_relaxed);
     s.page_bytes_live = bytes_live_.load(std::memory_order_relaxed);
@@ -538,6 +547,9 @@ class PagedArray {
       return true;
     }
     if (witness_ != nullptr) {
+      // orders: acquire pairs with the release fetch_sub in UnrefPage —
+      // seeing the dropped count means the releasing snapshot's last reads
+      // of the page happened-before our reuse of it.
       if (witness_->refs.load(std::memory_order_acquire) > witness_unblock_) {
         return false;
       }
@@ -548,6 +560,10 @@ class PagedArray {
     const bool repairable = run_ != nullptr && !outgrew_run_;
     for (size_t p = 0; p < pages_.size(); ++p) {
       internal::PageCtrl* c = ctrls_[p];
+      // orders: acquire (both loads) pairs with UnrefPage's release
+      // fetch_sub, so observing refs == 1 / == 0 also orders us after
+      // every released co-owner's reads — the page is safe to mutate or
+      // overwrite in pass 2.
       if (c->refs.load(std::memory_order_acquire) != 1) {
         SetPageWitness(c);
         return false;
@@ -575,9 +591,16 @@ class PagedArray {
         }
         std::memcpy(static_cast<void*>(home_page + lo), cur + lo,
                     (hi - lo + 1) * sizeof(T));
+        // orders: relaxed — pass 1 proved refs == 0 with acquire, so this
+        // thread owns the slot exclusively; nothing else reads it until a
+        // later Snapshot() publishes it (whose mechanism provides the
+        // ordering).
         home->refs.store(1, std::memory_order_relaxed);
         home->dirty_lo = 1;
         home->dirty_hi = 0;
+        // orders: relaxed — live only gates run teardown via the acq_rel
+        // fetch_sub in ReleaseRunSlot; increments need no ordering of
+        // their own (the owner holds a ref across the whole operation).
         run_->live.fetch_add(1, std::memory_order_relaxed);
         UnrefPage(c);
         pages_[p] = TagExclusive(home_page);
@@ -607,6 +630,9 @@ class PagedArray {
   size_t SharedPageCount() const {
     size_t shared = 0;
     for (size_t p = 0; p < pages_.size(); ++p) {
+      // orders: relaxed — introspective count; a stale value only skews a
+      // statistic, never a reclamation decision (EnsureFlat re-checks with
+      // acquire before acting).
       if (ctrls_[p]->refs.load(std::memory_order_relaxed) > 1) ++shared;
     }
     return shared;
@@ -700,6 +726,9 @@ class PagedArray {
   /// our table reference (or the pin alone after a re-fault — a spurious
   /// unblock only costs one scan, which re-arms on the real blocker).
   void SetPageWitness(PageCtrl* c) const {
+    // orders: relaxed — increments on a block we already co-own need no
+    // ordering; only the final decrement-to-zero (UnrefPage, acq_rel)
+    // synchronizes the free.
     c->refs.fetch_add(1, std::memory_order_relaxed);
     witness_ = c;
     witness_unblock_ = 2;
@@ -732,6 +761,8 @@ class PagedArray {
     const size_t bytes = kBlockPrelude + strip + cap * payload_bytes_;
     char* block = static_cast<char*>(alloc_->Allocate(bytes));
     auto* h = new (block) RunHeader();
+    // orders: relaxed — the block is thread-private until a Snapshot()
+    // publishes pages from it; that handoff provides the ordering.
     h->live.store(1, std::memory_order_relaxed);
     h->block_bytes = bytes;
     auto* cs = reinterpret_cast<PageCtrl*>(block + kBlockPrelude);
@@ -756,6 +787,9 @@ class PagedArray {
   /// (snapshot readers retire pages).
   void DropRunRef(RunHeader* run) const {
     const size_t bytes = run->block_bytes;
+    // orders: acq_rel — release publishes this owner's last accesses to
+    // pages in the block; acquire (taken by whichever decrement hits 0)
+    // orders every other owner's accesses before the Deallocate.
     if (run->live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       alloc_->Deallocate(run, bytes);
     }
@@ -766,15 +800,18 @@ class PagedArray {
     char* block =
         static_cast<char*>(alloc_->Allocate(kBlockPrelude + payload_bytes_));
     auto* ctrl = new (block) PageCtrl();
+    // orders: relaxed — thread-private until published (see AllocateRun).
     ctrl->refs.store(1, std::memory_order_relaxed);
     *ctrl_out = ctrl;
     return reinterpret_cast<T*>(block + kBlockPrelude);
   }
 
   void UnrefPage(PageCtrl* ctrl) const {
-    // Release so our prior reads/writes of the page complete before any
-    // other thread frees or re-homes it; acquire (on the freeing side) so
-    // all owners' accesses complete before the block returns.
+    // orders: acq_rel — release so our prior reads/writes of the page
+    // complete before any other thread frees or re-homes it (pairs with
+    // the acquire loads in EnsureFlat/AppendPage and the witness poll);
+    // acquire on the freeing side so all owners' accesses complete before
+    // the block returns to the allocator.
     if (ctrl->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       RunHeader* run = ctrl->run;
       if (run != nullptr) {
@@ -792,16 +829,20 @@ class PagedArray {
     if (pages_.empty() && run_ == nullptr) MaybeCreateHomeRun(1);
     if (run_ != nullptr && p < run_capacity_) {
       PageCtrl* home = &run_ctrls_[p];
-      // acquire: pairs with the release decrement of whoever dropped the
-      // slot last, ordering their accesses before our fill.
+      // orders: acquire pairs with the release decrement (UnrefPage) of
+      // whoever dropped the slot last, ordering their accesses before our
+      // fill.
       if (home->refs.load(std::memory_order_acquire) == 0) {
         // Re-arming a slot a home witness still watches would freeze the
         // witness at refs == 1 forever (it is now our own table page) and
         // wedge every future EnsureFlat at the poll.
         if (witness_ == home) ClearWitness();
+        // orders: relaxed — slot proven free with acquire just above;
+        // exclusively ours until published.
         home->refs.store(1, std::memory_order_relaxed);
         home->dirty_lo = 1;
         home->dirty_hi = 0;
+        // orders: relaxed — anchor-protected increment (see EnsureFlat).
         run_->live.fetch_add(1, std::memory_order_relaxed);
         T* page = run_base_ + p * page_elems_;
         FillPage(page, src);
@@ -845,6 +886,9 @@ class PagedArray {
     for (size_t p = 0; p < other.pages_.size(); ++p) {
       T* page = other.PageAt(p);
       PageCtrl* c = other.ctrls_[p];
+      // orders: relaxed — incrementing from an existing reference (the
+      // source array's) can never race the final free; only decrements
+      // need acq_rel (UnrefPage).
       c->refs.fetch_add(1, std::memory_order_relaxed);
       pages_.push_back(reinterpret_cast<uintptr_t>(page));  // untagged
       ctrls_.push_back(c);
@@ -952,6 +996,9 @@ class PagedArray {
   /// re-arm the tag where tracking isn't worthwhile.
   void EnsureWritable(size_t page_index, size_t lo, size_t hi) {
     PageCtrl* c = ctrls_[page_index];
+    // orders: acquire pairs with UnrefPage's release fetch_sub — seeing
+    // refs == 1 means the dying snapshot's reads are ordered before our
+    // in-place writes.
     if (c->refs.load(std::memory_order_acquire) != 1) {
       FaultPage(page_index, lo, hi);
       return;
@@ -997,6 +1044,8 @@ class PagedArray {
     for (size_t p = 0; p < want; ++p) {
       T* home = nbase + p * page_elems_;
       std::memcpy(static_cast<void*>(home), PageAt(p), payload_bytes_);
+      // orders: relaxed — the fresh run is thread-private until a later
+      // Snapshot() publishes it (see AllocateRun).
       nctrls[p].refs.store(1, std::memory_order_relaxed);
       nr->live.fetch_add(1, std::memory_order_relaxed);
       UnrefPage(ctrls_[p]);

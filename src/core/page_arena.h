@@ -52,12 +52,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <new>
 #include <vector>
 
 #include "core/cow_pages.h"
 #include "util/logging.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/mman.h>
@@ -126,16 +127,16 @@ class ArenaPageAllocator final : public PageAllocator {
   ~ArenaPageAllocator() override {
     // Every PagedArray holds a shared_ptr to its allocator, so reaching
     // the destructor means every page has been returned.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const std::unique_ptr<Arena>& a : arenas_) {
       SPROFILE_DCHECK(a->live.load(std::memory_order_relaxed) == 0);
       if (a->base != nullptr) UnmapLocked(a.get());
     }
   }
 
-  void* Allocate(size_t bytes) override {
+  void* Allocate(size_t bytes) override SPROFILE_EXCLUDES(mu_) {
     const size_t need = kBlockPrelude + RoundUp64(bytes);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Arena* arena;
     if (need > options_.arena_bytes) {
       // Oversized request: a dedicated mapping, sealed on the spot so it
@@ -158,14 +159,16 @@ class ArenaPageAllocator final : public PageAllocator {
     return block + kBlockPrelude;
   }
 
-  void Deallocate(void* block, size_t bytes) noexcept override {
+  void Deallocate(void* block, size_t bytes) noexcept override
+      SPROFILE_EXCLUDES(mu_) {
     char* prelude = static_cast<char*>(block) - kBlockPrelude;
     Arena* arena = *reinterpret_cast<Arena**>(prelude);
     pages_freed_.fetch_add(1, std::memory_order_relaxed);
     bytes_live_.fetch_sub(kBlockPrelude + RoundUp64(bytes),
                           std::memory_order_relaxed);
-    // Release pairs with the acquire below and in SealCurrentLocked: the
-    // freeing thread's last touch of the mapping happens-before unmap.
+    // orders: release here pairs with the acquire re-checks in
+    // MaybeReclaim and SealCurrentLocked — the freeing thread's last
+    // touch of the mapping happens-before unmap.
     if (arena->live.fetch_sub(1, std::memory_order_release) == 1) {
       MaybeReclaim(arena);
     }
@@ -199,22 +202,26 @@ class ArenaPageAllocator final : public PageAllocator {
   static constexpr size_t kBlockPrelude = 64;
 
   struct Arena {
+    // All fields except `live` are guarded by the allocator's mu_ (the
+    // analysis cannot express a guard owned by an enclosing object, so
+    // the *Locked discipline of the member functions below carries the
+    // proof instead).
     char* base = nullptr;   // null after reclamation
     size_t bytes = 0;
-    size_t bump = 0;        // next free offset; guarded by mu_
-    bool sealed = false;    // guarded by mu_; true once no longer the bump target
+    size_t bump = 0;        // next free offset
+    bool sealed = false;    // true once no longer the bump target
     bool huge = false;
     std::atomic<uint64_t> live{0};  // blocks handed out and not yet freed
   };
 
   static size_t RoundUp64(size_t n) { return (n + 63) & ~size_t{63}; }
 
-  void SealCurrentLocked() {
+  void SealCurrentLocked() SPROFILE_REQUIRES(mu_) {
     if (current_ == nullptr) return;
     current_->sealed = true;
-    // The arena may have fully drained while it was still the bump
-    // target (frees skip !sealed arenas); sweep it now. Acquire pairs
-    // with the release decrements of the freeing threads.
+    // orders: acquire pairs with Deallocate's release decrement — the
+    // arena may have fully drained while it was still the bump target
+    // (frees skip !sealed arenas); sweep it now.
     if (current_->live.load(std::memory_order_acquire) == 0) {
       ReclaimLocked(current_);
     }
@@ -222,7 +229,7 @@ class ArenaPageAllocator final : public PageAllocator {
   }
 
   /// Fresh (or recycled) mapping big enough for `need` bytes.
-  Arena* NewArenaLocked(size_t need) {
+  Arena* NewArenaLocked(size_t need) SPROFILE_REQUIRES(mu_) {
     // Spare reuse: a drained full-size mapping absorbs churn. Spares are
     // still counted in arenas_live / arena_bytes_mapped (the mapping is
     // resident the whole time), so no counter changes here.
@@ -264,22 +271,24 @@ class ArenaPageAllocator final : public PageAllocator {
     return arena;
   }
 
-  bool IsSpare(const Arena* a) const {
+  bool IsSpare(const Arena* a) const SPROFILE_REQUIRES(mu_) {
     return std::find(spare_.begin(), spare_.end(), a) != spare_.end();
   }
 
   /// Called off the free path when an arena's live count hit zero.
-  void MaybeReclaim(Arena* arena) noexcept {
-    std::lock_guard<std::mutex> lock(mu_);
+  void MaybeReclaim(Arena* arena) noexcept SPROFILE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     // Re-check under the lock: the arena may have been resurrected from
     // the spare list and be in use again, may still be the bump target,
     // or another thread may have reclaimed it first.
     if (arena->base == nullptr || !arena->sealed || IsSpare(arena)) return;
+    // orders: acquire pairs with Deallocate's release decrement, making
+    // every freeing thread's page accesses visible before the unmap.
     if (arena->live.load(std::memory_order_acquire) != 0) return;
     ReclaimLocked(arena);
   }
 
-  void ReclaimLocked(Arena* arena) noexcept {
+  void ReclaimLocked(Arena* arena) noexcept SPROFILE_REQUIRES(mu_) {
     if (arena->bytes == options_.arena_bytes &&
         spare_.size() < options_.max_spare_arenas) {
       // Kept warm deliberately: dropping the physical pages (MADV_DONTNEED)
@@ -296,7 +305,7 @@ class ArenaPageAllocator final : public PageAllocator {
     UnmapLocked(arena);
   }
 
-  void UnmapLocked(Arena* arena) noexcept {
+  void UnmapLocked(Arena* arena) noexcept SPROFILE_REQUIRES(mu_) {
 #if SPROFILE_ARENA_HAVE_MMAP
     munmap(arena->base, arena->bytes);
 #else
@@ -339,11 +348,14 @@ class ArenaPageAllocator final : public PageAllocator {
 
   const ArenaOptions options_;
 
-  std::mutex mu_;
-  std::vector<std::unique_ptr<Arena>> arenas_;  // descriptors live forever
-  std::vector<Arena*> spare_;                   // drained full-size mappings
-  Arena* current_ = nullptr;                    // bump target
-  size_t next_arena_bytes_ = kDefaultArenaBytes;
+  Mutex mu_;
+  // Descriptors live forever (recycled, never freed) so a racing
+  // Deallocate can always dereference its arena pointer.
+  std::vector<std::unique_ptr<Arena>> arenas_ SPROFILE_GUARDED_BY(mu_);
+  // Drained full-size mappings kept warm for reuse.
+  std::vector<Arena*> spare_ SPROFILE_GUARDED_BY(mu_);
+  Arena* current_ SPROFILE_GUARDED_BY(mu_) = nullptr;  // bump target
+  size_t next_arena_bytes_ SPROFILE_GUARDED_BY(mu_) = kDefaultArenaBytes;
 
   std::atomic<uint64_t> pages_allocated_{0};
   std::atomic<uint64_t> pages_freed_{0};

@@ -2,11 +2,39 @@
 // ~700 lines of worker/merge machinery compile once here instead of in
 // every consumer TU. Other backends (e.g. ShardedProfilerT<adapters::Naive>
 // in the parity tests) instantiate implicitly.
+//
+// Also home of the arena-allocator construction: the only place the engine
+// reaches into core/page_arena.h, keeping the public header clean of core
+// internals (the splint facade-includes rule).
 
 #include "sprofile/engine/sharded_profiler.h"
 
+#include "core/page_arena.h"
+
 namespace sprofile {
 namespace engine {
+namespace internal {
+
+cow::PageAllocatorRef MakeEngineArenaAllocator(const EngineOptions& options,
+                                               int pin_core,
+                                               uint64_t footprint_bytes) {
+  (void)pin_core;
+  cow::ArenaOptions ao;
+  ao.arena_bytes = static_cast<size_t>(options.arena_bytes);
+  // Size the first arena mapping to the shard's expected storage footprint
+  // (clamped to [64 KiB, arena_bytes]) so hugepage-sized shards start on a
+  // hugepage-eligible mapping instead of climbing the doubling ladder.
+  ao = cow::ArenaOptionsForFootprint(footprint_bytes, ao);
+#if defined(SPROFILE_HAVE_NUMA)
+  if (options.numa_policy == NumaPolicy::kLocal && pin_core >= 0 &&
+      numa_available() >= 0) {
+    ao.numa_node = numa_node_of_cpu(pin_core);
+  }
+#endif
+  return cow::MakeArenaPageAllocator(ao);
+}
+
+}  // namespace internal
 
 template class internal::ShardWorker<adapters::SProfile>;
 template class ShardedProfilerT<adapters::SProfile>;

@@ -29,6 +29,17 @@ void GkQuantileSummary::Add(int64_t value) {
   if (count_ % period == 0) Compress();
 }
 
+// gcc 12 (and only gcc) at -O3 emits a -Wfree-nonheap-object false
+// positive here: vector<Tuple>'s reallocation is inlined until the
+// optimizer loses track of the pointer's provenance and claims operator
+// delete runs on an offset pointer (GCC PR104069 family — std::vector
+// inlining confuses the free-nonheap pass; no offset delete exists in
+// this function). Suppress exactly that diagnostic exactly here, per the
+// -Werror policy in CMakeLists.txt.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wfree-nonheap-object"
+#endif
 void GkQuantileSummary::Compress() {
   if (tuples_.size() < 3) return;
   const double threshold = 2.0 * epsilon_ * static_cast<double>(count_);
@@ -57,6 +68,9 @@ void GkQuantileSummary::Compress() {
   }
   tuples_ = std::move(out);
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 int64_t GkQuantileSummary::Quantile(double phi) const {
   SPROFILE_CHECK_MSG(!tuples_.empty(), "quantile of an empty summary");

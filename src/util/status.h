@@ -104,6 +104,18 @@ class Status {
 /// A value-or-Status, modelled on arrow::Result<T>.
 ///
 /// Accessing the value of an errored Result is a checked programmer error.
+///
+/// gcc 12 (and only gcc) emits a -Wmaybe-uninitialized false positive when
+/// the implicit ~Result() is inlined at -O2: the variant destructor's
+/// dead no-value branch reads the Status alternative's string members
+/// "uninitialized" (GCC PR105593 family — std::variant's valueless branch
+/// confuses the uninit pass). Suppress exactly that diagnostic exactly
+/// here; the pragma region covers the implicit special members the
+/// compiler attributes to the class's closing brace.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 template <typename T>
 class Result {
  public:
@@ -156,6 +168,9 @@ class Result {
  private:
   std::variant<T, Status> payload_;
 };
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 /// The facade spelling of Result<T>, matching the absl/protobuf name the
 /// checked `sprofile::` API tier documents. One type, two names: Result<T>

@@ -1,0 +1,108 @@
+// Capability-annotated synchronization primitives: thin wrappers over
+// std::mutex / std::condition_variable that clang's Thread Safety
+// Analysis can see (util/thread_annotations.h). Zero-overhead by
+// construction — every method is a single forwarded call — and exactly
+// as portable as the std types underneath; only the attributes are
+// clang-conditional.
+//
+// Usage pattern (the whole repo follows it):
+//
+//   class Widget {
+//     void Grow() {
+//       MutexLock lock(mu_);
+//       while (busy_) cv_.Wait(mu_);   // loop, not a predicate lambda:
+//       ++size_;                       // lambdas escape the analysis
+//     }
+//     Mutex mu_;
+//     CondVar cv_;
+//     bool busy_ SPROFILE_GUARDED_BY(mu_) = false;
+//     int size_ SPROFILE_GUARDED_BY(mu_) = 0;
+//   };
+//
+// CondVar deliberately has NO predicate-taking Wait overload: the
+// analysis cannot see through a lambda body, so a predicate reading a
+// guarded field inside `cv.wait(lock, pred)` would either warn or force
+// a blanket NO_THREAD_SAFETY_ANALYSIS. A plain while-loop around Wait()
+// keeps the guarded reads inside the annotated caller where the proof
+// works. (The loop is also the posix-correct spurious-wakeup shape.)
+
+#ifndef SPROFILE_UTIL_SYNC_H_
+#define SPROFILE_UTIL_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace sprofile {
+
+/// A std::mutex the thread-safety analysis can track. Non-recursive,
+/// non-reentrant, same cost as the std type.
+class SPROFILE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SPROFILE_ACQUIRE() { mu_.lock(); }
+  void Unlock() SPROFILE_RELEASE() { mu_.unlock(); }
+  bool TryLock() SPROFILE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped lock (std::lock_guard shape). The analysis treats the guard's
+/// lifetime as the region where the mutex is held.
+class SPROFILE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SPROFILE_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() SPROFILE_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to sprofile::Mutex. All concurrent waiters
+/// of one CondVar must wait on the SAME Mutex (the std contract).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires `mu` before
+  /// returning. Spurious wakeups happen: always call in a loop that
+  /// re-checks the guarded condition.
+  void Wait(Mutex& mu) SPROFILE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's scope still owns the mutex
+  }
+
+  /// Wait() with a timeout; returns false on timeout (with `mu` held
+  /// either way).
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout)
+      SPROFILE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status st = cv_.wait_for(lock, timeout);
+    lock.release();
+    return st == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace sprofile
+
+#endif  // SPROFILE_UTIL_SYNC_H_

@@ -1,0 +1,92 @@
+// Clang Thread Safety Analysis attribute macros (SPROFILE_ prefix).
+//
+// These turn the repo's locking discipline into a compile-time proof: a
+// field declared SPROFILE_GUARDED_BY(mu_) cannot be touched without mu_
+// held, a function declared SPROFILE_REQUIRES(mu_) cannot be called
+// without it, and clang rejects violations outright because CMake builds
+// every clang configuration with -Wthread-safety -Werror=thread-safety
+// (see cmake/ThreadSafety.cmake, which also proves the analysis is live
+// with a negative-compile probe). On gcc and MSVC every macro expands to
+// nothing — the annotations are documentation there, and the dynamic
+// TSan/ASan CI legs remain the cross-compiler backstop.
+//
+// The vocabulary is the standard clang set
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), the same macro
+// shapes abseil and LLVM ship. Use the sprofile::Mutex / MutexLock /
+// CondVar wrappers from util/sync.h rather than annotating std::mutex
+// directly — std:: types cannot carry capability attributes.
+
+#ifndef SPROFILE_UTIL_THREAD_ANNOTATIONS_H_
+#define SPROFILE_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SPROFILE_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SPROFILE_THREAD_ANNOTATION
+#define SPROFILE_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" names it in
+/// diagnostics).
+#define SPROFILE_CAPABILITY(x) SPROFILE_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define SPROFILE_SCOPED_CAPABILITY SPROFILE_THREAD_ANNOTATION(scoped_lockable)
+
+/// The annotated field may only be read or written while `x` is held.
+#define SPROFILE_GUARDED_BY(x) SPROFILE_THREAD_ANNOTATION(guarded_by(x))
+
+/// The data POINTED TO by the annotated pointer/smart-pointer field may
+/// only be dereferenced while `x` is held (the pointer itself is free).
+#define SPROFILE_PT_GUARDED_BY(x) SPROFILE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function acquires the listed capabilities and does not release
+/// them before returning.
+#define SPROFILE_ACQUIRE(...) \
+  SPROFILE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SPROFILE_ACQUIRE_SHARED(...) \
+  SPROFILE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (they must be held on
+/// entry).
+#define SPROFILE_RELEASE(...) \
+  SPROFILE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SPROFILE_RELEASE_SHARED(...) \
+  SPROFILE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `val`.
+#define SPROFILE_TRY_ACQUIRE(val, ...) \
+  SPROFILE_THREAD_ANNOTATION(try_acquire_capability(val, __VA_ARGS__))
+
+/// The caller must hold the listed capabilities (exclusively) to call the
+/// function; the function neither acquires nor releases them. This is the
+/// contract of every *Locked helper.
+#define SPROFILE_REQUIRES(...) \
+  SPROFILE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SPROFILE_REQUIRES_SHARED(...) \
+  SPROFILE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (the function takes
+/// them itself; calling with one held would deadlock a non-recursive
+/// mutex).
+#define SPROFILE_EXCLUDES(...) \
+  SPROFILE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for code paths the
+/// static analysis cannot follow).
+#define SPROFILE_ASSERT_CAPABILITY(x) \
+  SPROFILE_THREAD_ANNOTATION(assert_capability(x))
+
+/// The function returns a reference to the named capability.
+#define SPROFILE_RETURN_CAPABILITY(x) \
+  SPROFILE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function body is exempt from analysis. Every use
+/// must carry a comment proving the manual reasoning.
+#define SPROFILE_NO_THREAD_SAFETY_ANALYSIS \
+  SPROFILE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // SPROFILE_UTIL_THREAD_ANNOTATIONS_H_

@@ -24,7 +24,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -35,6 +34,7 @@
 #include "core/page_arena.h"
 #include "sprofile/event.h"
 #include "util/random.h"
+#include "util/sync.h"
 
 namespace sprofile {
 namespace {
@@ -473,7 +473,7 @@ TEST(FlatEpochConcurrentTest, ReflattenRacesSnapshotDrops) {
   constexpr int kReaders = 3;
   FrequencyProfile p(kM, SmallArena());
 
-  std::mutex mu;
+  sprofile::Mutex mu;
   std::shared_ptr<const FrequencyProfile> published;
   std::atomic<bool> stop{false};
 
@@ -485,7 +485,7 @@ TEST(FlatEpochConcurrentTest, ReflattenRacesSnapshotDrops) {
       while (!stop.load(std::memory_order_acquire)) {
         std::shared_ptr<const FrequencyProfile> snap;
         {
-          std::lock_guard<std::mutex> lock(mu);
+          sprofile::MutexLock lock(mu);
           snap = published;
         }
         if (snap == nullptr) continue;
@@ -511,14 +511,14 @@ TEST(FlatEpochConcurrentTest, ReflattenRacesSnapshotDrops) {
     p.TryReflatten();  // often blocked by `published`; witness-polled
     auto snap = std::make_shared<const FrequencyProfile>(p.Snapshot());
     {
-      std::lock_guard<std::mutex> lock(mu);
+      sprofile::MutexLock lock(mu);
       published = std::move(snap);
     }
   }
   stop.store(true, std::memory_order_release);
   for (auto& t : readers) t.join();
   {
-    std::lock_guard<std::mutex> lock(mu);
+    sprofile::MutexLock lock(mu);
     published.reset();
   }
   EXPECT_TRUE(p.Validate().ok());

@@ -9,10 +9,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace sprofile {
 namespace cow {
@@ -206,14 +207,14 @@ TEST(CowPagedArrayTest, ConcurrentSnapshotReadersSeeFrozenState) {
 
   std::atomic<bool> stop{false};
   std::vector<std::pair<uint32_t, Array>> published;  // (round, snapshot)
-  std::mutex mu;
+  sprofile::Mutex mu;
 
   std::thread reader([&] {
     while (!stop.load(std::memory_order_acquire)) {
       Array snap;
       uint32_t round = 0;
       {
-        std::lock_guard<std::mutex> lock(mu);
+        sprofile::MutexLock lock(mu);
         if (published.empty()) continue;
         round = published.back().first;
         // Reader-side re-share is safe: any page reachable from a
@@ -232,7 +233,7 @@ TEST(CowPagedArrayTest, ConcurrentSnapshotReadersSeeFrozenState) {
   for (int r = 1; r <= kRounds; ++r) {
     for (size_t i = 0; i < kN; ++i) a.Mutable(i) = static_cast<uint32_t>(r);
     {
-      std::lock_guard<std::mutex> lock(mu);
+      sprofile::MutexLock lock(mu);
       published.emplace_back(static_cast<uint32_t>(r), a);  // owner-side share
       if (published.size() > 4) published.erase(published.begin());
     }

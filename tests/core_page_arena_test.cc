@@ -25,7 +25,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -33,6 +32,7 @@
 #include "core/frequency_profile.h"
 #include "core/keyed_profile.h"
 #include "util/random.h"
+#include "util/sync.h"
 
 namespace sprofile {
 namespace cow {
@@ -412,7 +412,7 @@ TEST(ArenaReclaimTortureTest, ConcurrentSnapshotDropsReclaimSafely) {
 
   FrequencyProfile p(kM, alloc);
 
-  std::mutex mu;
+  sprofile::Mutex mu;
   std::shared_ptr<const FrequencyProfile> published;
   std::atomic<bool> stop{false};
 
@@ -423,7 +423,7 @@ TEST(ArenaReclaimTortureTest, ConcurrentSnapshotDropsReclaimSafely) {
       while (!stop.load(std::memory_order_acquire)) {
         std::shared_ptr<const FrequencyProfile> snap;
         {
-          std::lock_guard<std::mutex> lock(mu);
+          sprofile::MutexLock lock(mu);
           snap = published;
         }
         if (snap == nullptr) continue;
@@ -450,14 +450,14 @@ TEST(ArenaReclaimTortureTest, ConcurrentSnapshotDropsReclaimSafely) {
     }
     auto snap = std::make_shared<const FrequencyProfile>(p.Snapshot());
     {
-      std::lock_guard<std::mutex> lock(mu);
+      sprofile::MutexLock lock(mu);
       published = std::move(snap);
     }
   }
   stop.store(true, std::memory_order_release);
   for (auto& t : readers) t.join();
   {
-    std::lock_guard<std::mutex> lock(mu);
+    sprofile::MutexLock lock(mu);
     published.reset();
   }
 

@@ -201,7 +201,9 @@ TEST(RingBufferTest, ConcurrentCapacitySpanProducersWrapExactlyOnce) {
       const uint32_t v = out[i];
       ++seen[v];
       const uint32_t p = v / kPerProducer;
-      if (any_from[p]) ASSERT_LT(last_from[p], v);
+      if (any_from[p]) {
+        ASSERT_LT(last_from[p], v);
+      }
       last_from[p] = v;
       any_from[p] = true;
     }

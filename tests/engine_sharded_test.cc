@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/page_arena.h"
 #include "sprofile/sprofile.h"
 #include "stream/log_stream.h"
 

@@ -1,0 +1,21 @@
+// Fixture: seeded violations for the atomic-orders rule — an implicit
+// seq_cst .load(), an orderless .fetch_add(), and operator shorthand on
+// a declared atomic. The explicitly-ordered calls must NOT be flagged.
+#include <atomic>
+
+struct Fixture {
+  std::atomic<int> refs{0};
+  std::atomic<int> hits{0};
+
+  int Bad() {
+    int r = refs.load();            // violation: implicit seq_cst
+    hits.fetch_add(1);              // violation: implicit seq_cst
+    refs++;                         // violation: operator shorthand
+    return r;
+  }
+
+  int Good() {
+    hits.fetch_add(1, std::memory_order_relaxed);
+    return refs.load(std::memory_order_acquire);
+  }
+};

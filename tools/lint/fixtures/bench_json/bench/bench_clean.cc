@@ -1,0 +1,6 @@
+// Fixture: calls EmitJsonLine — must NOT be flagged.
+void EmitJsonLine(const char*);
+int main() {
+  EmitJsonLine("{\"bench\":\"clean\"}");
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Fixture: seeded violation — a bench that prints human-only output and
+// never emits a machine-readable JSON line.
+#include <cstdio>
+int main() {
+  std::printf("elapsed: fast enough\n");
+  return 0;
+}

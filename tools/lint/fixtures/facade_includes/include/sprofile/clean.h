@@ -1,0 +1,5 @@
+// Fixture: only facade-to-facade includes — must NOT be flagged.
+#ifndef FIXTURE_CLEAN_H_
+#define FIXTURE_CLEAN_H_
+#include "sprofile/widget.h"
+#endif

@@ -1,0 +1,6 @@
+// Fixture: seeded violation — a facade header reaching into src/core
+// outside the documented allowlist.
+#ifndef FIXTURE_WIDGET_H_
+#define FIXTURE_WIDGET_H_
+#include "core/secret_internals.h"
+#endif

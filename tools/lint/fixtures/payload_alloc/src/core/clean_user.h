@@ -1,0 +1,10 @@
+// Fixture: allocates through the PageAllocator seam — must NOT be
+// flagged.
+struct PageAllocator {
+  virtual void* Allocate(unsigned long bytes) = 0;
+  virtual ~PageAllocator() = default;
+};
+
+inline void* GrabPages(PageAllocator& alloc, unsigned long bytes) {
+  return alloc.Allocate(bytes);
+}

@@ -1,0 +1,9 @@
+// Fixture: seeded violation — raw page-payload memory acquired outside
+// the two allocators (mmap and a naked char[] new).
+#include <sys/mman.h>
+
+inline void* GrabPages(unsigned long bytes) {
+  void* block = mmap(nullptr, bytes, 0x3, 0x22, -1, 0);
+  if (block == nullptr) block = new char[bytes];
+  return block;
+}

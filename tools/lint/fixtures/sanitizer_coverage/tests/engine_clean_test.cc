@@ -1,0 +1,8 @@
+// Fixture: spawns a thread AND matches both sanitizer regexes ("engine")
+// — must NOT be flagged.
+#include <thread>
+int main() {
+  std::thread t([] {});
+  t.join();
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Fixture: seeded violation — spawns a thread but no sanitizer ctest
+// regex in the fixture ci.yml matches "util_widget".
+#include <thread>
+int main() {
+  std::thread t([] {});
+  t.join();
+  return 0;
+}

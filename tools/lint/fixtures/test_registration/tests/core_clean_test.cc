@@ -1,0 +1,2 @@
+// Fixture: registered in CMakeLists.txt — must NOT be flagged.
+int main() { return 0; }

@@ -1,0 +1,3 @@
+// Fixture: seeded violation — present on disk, absent from the
+// SPROFILE_TESTS list, so ctest would never run it.
+int main() { return 0; }
