@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_batch_test.dir/tests/api_batch_test.cc.o"
+  "CMakeFiles/api_batch_test.dir/tests/api_batch_test.cc.o.d"
+  "api_batch_test"
+  "api_batch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

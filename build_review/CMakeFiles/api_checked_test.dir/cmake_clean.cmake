@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_checked_test.dir/tests/api_checked_test.cc.o"
+  "CMakeFiles/api_checked_test.dir/tests/api_checked_test.cc.o.d"
+  "api_checked_test"
+  "api_checked_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_checked_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

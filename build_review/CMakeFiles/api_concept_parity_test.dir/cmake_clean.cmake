@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_concept_parity_test.dir/tests/api_concept_parity_test.cc.o"
+  "CMakeFiles/api_concept_parity_test.dir/tests/api_concept_parity_test.cc.o.d"
+  "api_concept_parity_test"
+  "api_concept_parity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_concept_parity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

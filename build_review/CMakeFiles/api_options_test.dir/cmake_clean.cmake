@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_options_test.dir/tests/api_options_test.cc.o"
+  "CMakeFiles/api_options_test.dir/tests/api_options_test.cc.o.d"
+  "api_options_test"
+  "api_options_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

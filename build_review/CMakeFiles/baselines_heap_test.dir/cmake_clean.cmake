@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_heap_test.dir/tests/baselines_heap_test.cc.o"
+  "CMakeFiles/baselines_heap_test.dir/tests/baselines_heap_test.cc.o.d"
+  "baselines_heap_test"
+  "baselines_heap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_range_mode_test.dir/tests/baselines_range_mode_test.cc.o"
+  "CMakeFiles/baselines_range_mode_test.dir/tests/baselines_range_mode_test.cc.o.d"
+  "baselines_range_mode_test"
+  "baselines_range_mode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_range_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

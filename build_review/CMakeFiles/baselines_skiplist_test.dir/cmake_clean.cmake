@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_skiplist_test.dir/tests/baselines_skiplist_test.cc.o"
+  "CMakeFiles/baselines_skiplist_test.dir/tests/baselines_skiplist_test.cc.o.d"
+  "baselines_skiplist_test"
+  "baselines_skiplist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_skiplist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cow_flat_epoch_test.dir/tests/core_cow_flat_epoch_test.cc.o"
+  "CMakeFiles/core_cow_flat_epoch_test.dir/tests/core_cow_flat_epoch_test.cc.o.d"
+  "core_cow_flat_epoch_test"
+  "core_cow_flat_epoch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cow_flat_epoch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

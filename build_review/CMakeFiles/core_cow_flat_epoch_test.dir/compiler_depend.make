@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for core_cow_flat_epoch_test.
+# This may be replaced when dependencies are built.

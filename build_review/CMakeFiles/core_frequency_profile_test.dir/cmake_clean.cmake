@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_frequency_profile_test.dir/tests/core_frequency_profile_test.cc.o"
+  "CMakeFiles/core_frequency_profile_test.dir/tests/core_frequency_profile_test.cc.o.d"
+  "core_frequency_profile_test"
+  "core_frequency_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_frequency_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

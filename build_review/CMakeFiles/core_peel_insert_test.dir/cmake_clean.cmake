@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_peel_insert_test.dir/tests/core_peel_insert_test.cc.o"
+  "CMakeFiles/core_peel_insert_test.dir/tests/core_peel_insert_test.cc.o.d"
+  "core_peel_insert_test"
+  "core_peel_insert_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_peel_insert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_profile_io_test.dir/tests/core_profile_io_test.cc.o"
+  "CMakeFiles/core_profile_io_test.dir/tests/core_profile_io_test.cc.o.d"
+  "core_profile_io_test"
+  "core_profile_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_profile_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_robin_hood_map_test.dir/tests/core_robin_hood_map_test.cc.o"
+  "CMakeFiles/core_robin_hood_map_test.dir/tests/core_robin_hood_map_test.cc.o.d"
+  "core_robin_hood_map_test"
+  "core_robin_hood_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_robin_hood_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

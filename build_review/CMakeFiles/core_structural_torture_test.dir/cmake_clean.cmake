@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_structural_torture_test.dir/tests/core_structural_torture_test.cc.o"
+  "CMakeFiles/core_structural_torture_test.dir/tests/core_structural_torture_test.cc.o.d"
+  "core_structural_torture_test"
+  "core_structural_torture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_structural_torture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_ring_buffer_test.dir/tests/engine_ring_buffer_test.cc.o"
+  "CMakeFiles/engine_ring_buffer_test.dir/tests/engine_ring_buffer_test.cc.o.d"
+  "engine_ring_buffer_test"
+  "engine_ring_buffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_ring_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_sharded_test.dir/tests/engine_sharded_test.cc.o"
+  "CMakeFiles/engine_sharded_test.dir/tests/engine_sharded_test.cc.o.d"
+  "engine_sharded_test"
+  "engine_sharded_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_sharded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

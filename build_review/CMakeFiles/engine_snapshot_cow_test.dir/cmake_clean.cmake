@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_snapshot_cow_test.dir/tests/engine_snapshot_cow_test.cc.o"
+  "CMakeFiles/engine_snapshot_cow_test.dir/tests/engine_snapshot_cow_test.cc.o.d"
+  "engine_snapshot_cow_test"
+  "engine_snapshot_cow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_snapshot_cow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_snapshot_io_test.dir/tests/engine_snapshot_io_test.cc.o"
+  "CMakeFiles/engine_snapshot_io_test.dir/tests/engine_snapshot_io_test.cc.o.d"
+  "engine_snapshot_io_test"
+  "engine_snapshot_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_snapshot_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

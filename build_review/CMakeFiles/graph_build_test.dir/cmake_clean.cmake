@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_build_test.dir/tests/graph_build_test.cc.o"
+  "CMakeFiles/graph_build_test.dir/tests/graph_build_test.cc.o.d"
+  "graph_build_test"
+  "graph_build_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_build_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

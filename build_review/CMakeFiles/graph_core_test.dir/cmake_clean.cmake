@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_core_test.dir/tests/graph_core_test.cc.o"
+  "CMakeFiles/graph_core_test.dir/tests/graph_core_test.cc.o.d"
+  "graph_core_test"
+  "graph_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

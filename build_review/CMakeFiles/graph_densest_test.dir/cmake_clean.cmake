@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_densest_test.dir/tests/graph_densest_test.cc.o"
+  "CMakeFiles/graph_densest_test.dir/tests/graph_densest_test.cc.o.d"
+  "graph_densest_test"
+  "graph_densest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_densest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_generators_test.dir/tests/graph_generators_test.cc.o"
+  "CMakeFiles/graph_generators_test.dir/tests/graph_generators_test.cc.o.d"
+  "graph_generators_test"
+  "graph_generators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

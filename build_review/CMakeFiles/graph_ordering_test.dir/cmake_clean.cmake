@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_ordering_test.dir/tests/graph_ordering_test.cc.o"
+  "CMakeFiles/graph_ordering_test.dir/tests/graph_ordering_test.cc.o.d"
+  "graph_ordering_test"
+  "graph_ordering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_ordering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_weighted_shaving_test.dir/tests/graph_weighted_shaving_test.cc.o"
+  "CMakeFiles/graph_weighted_shaving_test.dir/tests/graph_weighted_shaving_test.cc.o.d"
+  "graph_weighted_shaving_test"
+  "graph_weighted_shaving_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_weighted_shaving_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_boyer_moore_test.dir/tests/sketch_boyer_moore_test.cc.o"
+  "CMakeFiles/sketch_boyer_moore_test.dir/tests/sketch_boyer_moore_test.cc.o.d"
+  "sketch_boyer_moore_test"
+  "sketch_boyer_moore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_boyer_moore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_count_min_test.dir/tests/sketch_count_min_test.cc.o"
+  "CMakeFiles/sketch_count_min_test.dir/tests/sketch_count_min_test.cc.o.d"
+  "sketch_count_min_test"
+  "sketch_count_min_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_count_min_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_gk_quantiles_test.dir/tests/sketch_gk_quantiles_test.cc.o"
+  "CMakeFiles/sketch_gk_quantiles_test.dir/tests/sketch_gk_quantiles_test.cc.o.d"
+  "sketch_gk_quantiles_test"
+  "sketch_gk_quantiles_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_gk_quantiles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_misra_gries_test.dir/tests/sketch_misra_gries_test.cc.o"
+  "CMakeFiles/sketch_misra_gries_test.dir/tests/sketch_misra_gries_test.cc.o.d"
+  "sketch_misra_gries_test"
+  "sketch_misra_gries_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_misra_gries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

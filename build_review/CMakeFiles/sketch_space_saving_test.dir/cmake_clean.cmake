@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_space_saving_test.dir/tests/sketch_space_saving_test.cc.o"
+  "CMakeFiles/sketch_space_saving_test.dir/tests/sketch_space_saving_test.cc.o.d"
+  "sketch_space_saving_test"
+  "sketch_space_saving_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_space_saving_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splg.dir/tools/splg.cpp.o"
+  "CMakeFiles/splg.dir/tools/splg.cpp.o.d"
+  "tools/splg"
+  "tools/splg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

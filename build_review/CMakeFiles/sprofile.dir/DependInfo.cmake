@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/indexable_skiplist.cc" "CMakeFiles/sprofile.dir/src/baselines/indexable_skiplist.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/baselines/indexable_skiplist.cc.o.d"
+  "/root/repo/src/baselines/naive_profiler.cc" "CMakeFiles/sprofile.dir/src/baselines/naive_profiler.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/baselines/naive_profiler.cc.o.d"
+  "/root/repo/src/baselines/order_statistic_tree.cc" "CMakeFiles/sprofile.dir/src/baselines/order_statistic_tree.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/baselines/order_statistic_tree.cc.o.d"
+  "/root/repo/src/baselines/range_mode_index.cc" "CMakeFiles/sprofile.dir/src/baselines/range_mode_index.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/baselines/range_mode_index.cc.o.d"
+  "/root/repo/src/core/frequency_profile.cc" "CMakeFiles/sprofile.dir/src/core/frequency_profile.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/core/frequency_profile.cc.o.d"
+  "/root/repo/src/core/profile_io.cc" "CMakeFiles/sprofile.dir/src/core/profile_io.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/core/profile_io.cc.o.d"
+  "/root/repo/src/engine/sharded_profiler.cc" "CMakeFiles/sprofile.dir/src/engine/sharded_profiler.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/engine/sharded_profiler.cc.o.d"
+  "/root/repo/src/engine/snapshot_io.cc" "CMakeFiles/sprofile.dir/src/engine/snapshot_io.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/engine/snapshot_io.cc.o.d"
+  "/root/repo/src/graph/core_decomposition.cc" "CMakeFiles/sprofile.dir/src/graph/core_decomposition.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/graph/core_decomposition.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "CMakeFiles/sprofile.dir/src/graph/generators.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "CMakeFiles/sprofile.dir/src/graph/graph.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/graph/graph.cc.o.d"
+  "/root/repo/src/graph/weighted_shaving.cc" "CMakeFiles/sprofile.dir/src/graph/weighted_shaving.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/graph/weighted_shaving.cc.o.d"
+  "/root/repo/src/sketch/gk_quantiles.cc" "CMakeFiles/sprofile.dir/src/sketch/gk_quantiles.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/sketch/gk_quantiles.cc.o.d"
+  "/root/repo/src/sketch/misra_gries.cc" "CMakeFiles/sprofile.dir/src/sketch/misra_gries.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/sketch/misra_gries.cc.o.d"
+  "/root/repo/src/sketch/space_saving.cc" "CMakeFiles/sprofile.dir/src/sketch/space_saving.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/sketch/space_saving.cc.o.d"
+  "/root/repo/src/stream/distribution.cc" "CMakeFiles/sprofile.dir/src/stream/distribution.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/stream/distribution.cc.o.d"
+  "/root/repo/src/stream/log_stream.cc" "CMakeFiles/sprofile.dir/src/stream/log_stream.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/stream/log_stream.cc.o.d"
+  "/root/repo/src/stream/stream_io.cc" "CMakeFiles/sprofile.dir/src/stream/stream_io.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/stream/stream_io.cc.o.d"
+  "/root/repo/src/util/crc32c.cc" "CMakeFiles/sprofile.dir/src/util/crc32c.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/util/crc32c.cc.o.d"
+  "/root/repo/src/util/flags.cc" "CMakeFiles/sprofile.dir/src/util/flags.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/util/flags.cc.o.d"
+  "/root/repo/src/util/random.cc" "CMakeFiles/sprofile.dir/src/util/random.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "CMakeFiles/sprofile.dir/src/util/status.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/util/status.cc.o.d"
+  "/root/repo/src/util/table.cc" "CMakeFiles/sprofile.dir/src/util/table.cc.o" "gcc" "CMakeFiles/sprofile.dir/src/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_distribution_test.dir/tests/stream_distribution_test.cc.o"
+  "CMakeFiles/stream_distribution_test.dir/tests/stream_distribution_test.cc.o.d"
+  "stream_distribution_test"
+  "stream_distribution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_generator_test.dir/tests/stream_generator_test.cc.o"
+  "CMakeFiles/stream_generator_test.dir/tests/stream_generator_test.cc.o.d"
+  "stream_generator_test"
+  "stream_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

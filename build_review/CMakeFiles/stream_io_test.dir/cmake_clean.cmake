@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_io_test.dir/tests/stream_io_test.cc.o"
+  "CMakeFiles/stream_io_test.dir/tests/stream_io_test.cc.o.d"
+  "stream_io_test"
+  "stream_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_sync_test.dir/tests/util_sync_test.cc.o"
+  "CMakeFiles/util_sync_test.dir/tests/util_sync_test.cc.o.d"
+  "util_sync_test"
+  "util_sync_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_equivalence_test.dir/tests/window_equivalence_test.cc.o"
+  "CMakeFiles/window_equivalence_test.dir/tests/window_equivalence_test.cc.o.d"
+  "window_equivalence_test"
+  "window_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_sliding_test.dir/tests/window_sliding_test.cc.o"
+  "CMakeFiles/window_sliding_test.dir/tests/window_sliding_test.cc.o.d"
+  "window_sliding_test"
+  "window_sliding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_sliding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

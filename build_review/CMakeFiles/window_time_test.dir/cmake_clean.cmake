@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_time_test.dir/tests/window_time_test.cc.o"
+  "CMakeFiles/window_time_test.dir/tests/window_time_test.cc.o.d"
+  "window_time_test"
+  "window_time_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
