@@ -45,6 +45,8 @@
 
 #include "bench/bench_common.h"
 #include "core/page_arena.h"
+#include "sprofile/obs/export.h"
+#include "sprofile/obs/metrics.h"
 #include "sprofile/sprofile.h"
 #include "stream/log_stream.h"
 #include "util/table.h"
@@ -509,6 +511,79 @@ int main() {
   std::printf("%s\n", sweep_table.ToString().c_str());
   std::printf("# expectation: flat share ~1.0 at interval=never, degrading "
               "smoothly as publishes get denser — the per-update tax tracks "
-              "snapshot recency, not a permanent indirection\n");
+              "snapshot recency, not a permanent indirection\n\n");
+
+  // -----------------------------------------------------------------------
+  // obs overhead: the same single-shard ingestion with metric recording
+  // on vs off (obs::SetEnabled). The record path is a relaxed striped
+  // fetch_add per counter hit plus two clock reads per *batch*, so the
+  // acceptance target (docs/OBSERVABILITY.md) is a <= 2% events/sec
+  // delta. Best-of-2 per state smooths scheduler noise on CI runners.
+  // -----------------------------------------------------------------------
+  std::printf("# obs overhead (single shard, metric recording on vs off)\n");
+  TablePrinter obs_table({"obs", "events/sec", "vs off"});
+  double obs_eps[2] = {0.0, 0.0};  // [0]=off, [1]=on
+  for (const bool enabled : {false, true}) {
+    sprofile::obs::SetEnabled(enabled);
+    double best = 0.0;
+    for (int run = 0; run < 2; ++run) {
+      const RunResult r =
+          RunIngestion(sizes, /*shards=*/1, /*snapshot_interval=*/0,
+                       engine::SnapshotMode::kCow, events,
+                       engine::PageAllocatorKind::kArena);
+      best = std::max(best, r.events_per_sec);
+    }
+    obs_eps[enabled ? 1 : 0] = best;
+  }
+  sprofile::obs::SetEnabled(true);
+  for (const bool enabled : {false, true}) {
+    const double eps = obs_eps[enabled ? 1 : 0];
+    char rate[32], rel[32];
+    std::snprintf(rate, sizeof(rate), "%.3g", eps);
+    std::snprintf(rel, sizeof(rel), "%.3fx", eps / obs_eps[0]);
+    obs_table.AddRow({enabled ? "on" : "off", rate, rel});
+    EmitJsonLine("bench_engine_scaling", "events_per_sec", eps,
+                 {{"shards", "1"},
+                  {"alloc", "arena"},
+                  {"obs", enabled ? "on" : "off"}});
+  }
+  EmitJsonLine("bench_engine_scaling", "obs_overhead_frac",
+               1.0 - obs_eps[1] / obs_eps[0], {{"shards", "1"}});
+  std::printf("%s\n", obs_table.ToString().c_str());
+  std::printf("# target: obs=on within 2%% of obs=off (single shard)\n\n");
+
+  // -----------------------------------------------------------------------
+  // Registry export: two exporter ticks around a live engine, so the CI
+  // trajectory job can validate the obs wire format and counter
+  // monotonicity. The engine's callback gauges (pages/arena/ring) are
+  // read from the registry snapshot while the engine is alive — exactly
+  // what a scrape would see.
+  // -----------------------------------------------------------------------
+  {
+    engine::ShardedProfiler profiler(
+        sizes.m, engine::EngineOptions{.shards = 2,
+                                       .queue_capacity = 1u << 15,
+                                       .drain_batch = 2048,
+                                       .snapshot_interval = 0});
+    const size_t half = events.size() / 2;
+    profiler.ApplyBatch(std::span<const Event>(events.data(), half));
+    profiler.Drain();
+    const sprofile::obs::MetricsSnapshot tick1 =
+        sprofile::obs::Registry::Global().Snapshot();
+    profiler.ApplyBatch(
+        std::span<const Event>(events.data() + half, events.size() - half));
+    profiler.Drain();
+    const sprofile::obs::MetricsSnapshot tick2 =
+        sprofile::obs::Registry::Global().Snapshot();
+    const sprofile::obs::MetricSample* live =
+        tick2.Find("sprofile_engine_pages_live");
+    std::printf("# registry view while engine is live: pages_live=%lld "
+                "(%zu metrics registered)\n",
+                live != nullptr ? static_cast<long long>(live->value) : -1,
+                tick2.samples.size());
+    std::printf("%s%s",
+                sprofile::obs::ToJsonLines(tick1, "sprofile_obs", 1).c_str(),
+                sprofile::obs::ToJsonLines(tick2, "sprofile_obs", 2).c_str());
+  }
   return 0;
 }

@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "sprofile/obs/metrics.h"
+#include "sprofile/obs/trace_ring.h"
 #include "sprofile/sprofile.h"
 #include "stream/log_stream.h"
 
@@ -91,6 +93,32 @@ int main() {
     std::printf("%lld ", static_cast<long long>(f));
   }
   std::printf("\n");
+
+  // Operational view: the same process-wide registry a /metrics scrape
+  // would read — engine throughput counters plus the live storage
+  // gauges this engine's callbacks contribute (docs/OBSERVABILITY.md).
+  const sprofile::obs::MetricsSnapshot metrics =
+      sprofile::obs::Registry::Global().Snapshot();
+  std::printf("\nobs registry (%zu metrics):\n", metrics.samples.size());
+  for (const char* name :
+       {"sprofile_engine_events_drained", "sprofile_engine_publishes",
+        "sprofile_engine_parks", "sprofile_engine_pages_live",
+        "sprofile_engine_arena_bytes_mapped", "sprofile_cow_faults"}) {
+    const sprofile::obs::MetricSample* s = metrics.Find(name);
+    if (s == nullptr) continue;
+    const long long v = s->kind == sprofile::obs::MetricKind::kCounter
+                            ? static_cast<long long>(s->count)
+                            : static_cast<long long>(s->value);
+    std::printf("  %-36s = %lld %s\n", name, v, s->unit.c_str());
+  }
+  std::printf("recent lifecycle trace (newest of %zu events):\n",
+              profiler.DumpTrace().size());
+  const std::vector<sprofile::obs::TraceRecord> trace = profiler.DumpTrace();
+  const size_t show = trace.size() < 5 ? trace.size() : size_t{5};
+  std::printf("%s",
+              sprofile::obs::FormatTrace(std::vector<sprofile::obs::TraceRecord>(
+                                             trace.end() - show, trace.end()))
+                  .c_str());
 
   // Durability round-trip: per-shard SPPF snapshots plus a manifest.
   const std::string dir =

@@ -101,6 +101,14 @@ struct EngineOptions {
   /// Memory placement for pinned workers (see NumaPolicy).
   NumaPolicy numa_policy = NumaPolicy::kNone;
 
+  /// Per-shard capacity of the publish-pause sample ring backing
+  /// SnapshotPauseSamplesNs(): the most recent N pause durations are
+  /// retained (older samples are overwritten in ring order). Exact
+  /// percentiles over the retained window; the obs histogram
+  /// (sprofile_engine_publish_pause_ns) keeps the full-history
+  /// log-bucketed view. Small values make wraparound testable.
+  uint32_t pause_sample_capacity = 1 << 16;
+
   Status Validate() const {
     if (shards == 0 || shards > kMaxShards) {
       return Status::InvalidArgument(
@@ -152,6 +160,13 @@ struct EngineOptions {
           "engine numa_policy is not a NumaPolicy value: " +
           std::to_string(static_cast<unsigned>(numa_policy)));
     }
+    if (pause_sample_capacity == 0 ||
+        pause_sample_capacity > kMaxPauseSampleCapacity) {
+      return Status::InvalidArgument(
+          "engine pause_sample_capacity must be in [1, " +
+          std::to_string(kMaxPauseSampleCapacity) + "], got " +
+          std::to_string(pause_sample_capacity));
+    }
     if (numa_policy == NumaPolicy::kLocal && !pin_threads) {
       return Status::InvalidArgument(
           "numa_policy=local requires pin_threads: node-local placement is "
@@ -166,6 +181,8 @@ struct EngineOptions {
   static constexpr uint64_t kArenaBytesUnit = 4096;
   static constexpr uint64_t kMinArenaBytes = 64 * 1024;
   static constexpr uint64_t kMaxArenaBytes = uint64_t{1} << 30;
+  // 2^20 samples x 8 bytes = 8 MiB per shard at the extreme.
+  static constexpr uint32_t kMaxPauseSampleCapacity = 1u << 20;
 };
 
 }  // namespace engine

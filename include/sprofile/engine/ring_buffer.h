@@ -90,7 +90,12 @@ class MpscRingBuffer {
       }
       const uint64_t free = capacity() - static_cast<uint64_t>(in_flight);
       take = n < free ? n : free;
-      if (take == 0) return 0;
+      if (take == 0) {
+        // orders: relaxed — contention statistic only, read by
+        // full_rejections(); never ordered against the queue state.
+        full_rejections_.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+      }
       // orders: relaxed — the CAS only arbitrates WHICH producer owns the
       // span; it publishes nothing. Publication happens per cell via the
       // seq release store below, which is what the consumer synchronizes
@@ -100,6 +105,9 @@ class MpscRingBuffer {
         break;
       }
       // pos was refreshed by the failed CAS; loop.
+      // orders: relaxed — contention statistic only (another producer won
+      // the span); the uncontended success path never touches it.
+      enqueue_retries_.fetch_add(1, std::memory_order_relaxed);
     }
     // The dequeue_pos_ bound above guarantees cells [pos, pos + take) are
     // retired; this producer owns them exclusively after winning the CAS.
@@ -144,6 +152,19 @@ class MpscRingBuffer {
     return n;
   }
 
+  /// Producer contention counters, cumulative. A retry is a lost
+  /// span-reservation CAS (another producer won the slot); a full
+  /// rejection is a TryPushSpan that found no free cell. Both are
+  /// advisory (relaxed) and exported as engine gauges by ShardWorker.
+  uint64_t enqueue_retries() const {
+    // orders: relaxed — advisory statistic; see the increments above.
+    return enqueue_retries_.load(std::memory_order_relaxed);
+  }
+  uint64_t full_rejections() const {
+    // orders: relaxed — advisory statistic; see the increments above.
+    return full_rejections_.load(std::memory_order_relaxed);
+  }
+
   /// Approximate emptiness (exact when producers are quiesced).
   bool Empty() const {
     // orders: acquire on both — pairs with the consumer's dequeue_pos_
@@ -164,6 +185,10 @@ class MpscRingBuffer {
   std::vector<Cell> cells_;
   alignas(kCacheLineBytes) std::atomic<uint64_t> enqueue_pos_{0};
   alignas(kCacheLineBytes) std::atomic<uint64_t> dequeue_pos_{0};
+  // Own line: bumped only on contention, but a false-shared neighbor of
+  // dequeue_pos_ would tax the consumer on every pop.
+  alignas(kCacheLineBytes) std::atomic<uint64_t> enqueue_retries_{0};
+  std::atomic<uint64_t> full_rejections_{0};
 };
 
 }  // namespace engine

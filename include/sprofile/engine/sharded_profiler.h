@@ -66,6 +66,8 @@
 #include "sprofile/engine/engine_options.h"
 #include "sprofile/engine/ring_buffer.h"
 #include "sprofile/event.h"
+#include "sprofile/obs/metrics.h"
+#include "sprofile/obs/trace_ring.h"
 #include "sprofile/profiler_concept.h"
 #include "util/logging.h"
 #include "util/sync.h"
@@ -160,7 +162,8 @@ class ShardWorker {
   /// core that will run every update (EngineOptions::numa_policy).
   /// Callers must WaitReady() before reading snapshots.
   ShardWorker(std::function<Backend()> factory, const EngineOptions& options,
-              int pin_core, cow::PageAllocatorRef allocator)
+              uint32_t shard_index, int pin_core,
+              cow::PageAllocatorRef allocator)
       : queue_(options.queue_capacity),
         drain_batch_(options.drain_batch),
         snapshot_interval_(options.snapshot_interval == 0
@@ -168,6 +171,8 @@ class ShardWorker {
                                : options.snapshot_interval),
         cow_snapshots_(options.snapshot_mode == SnapshotMode::kCow),
         pin_core_(pin_core),
+        pause_capacity_(options.pause_sample_capacity),
+        shard_index_(static_cast<uint16_t>(shard_index)),
         allocator_(std::move(allocator)),
         factory_(std::move(factory)) {
     worker_ = std::thread([this] { Run(); });
@@ -199,6 +204,16 @@ class ShardWorker {
   /// The allocator backing this shard's pages; null when unknown (backend
   /// without an allocator seam).
   const cow::PageAllocatorRef& allocator() const { return allocator_; }
+
+  /// This shard's lifecycle trace ring: every obs::Trace() emitted on the
+  /// worker thread — publishes, COW faults, re-flattens, arena ops —
+  /// lands here (ScopedTraceRing installed for the whole of Run()).
+  const obs::TraceRing& trace_ring() const { return trace_; }
+
+  /// Producer-contention counters from the ingestion ring, cumulative
+  /// (see MpscRingBuffer). The engine sums these into callback gauges.
+  uint64_t ring_enqueue_retries() const { return queue_.enqueue_retries(); }
+  uint64_t ring_full_rejections() const { return queue_.full_rejections(); }
 
   ShardWorker(const ShardWorker&) = delete;
   ShardWorker& operator=(const ShardWorker&) = delete;
@@ -232,7 +247,10 @@ class ShardWorker {
 
   /// Publish pauses observed so far (ns the worker spent producing and
   /// swapping in each snapshot copy — the per-publication ingestion
-  /// stall). Bounded history: the most recent kMaxPauseSamples.
+  /// stall). Bounded history: the most recent
+  /// EngineOptions::pause_sample_capacity samples, overwritten in ring
+  /// order. The obs histogram sprofile_engine_publish_pause_ns keeps the
+  /// full-history log-bucketed view.
   std::vector<uint64_t> PublishPausesNs() const
       SPROFILE_EXCLUDES(snapshot_mu_) {
     MutexLock lock(snapshot_mu_);
@@ -259,6 +277,10 @@ class ShardWorker {
  private:
   void Run() {
     PinIfConfigured();
+    // Every lifecycle event emitted below this frame — COW faults inside
+    // ApplyBatch, arena create/reclaim, re-flatten probes, the publish
+    // begin/end pairs — lands in this shard's ring with its shard id.
+    obs::ScopedTraceRing trace_scope(&trace_, shard_index_);
     try {
       // Construct the backend on THIS thread: with an arena allocator the
       // construction loop is the first touch of every storage page, which
@@ -284,13 +306,42 @@ class ShardWorker {
     }
     done_cv_.NotifyAll();
 
+    // Metric references hoisted out of the drain loop: the macros memoize
+    // the registry lookup in a function-local static already, but hoisting
+    // keeps even the static-init guard check off the per-batch path.
+    obs::Counter& m_drained = SPROFILE_METRIC_COUNTER(
+        "sprofile_engine_events_drained", "events",
+        "Events applied by shard workers, summed over all shards");
+    obs::Counter& m_batches = SPROFILE_METRIC_COUNTER(
+        "sprofile_engine_drain_batches", "batches",
+        "Ring drains that returned at least one event");
+    obs::Histogram& m_drain_ns = SPROFILE_METRIC_HISTOGRAM(
+        "sprofile_engine_drain_batch_ns", "ns",
+        "Per-batch drain latency: queue pop through backend ApplyBatch");
+    obs::Gauge& m_depth_hw = SPROFILE_METRIC_GAUGE(
+        "sprofile_engine_ring_depth_highwater", "events",
+        "Deepest ingestion backlog (enqueued - applied) seen at drain time");
     std::vector<Event> batch(drain_batch_);
     uint64_t since_snapshot = 0;
     for (;;) {
       const size_t n = queue_.TryPopBatch(batch.data(), drain_batch_);
       if (n > 0) {
+        // The Enabled() gate keeps both clock reads off the drain path
+        // when obs is off (the bench's obs={on,off} overhead row).
+        const uint64_t t0 = obs::Enabled() ? obs::TraceRing::NowNs() : 0;
         live_->ApplyBatch(std::span<const Event>(batch.data(), n));
         applied_.fetch_add(n, std::memory_order_release);
+        if (t0 != 0) m_drain_ns.Record(obs::TraceRing::NowNs() - t0);
+        m_drained.Add(n);
+        m_batches.Increment();
+        // Backlog including the batch just popped (it is still the
+        // worker's unapplied debt). The subtraction can transiently go
+        // negative — Push bumps enqueued_ after the span lands, so the
+        // worker can apply events the counter has not admitted to yet —
+        // and UpdateMax ignores values below the current high water.
+        m_depth_hw.UpdateMax(static_cast<int64_t>(
+            enqueued_.load(std::memory_order_relaxed) -
+            (applied_.load(std::memory_order_relaxed) - n)));
         since_snapshot += n;
         if (since_snapshot >= snapshot_interval_ || SnapshotDue()) {
           Publish();
@@ -355,6 +406,7 @@ class ShardWorker {
   void Publish(bool record_pause = true)
       SPROFILE_EXCLUDES(snapshot_mu_, done_mu_) {
     const uint64_t epoch = applied_.load(std::memory_order_relaxed);
+    obs::Trace(obs::TraceEvent::kPublishBegin, static_cast<uint32_t>(epoch));
     // The publish stall is everything between the worker pausing ingestion
     // and resuming it: producing the copy, swapping it in, and retiring
     // the previous snapshot (an O(m_s) free in deep-copy mode when no
@@ -373,12 +425,21 @@ class ShardWorker {
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - pause_start)
             .count());
+    obs::Trace(obs::TraceEvent::kPublishEnd, static_cast<uint32_t>(epoch),
+               pause_ns);
+    SPROFILE_METRIC_COUNTER("sprofile_engine_publishes", "snapshots",
+                            "Shard snapshot publications (epoch-0 included)")
+        .Increment();
     if (record_pause) {
+      SPROFILE_METRIC_HISTOGRAM(
+          "sprofile_engine_publish_pause_ns", "ns",
+          "Worker ingestion stall per snapshot publication")
+          .Record(pause_ns);
       MutexLock lock(snapshot_mu_);
-      if (pause_ns_.size() < kMaxPauseSamples) {
+      if (pause_ns_.size() < pause_capacity_) {
         pause_ns_.push_back(pause_ns);
       } else {
-        pause_ns_[pause_ring_next_++ % kMaxPauseSamples] = pause_ns;
+        pause_ns_[pause_ring_next_++ % pause_capacity_] = pause_ns;
       }
     }
     {
@@ -392,6 +453,9 @@ class ShardWorker {
   }
 
   void Park() SPROFILE_EXCLUDES(wake_mu_) {
+    SPROFILE_METRIC_COUNTER("sprofile_engine_parks", "parks",
+                            "Worker park attempts on an empty queue")
+        .Increment();
     MutexLock lock(wake_mu_);
     parked_.store(true, std::memory_order_release);
     // The parked_ flag narrows the missed-wakeup window but cannot close
@@ -410,18 +474,26 @@ class ShardWorker {
     // producer that sees the flag also sees the worker committed to (or
     // already inside) the bounded wait.
     if (parked_.load(std::memory_order_acquire)) {
+      // Counted only when a notify is actually sent: the flag check above
+      // runs on every producer Push and must stay a single load.
+      SPROFILE_METRIC_COUNTER("sprofile_engine_wakes", "wakes",
+                              "Producer wake notifications to parked workers")
+          .Increment();
       MutexLock lock(wake_mu_);
       wake_cv_.NotifyOne();
     }
   }
-
-  static constexpr size_t kMaxPauseSamples = 1 << 16;
 
   MpscRingBuffer<Event> queue_;
   const uint32_t drain_batch_;
   const uint64_t snapshot_interval_;
   const bool cow_snapshots_;
   const int pin_core_;  // -1 = unpinned
+  const uint32_t pause_capacity_;   // EngineOptions::pause_sample_capacity
+  const uint16_t shard_index_;      // recorded on every trace event
+  // Per-shard lifecycle ring: 1024 slots (32 KiB) — lifecycle events are
+  // per publish/fault/arena-op, so a small window covers a post-mortem.
+  obs::TraceRing trace_{1024};
 
   std::atomic<uint64_t> enqueued_{0};
   std::atomic<uint64_t> applied_{0};
@@ -479,9 +551,10 @@ class ShardedProfilerT {
         factory = [shard_capacity] { return Backend(shard_capacity); };
       }
       shards_.push_back(std::make_unique<internal::ShardWorker<Backend>>(
-          std::move(factory), options_, core, std::move(alloc)));
+          std::move(factory), options_, s, core, std::move(alloc)));
     }
     WaitAllReady();
+    RegisterObsGauges();
   }
 
   /// Rebuilds an engine from per-shard backends (snapshot restore).
@@ -507,10 +580,11 @@ class ShardedProfilerT {
       // backend is move-only. The factory runs exactly once.
       auto holder = std::make_shared<Backend>(std::move(backends[s]));
       shards_.push_back(std::make_unique<internal::ShardWorker<Backend>>(
-          [holder] { return std::move(*holder); }, options_, PinCoreFor(s),
+          [holder] { return std::move(*holder); }, options_, s, PinCoreFor(s),
           std::move(alloc)));
     }
     WaitAllReady();
+    RegisterObsGauges();
   }
 
   // Movable (shards live behind stable unique_ptrs), not copyable.
@@ -664,12 +738,28 @@ class ShardedProfilerT {
     return all;
   }
 
+  /// Post-mortem lifecycle timeline: every shard's trace ring plus the
+  /// process-global fallback ring (events emitted off worker threads),
+  /// merged into one time-ordered dump. Safe concurrently with ingestion
+  /// — see the obs/trace_ring.h read model (a racing wrap-around can tear
+  /// individual records, never the dump).
+  std::vector<obs::TraceRecord> DumpTrace() const {
+    std::vector<std::vector<obs::TraceRecord>> dumps;
+    dumps.reserve(shards_.size() + 1);
+    for (const auto& s : shards_) dumps.push_back(s->trace_ring().Dump());
+    dumps.push_back(obs::GlobalTraceRing().Dump());
+    return obs::MergeTraces(dumps);
+  }
+
   // ---------------------------------------------------------------------
   // Merged queries — all served from snapshots; none blocks ingestion.
   // ---------------------------------------------------------------------
 
   /// Sum of per-shard snapshot totals.
   int64_t total_count() const {
+    SPROFILE_METRIC_COUNTER("sprofile_engine_query_total", "queries",
+                            "total_count() merges served")
+        .Increment();
     int64_t sum = 0;
     for (const auto& snap : SnapshotAll()) sum += snap->profile.total_count();
     return sum;
@@ -678,12 +768,18 @@ class ShardedProfilerT {
   /// Frequency of one global id, from its owning shard's snapshot.
   int64_t Frequency(uint32_t id) const {
     SPROFILE_DCHECK(id < capacity_);
+    SPROFILE_METRIC_COUNTER("sprofile_engine_query_point", "queries",
+                            "Single-id Frequency() lookups served")
+        .Increment();
     return shards_[ShardOf(id)]->snapshot()->profile.Frequency(LocalId(id));
   }
 
   /// Global maximum frequency with its tie-group size: the max of shard
   /// modes, count summed via CountEqual across shards.
   GroupStat MergedMode() const {
+    SPROFILE_METRIC_COUNTER("sprofile_engine_query_mode", "queries",
+                            "MergedMode()/Mode() merges served")
+        .Increment();
     const auto snaps = SnapshotAll();
     bool any = false;
     int64_t best = 0;
@@ -707,6 +803,10 @@ class ShardedProfilerT {
   /// Merged ascending histogram: k-way merge of per-shard histograms with
   /// equal frequencies summed. O(Σ groups · log shards).
   std::vector<GroupStat> Histogram() const {
+    SPROFILE_METRIC_COUNTER(
+        "sprofile_engine_query_histogram", "queries",
+        "Merged histogram builds (incl. quantile/top-k internal use)")
+        .Increment();
     std::vector<std::vector<GroupStat>> per_shard = PerShardHistograms();
     std::vector<size_t> cursor(per_shard.size(), 0);
     std::vector<GroupStat> merged;
@@ -737,6 +837,10 @@ class ShardedProfilerT {
   /// walking the merged histogram.
   int64_t KthSmallest(uint64_t k) const {
     SPROFILE_DCHECK(k >= 1 && k <= capacity_);
+    SPROFILE_METRIC_COUNTER(
+        "sprofile_engine_query_quantile", "queries",
+        "Rank queries served (KthSmallest/KthLargest/Median/Quantile)")
+        .Increment();
     uint64_t cum = 0;
     for (const GroupStat& g : Histogram()) {
       cum += g.count;
@@ -762,6 +866,9 @@ class ShardedProfilerT {
   }
 
   uint32_t CountAtLeast(int64_t f) const {
+    SPROFILE_METRIC_COUNTER("sprofile_engine_query_count", "queries",
+                            "CountAtLeast/CountEqual merges served")
+        .Increment();
     uint32_t sum = 0;
     for (const auto& snap : SnapshotAll()) {
       if (snap->profile.capacity() == 0) continue;
@@ -771,6 +878,9 @@ class ShardedProfilerT {
   }
 
   uint32_t CountEqual(int64_t f) const {
+    SPROFILE_METRIC_COUNTER("sprofile_engine_query_count", "queries",
+                            "CountAtLeast/CountEqual merges served")
+        .Increment();
     uint32_t sum = 0;
     for (const auto& snap : SnapshotAll()) {
       if (snap->profile.capacity() == 0) continue;
@@ -783,6 +893,9 @@ class ShardedProfilerT {
   /// top group, emitting count copies per group. Emits min(k, capacity())
   /// values. O(Σ groups · shards) for the merge + O(k) emission.
   std::vector<int64_t> TopK(uint32_t k) const {
+    SPROFILE_METRIC_COUNTER("sprofile_engine_query_topk", "queries",
+                            "TopK() merges served")
+        .Increment();
     const std::vector<GroupStat> merged = Histogram();
     std::vector<int64_t> out;
     const uint64_t want = std::min<uint64_t>(k, capacity_);
@@ -801,6 +914,89 @@ class ShardedProfilerT {
   /// Validate() guarantees shards <= cores when the core count is known.
   int PinCoreFor(uint32_t s) const {
     return options_.pin_threads ? static_cast<int>(s) : -1;
+  }
+
+  /// Registers this engine's pull gauges with the global registry. Every
+  /// engine instance contributes under the same names; the registry sums
+  /// registrants at snapshot time (two engines' pages_live add up).
+  ///
+  /// Lifetime: the callbacks capture the per-shard allocator shared_ptrs
+  /// and raw ShardWorker pointers — both stable across an engine MOVE
+  /// (workers live behind unique_ptrs; the handles travel with the
+  /// engine). obs_handles_ is declared after shards_, so on destruction
+  /// the callbacks unregister before any worker dies. Do not move-ASSIGN
+  /// over a live engine while a registry snapshot runs concurrently: the
+  /// target's old workers die before its old handles release.
+  void RegisterObsGauges() {
+    std::vector<internal::ShardWorker<Backend>*> workers;
+    std::vector<cow::PageAllocatorRef> allocs;
+    workers.reserve(shards_.size());
+    for (const auto& s : shards_) {
+      workers.push_back(s.get());
+      if (s->allocator() != nullptr) allocs.push_back(s->allocator());
+    }
+    auto& reg = obs::Registry::Global();
+    obs_handles_.push_back(reg.AddCallbackGauge(
+        "sprofile_engine_ring_enqueue_retries", "retries",
+        "Lost span-reservation CASes on ingestion rings (producer "
+        "contention)",
+        [workers] {
+          int64_t sum = 0;
+          for (const auto* w : workers) {
+            sum += static_cast<int64_t>(w->ring_enqueue_retries());
+          }
+          return sum;
+        }));
+    obs_handles_.push_back(reg.AddCallbackGauge(
+        "sprofile_engine_ring_full_rejections", "rejections",
+        "Ingestion-ring pushes that found no free cell (backpressure)",
+        [workers] {
+          int64_t sum = 0;
+          for (const auto* w : workers) {
+            sum += static_cast<int64_t>(w->ring_full_rejections());
+          }
+          return sum;
+        }));
+    if (allocs.empty()) return;
+    // Storage gauges rebased onto the allocators' PageAllocStats seam —
+    // the same counters MemoryStats() aggregates, now pullable from the
+    // registry without holding an engine reference at the read site.
+    struct StatGauge {
+      const char* name;
+      const char* unit;
+      const char* help;
+      uint64_t (*get)(const cow::PageAllocStats&);
+    };
+    static constexpr StatGauge kStatGauges[] = {
+        {"sprofile_engine_pages_live", "pages",
+         "Storage blocks currently allocated across shard allocators",
+         [](const cow::PageAllocStats& s) { return s.pages_live(); }},
+        {"sprofile_engine_page_bytes_live", "bytes",
+         "Bytes of storage blocks currently out across shard allocators",
+         [](const cow::PageAllocStats& s) { return s.page_bytes_live; }},
+        {"sprofile_engine_arenas_live", "arenas",
+         "Arena mappings currently held (incl. warm spares)",
+         [](const cow::PageAllocStats& s) { return s.arenas_live; }},
+        {"sprofile_engine_arenas_created", "arenas",
+         "Arena mappings created since engine start (cumulative)",
+         [](const cow::PageAllocStats& s) { return s.arenas_created; }},
+        {"sprofile_engine_arena_bytes_mapped", "bytes",
+         "Bytes currently mmap-reserved by shard arenas (incl. spares)",
+         [](const cow::PageAllocStats& s) { return s.arena_bytes_mapped; }},
+        {"sprofile_engine_hugepage_arenas", "arenas",
+         "Live arena mappings flagged MADV_HUGEPAGE",
+         [](const cow::PageAllocStats& s) { return s.hugepage_arenas; }},
+    };
+    for (const StatGauge& g : kStatGauges) {
+      obs_handles_.push_back(
+          reg.AddCallbackGauge(g.name, g.unit, g.help, [allocs, get = g.get] {
+            int64_t sum = 0;
+            for (const auto& a : allocs) {
+              sum += static_cast<int64_t>(get(a->Stats()));
+            }
+            return sum;
+          }));
+    }
   }
 
   /// Per-shard allocator per options.page_allocator; null for backends
@@ -875,6 +1071,9 @@ class ShardedProfilerT {
   uint32_t capacity_;
   EngineOptions options_;
   std::vector<std::unique_ptr<internal::ShardWorker<Backend>>> shards_;
+  // After shards_: destroyed first, so the registered callbacks (which
+  // point into the workers/allocators) unregister before any worker dies.
+  std::vector<obs::CallbackGaugeHandle> obs_handles_;
 };
 
 /// The default engine: S-Profile shards (O(1) updates, O(1)/O(log m)

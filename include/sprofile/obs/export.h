@@ -1,0 +1,80 @@
+// sprofile::obs — pull-based exporters over Registry::Snapshot().
+//
+// Two wire formats, both produced from the same MetricsSnapshot so they
+// can never drift from each other:
+//
+//   ToJsonLines()       one JSON object per line in the repo's bench
+//                       convention ({"bench":...,"metric":...,"value":N}
+//                       plus kind/unit tags). Machine-diffable; the CI
+//                       bench-trajectory job validates two consecutive
+//                       ticks for schema and counter monotonicity.
+//   ToPrometheusText()  Prometheus text exposition (# HELP / # TYPE,
+//                       cumulative histogram buckets with le labels,
+//                       _sum/_count). Paste-ready for a /metrics
+//                       endpoint when one grows here.
+//
+// StartPeriodicExporter() runs a background thread invoking a sink with
+// a fresh snapshot every interval; the returned handle joins the thread
+// on destruction (one final tick is delivered on shutdown so short-lived
+// processes still export).
+
+#ifndef SPROFILE_SPROFILE_OBS_EXPORT_H_
+#define SPROFILE_SPROFILE_OBS_EXPORT_H_
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "sprofile/obs/metrics.h"
+
+namespace sprofile {
+namespace obs {
+
+/// JSON-lines form of a snapshot. Every sample emits a line with fields
+/// {"bench": source, "metric": name, "value": ..., "kind": ..., "unit":
+/// ...}; histograms emit three lines (<name>_count, <name>_sum,
+/// <name>_p99_ub). `tick` tags the export round so consumers can diff
+/// consecutive exports.
+std::string ToJsonLines(const MetricsSnapshot& snap,
+                        std::string_view source = "sprofile_obs",
+                        uint64_t tick = 0);
+
+/// Prometheus text exposition format (0.0.4) of a snapshot.
+std::string ToPrometheusText(const MetricsSnapshot& snap);
+
+/// Background exporter: calls `sink` with a fresh Registry snapshot
+/// every `interval`, and once more on shutdown. Destroy (or Stop()) the
+/// handle to join the thread. The sink runs on the exporter thread.
+class PeriodicExporter {
+ public:
+  ~PeriodicExporter();  // Stop()s; out-of-line, Impl is incomplete here
+
+  PeriodicExporter(const PeriodicExporter&) = delete;
+  PeriodicExporter& operator=(const PeriodicExporter&) = delete;
+
+  /// Idempotent; blocks until the exporter thread has delivered its
+  /// final tick and exited.
+  void Stop();
+
+  /// Export rounds delivered so far (including the shutdown tick).
+  uint64_t ticks() const;
+
+ private:
+  friend std::unique_ptr<PeriodicExporter> StartPeriodicExporter(
+      std::chrono::milliseconds interval,
+      std::function<void(const MetricsSnapshot&, uint64_t tick)> sink);
+  struct Impl;
+  explicit PeriodicExporter(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+std::unique_ptr<PeriodicExporter> StartPeriodicExporter(
+    std::chrono::milliseconds interval,
+    std::function<void(const MetricsSnapshot&, uint64_t tick)> sink);
+
+}  // namespace obs
+}  // namespace sprofile
+
+#endif  // SPROFILE_SPROFILE_OBS_EXPORT_H_

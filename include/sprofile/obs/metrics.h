@@ -1,0 +1,371 @@
+// sprofile::obs — process-wide metrics registry with a lock-free record
+// path.
+//
+// The engine's runtime behavior used to be visible only through ad-hoc
+// seams (MemoryStats(), SnapshotPauseSamplesNs(), per-bench JSON lines)
+// that every consumer wired by hand. obs gives each layer one idiom:
+//
+//   obs::Counter& drained =
+//       SPROFILE_METRIC_COUNTER("sprofile_engine_events_drained", "events",
+//                               "Events applied by shard workers");
+//   ...
+//   drained.Add(batch);          // one relaxed fetch_add, no allocation
+//
+// Design constraints, in order:
+//   1. Recording must be cheap enough for the drain loop: one relaxed
+//      atomic RMW on a striped cache line, no locks, no allocation, no
+//      branches beyond the global enable gate.
+//   2. Registration is static: the SPROFILE_METRIC_* macros memoize the
+//      registry lookup in a function-local static, so steady state never
+//      touches the registry mutex. Metrics live forever (the registry
+//      never frees them) so recorded pointers stay valid across
+//      Snapshot() calls and engine teardown.
+//   3. Reads are eventually consistent merges: Snapshot() sums the
+//      stripes with relaxed loads. Counters can be mid-update while
+//      snapshotted; per-metric totals are exact once writers quiesce.
+//
+// Three instrument kinds:
+//   Counter   — monotone, striped across cache-line-padded cells so
+//               concurrent shard workers do not bounce one line.
+//   Gauge     — last-write-wins level with Add/Sub and a high-water
+//               UpdateMax; single padded atomic.
+//   Histogram — fixed log2 buckets (bucket i counts values with
+//               bit_width i, i.e. [2^(i-1), 2^i)), plus sum. Recording
+//               is two relaxed adds; percentile *bounds* come from the
+//               bucket walk at read time. Exact percentiles for publish
+//               pauses remain available via SnapshotPauseSamplesNs().
+//
+// Callback gauges cover pull-based sources (arena allocator stats):
+// multiple registrants may share one metric name — Snapshot() sums
+// them — and the returned RAII handle unregisters on destruction, so an
+// engine's gauges vanish with the engine instead of dangling.
+//
+// The global enable gate (SetEnabled/Enabled) is a relaxed atomic read
+// on every Record/Add; it exists so bench_engine_scaling can measure the
+// obs={on,off} overhead delta. The trace ring (obs/trace_ring.h) is
+// deliberately NOT gated — post-mortems must always have data.
+
+#ifndef SPROFILE_SPROFILE_OBS_METRICS_H_
+#define SPROFILE_SPROFILE_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace sprofile {
+namespace obs {
+
+inline constexpr size_t kObsCacheLineBytes = 64;
+
+/// Stripes per Counter. Power of two; threads hash onto stripes by a
+/// monotonically assigned thread-local index, so up to kCounterStripes
+/// concurrent writers (e.g. shard workers) never share a cache line.
+inline constexpr size_t kCounterStripes = 8;
+
+/// Histogram bucket count. Bucket i holds values v with bit_width(v) == i
+/// (bucket 0 is exactly v == 0); values wider than the last bucket clamp
+/// into it. 48 buckets cover nanosecond timings up to ~3.9 days.
+inline constexpr size_t kHistogramBuckets = 48;
+
+namespace internal {
+
+/// Global record-path gate. Relaxed: the flag only steers future
+/// recording, it orders nothing.
+inline std::atomic<bool> g_enabled{true};
+
+/// Monotone thread-stripe assignment: the Nth thread to record anything
+/// gets stripe N (mod kCounterStripes). Cheaper and less collision-prone
+/// than hashing std::thread::id on every Add.
+inline std::atomic<uint32_t> g_stripe_seq{0};
+
+inline uint32_t ThisThreadStripe() {
+  // orders: relaxed — the counter only hands out distinct indexes; no
+  // data is published through it.
+  thread_local const uint32_t stripe =
+      g_stripe_seq.fetch_add(1, std::memory_order_relaxed);
+  return stripe & (kCounterStripes - 1);
+}
+
+struct alignas(kObsCacheLineBytes) PaddedCell {
+  std::atomic<uint64_t> v{0};
+};
+
+}  // namespace internal
+
+/// True when metric recording is live (default). Trace rings ignore this.
+inline bool Enabled() {
+  // orders: relaxed — pure gate, no data published through it.
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips the record-path gate. Registered metrics keep their values; the
+/// off state only suppresses *new* recording (used by the obs={on,off}
+/// overhead row in bench_engine_scaling).
+inline void SetEnabled(bool on) {
+  // orders: relaxed — see Enabled().
+  internal::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Monotone counter, striped to keep concurrent writers off one line.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n) {
+    if (!Enabled()) return;
+    // orders: relaxed — counters are merged with relaxed loads at
+    // snapshot time; no reader infers other state from a count.
+    cells_[internal::ThisThreadStripe()].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Sum of all stripes. Eventually consistent under concurrent Adds.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& c : cells_) {
+      // orders: relaxed — merge read; see Add().
+      total += c.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  internal::PaddedCell cells_[kCounterStripes];
+};
+
+/// Last-write-wins level with high-water support. One padded atomic:
+/// gauges are set from one site at a time (a drain loop, a callback), so
+/// striping would only blur Set semantics.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) {
+    if (!Enabled()) return;
+    // orders: relaxed — levels are advisory reads, never a happens-before
+    // edge.
+    cell_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t d) {
+    if (!Enabled()) return;
+    // orders: relaxed — see Set().
+    cell_.fetch_add(d, std::memory_order_relaxed);
+  }
+  void Sub(int64_t d) { Add(-d); }
+
+  /// Raises the gauge to `v` if it is below (ring-depth high-water).
+  void UpdateMax(int64_t v) {
+    if (!Enabled()) return;
+    // orders: relaxed CAS loop — same advisory-level contract as Set();
+    // the loop only needs atomicity, not ordering.
+    int64_t cur = cell_.load(std::memory_order_relaxed);
+    while (v > cur && !cell_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  int64_t Value() const {
+    // orders: relaxed — advisory read.
+    return cell_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  alignas(kObsCacheLineBytes) std::atomic<int64_t> cell_{0};
+};
+
+/// Fixed log2-bucketed histogram. Record() is two relaxed adds (bucket
+/// count + running sum); there is no per-value storage, so the record
+/// path never allocates and the footprint is constant.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  static size_t BucketFor(uint64_t v) {
+    const size_t w = static_cast<size_t>(std::bit_width(v));
+    return w < kHistogramBuckets ? w : kHistogramBuckets - 1;
+  }
+
+  /// Exclusive upper bound of bucket i (values in bucket i are < this).
+  static uint64_t BucketUpperBound(size_t i) {
+    return i >= 64 ? ~uint64_t{0} : (uint64_t{1} << i);
+  }
+
+  void Record(uint64_t v) {
+    if (!Enabled()) return;
+    // orders: relaxed — bucket counts and sum are merged independently
+    // at snapshot time; a torn (count vs sum) view is acceptable there.
+    buckets_[BucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const {
+    uint64_t n = 0;
+    for (const auto& b : buckets_) {
+      // orders: relaxed — merge read; see Record().
+      n += b.load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+  uint64_t Sum() const {
+    // orders: relaxed — merge read; see Record().
+    return sum_.load(std::memory_order_relaxed);
+  }
+  uint64_t BucketCount(size_t i) const {
+    // orders: relaxed — merge read; see Record().
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound of the bucket containing quantile q (0 < q <= 1) of the
+  /// recorded distribution; 0 when empty. A bound, not an interpolation:
+  /// good enough for "p99 is under 64us", which is what dashboards ask.
+  uint64_t ApproxQuantileUpperBound(double q) const;
+
+ private:
+  alignas(kObsCacheLineBytes) std::atomic<uint64_t> buckets_[kHistogramBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram, kCallbackGauge };
+
+/// One metric's merged state at Snapshot() time.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::string unit;
+  std::string help;
+  uint64_t count = 0;                 // counter value / histogram count
+  int64_t value = 0;                  // gauge level / summed callbacks
+  uint64_t sum = 0;                   // histogram sum
+  std::vector<uint64_t> buckets;      // histogram per-bucket counts
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  // sorted by name
+
+  /// nullptr when `name` is not present.
+  const MetricSample* Find(std::string_view name) const;
+};
+
+/// RAII registration for a callback gauge: destruction (or Release())
+/// unregisters the callback. Movable, not copyable.
+class CallbackGaugeHandle {
+ public:
+  CallbackGaugeHandle() = default;
+  CallbackGaugeHandle(CallbackGaugeHandle&& other) noexcept
+      : id_(other.id_) {
+    other.id_ = 0;
+  }
+  CallbackGaugeHandle& operator=(CallbackGaugeHandle&& other) noexcept {
+    if (this != &other) {
+      Release();
+      id_ = other.id_;
+      other.id_ = 0;
+    }
+    return *this;
+  }
+  ~CallbackGaugeHandle() { Release(); }
+
+  void Release();
+
+ private:
+  friend class Registry;
+  explicit CallbackGaugeHandle(uint64_t id) : id_(id) {}
+  uint64_t id_ = 0;
+};
+
+/// Process-wide metric registry. One instance (Global()); lookups are
+/// mutex-protected but memoized away by the SPROFILE_METRIC_* macros, so
+/// the record path never takes mu_.
+class Registry {
+ public:
+  static Registry& Global();
+
+  /// Finds or creates the named metric. The returned reference is valid
+  /// for the process lifetime. Kind mismatches on a reused name are a
+  /// programming error and abort via SPROFILE_CHECK inside.
+  Counter& GetCounter(std::string_view name, std::string_view unit,
+                      std::string_view help) SPROFILE_EXCLUDES(mu_);
+  Gauge& GetGauge(std::string_view name, std::string_view unit,
+                  std::string_view help) SPROFILE_EXCLUDES(mu_);
+  Histogram& GetHistogram(std::string_view name, std::string_view unit,
+                          std::string_view help) SPROFILE_EXCLUDES(mu_);
+
+  /// Registers a pull callback contributing to gauge `name`. Multiple
+  /// registrants may share a name; Snapshot() sums their returns (e.g.
+  /// two engines' pages_live add up). The callback must stay valid until
+  /// the handle is released and must not call back into the registry.
+  CallbackGaugeHandle AddCallbackGauge(std::string_view name,
+                                       std::string_view unit,
+                                       std::string_view help,
+                                       std::function<int64_t()> fn)
+      SPROFILE_EXCLUDES(mu_);
+
+  /// Merged view of every registered metric, sorted by name. Counters
+  /// and histograms mid-update are captured relaxed (eventually
+  /// consistent); callback gauges are invoked inline under mu_.
+  MetricsSnapshot Snapshot() const SPROFILE_EXCLUDES(mu_);
+
+ private:
+  friend class CallbackGaugeHandle;
+  struct Entry;
+
+  Registry() = default;
+  Entry& GetOrCreate(std::string_view name, MetricKind kind,
+                     std::string_view unit, std::string_view help)
+      SPROFILE_REQUIRES(mu_);
+  void RemoveCallback(uint64_t id) SPROFILE_EXCLUDES(mu_);
+
+  mutable Mutex mu_;
+  // Pointer-stable entries: recorded Counter/Gauge/Histogram addresses
+  // must survive later registrations. Never freed (process lifetime).
+  std::vector<std::unique_ptr<Entry>> entries_ SPROFILE_GUARDED_BY(mu_);
+  uint64_t next_callback_id_ SPROFILE_GUARDED_BY(mu_) = 1;
+};
+
+}  // namespace obs
+}  // namespace sprofile
+
+/// Static-registration macros: the registry lookup runs once per call
+/// site (function-local static), recording is a direct method call on
+/// the memoized reference. Usable as an expression:
+///
+///   SPROFILE_METRIC_COUNTER("name", "unit", "help").Add(n);
+#define SPROFILE_METRIC_COUNTER(name, unit, help)                        \
+  ([]() -> ::sprofile::obs::Counter& {                                   \
+    static ::sprofile::obs::Counter& sprofile_metric =                   \
+        ::sprofile::obs::Registry::Global().GetCounter(name, unit, help); \
+    return sprofile_metric;                                              \
+  }())
+
+#define SPROFILE_METRIC_GAUGE(name, unit, help)                          \
+  ([]() -> ::sprofile::obs::Gauge& {                                     \
+    static ::sprofile::obs::Gauge& sprofile_metric =                     \
+        ::sprofile::obs::Registry::Global().GetGauge(name, unit, help);  \
+    return sprofile_metric;                                              \
+  }())
+
+#define SPROFILE_METRIC_HISTOGRAM(name, unit, help)                      \
+  ([]() -> ::sprofile::obs::Histogram& {                                 \
+    static ::sprofile::obs::Histogram& sprofile_metric =                 \
+        ::sprofile::obs::Registry::Global().GetHistogram(name, unit,     \
+                                                         help);          \
+    return sprofile_metric;                                              \
+  }())
+
+#endif  // SPROFILE_SPROFILE_OBS_METRICS_H_

@@ -1,0 +1,194 @@
+// sprofile::obs — always-on lifecycle trace ring.
+//
+// A fixed-size binary ring of lifecycle events (publishes, epoch flips,
+// COW faults, re-flattens, consolidations, arena create/reclaim, SPPF
+// spills). Where metrics answer "how many", the trace answers "in what
+// order": the PR 6 "pages_live 15 vs 14" Release-only flake was exactly
+// the kind of mystery a post-mortem dump of the last N lifecycle events
+// resolves without a rebuild — which page faulted last, whether a
+// re-flatten probe ran after it, whether an arena reclaim interleaved.
+//
+// Recording model:
+//   - Every shard worker owns a ring and installs it in a thread-local
+//     (ScopedTraceRing) for the duration of Run(), so events emitted
+//     anywhere below it — cow_pages faults, arena create/reclaim,
+//     re-flatten probes — land in that shard's ring with its shard id.
+//     Threads with no installed ring (producers, tests, main) fall back
+//     to a process-global ring. This keeps the core layers free of any
+//     engine dependency: they call obs::Trace(...) and the TLS decides
+//     where it goes.
+//   - Emission is a relaxed fetch_add slot claim plus relaxed field
+//     stores and one release seq store (~a metrics Add plus a clock
+//     read). Events are rare (per publish / fault / arena op, never per
+//     element), so this is far off the update hot path.
+//   - The ring is deliberately NOT behind obs::SetEnabled(): a
+//     post-mortem taken after an incident must have data regardless of
+//     how the process was configured.
+//
+// Read model: Dump() walks the live slots and returns records ordered
+// by sequence number. Dumping races recording by design — every slot
+// field is a relaxed atomic so concurrent wrap-around is a torn *record*
+// at worst, never UB or a TSan report. FormatTrace() renders a dump for
+// logs; engine::ShardedProfilerT::DumpTrace() merges all shard rings
+// plus the global ring into one timeline.
+
+#ifndef SPROFILE_SPROFILE_OBS_TRACE_RING_H_
+#define SPROFILE_SPROFILE_OBS_TRACE_RING_H_
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sprofile {
+namespace obs {
+
+enum class TraceEvent : uint16_t {
+  kPublishBegin = 0,   // arg = epoch being published (low 32 bits)
+  kPublishEnd = 1,     // arg = epoch (low 32 bits), detail = pause ns
+  kEpochFlip = 2,      // flat -> paged on snapshot; detail = paged updates
+  kCowFault = 3,       // arg = page index, detail = element range lo
+  kReflatten = 4,      // paged -> flat succeeded; detail = paged updates
+  kConsolidate = 5,    // arg = pages rewritten
+  kArenaCreate = 6,    // detail = arena bytes
+  kArenaReclaim = 7,   // detail = arena bytes, arg = 1 if parked as spare
+  kSpill = 8,          // SPPF save; arg = shard index written
+};
+
+std::string_view TraceEventName(TraceEvent ev);
+
+/// Shard id recorded for events emitted outside any worker's ring scope.
+inline constexpr uint16_t kTraceNoShard = 0xffff;
+
+struct TraceRecord {
+  uint64_t seq = 0;     // global order within one ring
+  uint64_t ns = 0;      // steady_clock nanoseconds (monotonic, not epoch)
+  uint64_t detail = 0;  // event-specific payload (see TraceEvent)
+  uint32_t arg = 0;     // event-specific small payload
+  TraceEvent event = TraceEvent::kPublishBegin;
+  uint16_t shard = kTraceNoShard;
+};
+
+class TraceRing {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit TraceRing(size_t capacity = kDefaultCapacity)
+      : mask_(std::bit_ceil(capacity < 2 ? size_t{2} : capacity) - 1),
+        slots_(mask_ + 1) {}
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  void Emit(TraceEvent ev, uint32_t arg, uint64_t detail, uint16_t shard) {
+    // orders: relaxed — the fetch_add only claims a slot; the record is
+    // published by the release seq store below.
+    const uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = slots_[seq & mask_];
+    // orders: relaxed field stores — all made visible by the release seq
+    // store that follows; a Dump() that acquires seq sees them. A racing
+    // wrap-around writer can tear a record (two writers, same slot) but
+    // every access stays atomic, so the dump is garbage-tolerant, not UB.
+    s.ns.store(NowNs(), std::memory_order_relaxed);
+    s.detail.store(detail, std::memory_order_relaxed);
+    s.arg.store(arg, std::memory_order_relaxed);
+    s.event.store(static_cast<uint16_t>(ev), std::memory_order_relaxed);
+    s.shard.store(shard, std::memory_order_relaxed);
+    // orders: release pairs with Dump()'s acquire load — publishes the
+    // field stores above to the dumping thread.
+    s.seq.store(seq + 1, std::memory_order_release);
+  }
+
+  /// Records currently held, oldest first. Safe to call concurrently
+  /// with Emit() (see the read-model note in the header comment).
+  std::vector<TraceRecord> Dump() const;
+
+  /// Total events ever emitted (may exceed capacity()).
+  uint64_t emitted() const {
+    // orders: relaxed — advisory count.
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  static uint64_t NowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  struct Slot {
+    // seq+1 of the record held, 0 when never written.
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> ns{0};
+    std::atomic<uint64_t> detail{0};
+    std::atomic<uint32_t> arg{0};
+    std::atomic<uint16_t> event{0};
+    std::atomic<uint16_t> shard{kTraceNoShard};
+  };
+
+  const uint64_t mask_;
+  alignas(64) std::atomic<uint64_t> head_{0};
+  std::vector<Slot> slots_;
+};
+
+namespace internal {
+inline thread_local TraceRing* tls_ring = nullptr;
+inline thread_local uint16_t tls_shard = kTraceNoShard;
+}  // namespace internal
+
+/// The fallback ring for threads with no installed per-shard ring.
+TraceRing& GlobalTraceRing();
+
+/// Emits into the calling thread's installed ring (ScopedTraceRing) or
+/// the global ring. This is the one call core layers make.
+inline void Trace(TraceEvent ev, uint32_t arg = 0, uint64_t detail = 0) {
+  TraceRing* ring = internal::tls_ring;
+  if (ring != nullptr) {
+    ring->Emit(ev, arg, detail, internal::tls_shard);
+  } else {
+    GlobalTraceRing().Emit(ev, arg, detail, kTraceNoShard);
+  }
+}
+
+/// Installs `ring` as the calling thread's trace destination for the
+/// scope (shard workers wrap Run() in one). Nestable; restores the
+/// previous installation on destruction.
+class ScopedTraceRing {
+ public:
+  ScopedTraceRing(TraceRing* ring, uint16_t shard)
+      : prev_ring_(internal::tls_ring), prev_shard_(internal::tls_shard) {
+    internal::tls_ring = ring;
+    internal::tls_shard = shard;
+  }
+  ~ScopedTraceRing() {
+    internal::tls_ring = prev_ring_;
+    internal::tls_shard = prev_shard_;
+  }
+  ScopedTraceRing(const ScopedTraceRing&) = delete;
+  ScopedTraceRing& operator=(const ScopedTraceRing&) = delete;
+
+ private:
+  TraceRing* prev_ring_;
+  uint16_t prev_shard_;
+};
+
+/// Merges dumps from several rings into one seq-then-time ordered
+/// timeline (per-ring seqs are independent; ns is the cross-ring key).
+std::vector<TraceRecord> MergeTraces(
+    const std::vector<std::vector<TraceRecord>>& dumps);
+
+/// Renders records one per line for logs / post-mortems:
+///   +123456ns shard=2 publish_begin arg=7 detail=0
+std::string FormatTrace(const std::vector<TraceRecord>& records);
+
+}  // namespace obs
+}  // namespace sprofile
+
+#endif  // SPROFILE_SPROFILE_OBS_TRACE_RING_H_

@@ -98,6 +98,8 @@
 #include <utility>
 #include <vector>
 
+#include "sprofile/obs/metrics.h"
+#include "sprofile/obs/trace_ring.h"
 #include "util/logging.h"
 
 // Builds where the per-page heap allocator must stay the default so the
@@ -460,7 +462,13 @@ class PagedArray {
       ctrls_.reserve(want);
       while (pages_.size() < want) AppendPage(nullptr);
     } else if (want < old_pages) {
-      for (size_t p = want; p < old_pages; ++p) UnrefPage(ctrls_[p]);
+      for (size_t p = want; p < old_pages; ++p) {
+        // Same pin-orphan hazard as FaultPage: dropping the witnessed
+        // page from the table leaves only future EnsureFlat polls to
+        // release the pin, and a quiescent array never polls.
+        if (ctrls_[p] == witness_ && witness_pinned_) ClearWitness();
+        UnrefPage(ctrls_[p]);
+      }
       pages_.resize(want);
       ctrls_.resize(want);
       // Back under the run: every surviving page has a home slot again,
@@ -591,6 +599,10 @@ class PagedArray {
         }
         std::memcpy(static_cast<void*>(home_page + lo), cur + lo,
                     (hi - lo + 1) * sizeof(T));
+        SPROFILE_METRIC_HISTOGRAM(
+            "sprofile_cow_dirty_run_elems", "elements",
+            "Dirty-run width merged home per re-flattened page")
+            .Record(hi - lo + 1);
         // orders: relaxed — pass 1 proved refs == 0 with acquire, so this
         // thread owns the slot exclusively; nothing else reads it until a
         // later Snapshot() publishes it (whose mechanism provides the
@@ -945,9 +957,21 @@ class PagedArray {
     }
     pages_[p] = entry;
     ctrls_[p] = c;
+    // The witness pin is an EnsureFlat optimization for pages still in
+    // the table; once the watched block is faulted away from, the only
+    // thing that would ever drop the pin is a future EnsureFlat poll —
+    // which quiescent arrays never run — so the pin would orphan the old
+    // block (and potentially its arena) for the array's lifetime. Drop it
+    // now, before our table reference goes: the remaining snapshot
+    // references alone decide the block's lifetime.
+    if (old_ctrl == witness_ && witness_pinned_) ClearWitness();
     UnrefPage(old_ctrl);
     flat_ = false;
     alloc_->CountFault();
+    SPROFILE_METRIC_COUNTER("sprofile_cow_faults", "faults",
+                            "COW page fault copies across all arrays")
+        .Increment();
+    obs::Trace(obs::TraceEvent::kCowFault, static_cast<uint32_t>(p), lo);
   }
 
   size_t DirtyRunWidth(const PageCtrl* c) const {
@@ -996,6 +1020,16 @@ class PagedArray {
   /// re-arm the tag where tracking isn't worthwhile.
   void EnsureWritable(size_t page_index, size_t lo, size_t hi) {
     PageCtrl* c = ctrls_[page_index];
+    // Writing the witnessed page itself: lift the pin first. The pin
+    // inflates refs by one, so keeping it would (a) force a spurious
+    // fault of a page that is really exclusive, and (b) if the fault
+    // happens, strand the old block on the pin until a future EnsureFlat
+    // poll that a quiescent array never makes (the Release-only
+    // pages_live leak in ConcurrentSnapshotDropsReclaimSafely). Safe: our
+    // table still holds a reference, so the block cannot be freed under
+    // us, and the next EnsureFlat simply re-arms a witness if the page is
+    // still the blocker.
+    if (c == witness_ && witness_pinned_) ClearWitness();
     // orders: acquire pairs with UnrefPage's release fetch_sub — seeing
     // refs == 1 means the dying snapshot's reads are ordered before our
     // in-place writes.
@@ -1059,6 +1093,7 @@ class PagedArray {
     run_capacity_ = cap;
     outgrew_run_ = false;
     flat_ = true;
+    obs::Trace(obs::TraceEvent::kConsolidate, static_cast<uint32_t>(want));
     return true;
   }
 

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "core/page_arena.h"
+#include "sprofile/obs/metrics.h"
+#include "sprofile/obs/trace_ring.h"
 
 namespace sprofile {
 
@@ -116,12 +118,19 @@ void FrequencyProfile::RemovePaged(uint32_t id) {
 
 bool FrequencyProfile::TryReflatten() {
   if (flat_ready_) return true;
+  SPROFILE_METRIC_COUNTER("sprofile_reflatten_attempts", "attempts",
+                          "Flat-epoch re-entry probes while paged")
+      .Increment();
   if (!f_to_t_.EnsureFlat() || !slots_.EnsureFlat() || !pool_.BeginFlat()) {
     return false;
   }
   flat_f_to_t_ = f_to_t_.flat_data();
   flat_slots_ = slots_.flat_data();
   flat_ready_ = true;
+  SPROFILE_METRIC_COUNTER("sprofile_reflatten_successes", "successes",
+                          "Flat-epoch re-entries (paged -> flat)")
+      .Increment();
+  obs::Trace(obs::TraceEvent::kReflatten, 0, paged_updates_);
   return true;
 }
 

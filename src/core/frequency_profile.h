@@ -40,6 +40,7 @@
 
 #include "core/block_set.h"
 #include "core/cow_pages.h"
+#include "sprofile/obs/trace_ring.h"
 #include "sprofile/event.h"
 #include "util/status.h"
 
@@ -465,6 +466,11 @@ class FrequencyProfile {
         pool_(other.pool_),
         f_to_t_(other.f_to_t_),
         slots_(other.slots_) {
+    if (other.flat_ready_) {
+      // The share ends the source's flat epoch: record the flip with how
+      // many paged updates the previous paged span accumulated.
+      obs::Trace(obs::TraceEvent::kEpochFlip, 0, other.paged_updates_);
+    }
     other.flat_ready_ = false;
   }
 

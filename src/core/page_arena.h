@@ -56,6 +56,8 @@
 #include <vector>
 
 #include "core/cow_pages.h"
+#include "sprofile/obs/metrics.h"
+#include "sprofile/obs/trace_ring.h"
 #include "util/logging.h"
 #include "util/sync.h"
 #include "util/thread_annotations.h"
@@ -268,6 +270,10 @@ class ArenaPageAllocator final : public PageAllocator {
     arenas_live_.fetch_add(1, std::memory_order_relaxed);
     bytes_mapped_.fetch_add(bytes, std::memory_order_relaxed);
     if (arena->huge) hugepage_arenas_.fetch_add(1, std::memory_order_relaxed);
+    SPROFILE_METRIC_COUNTER("sprofile_arena_creates", "arenas",
+                            "Arena mappings created across all allocators")
+        .Increment();
+    obs::Trace(obs::TraceEvent::kArenaCreate, 0, bytes);
     return arena;
   }
 
@@ -297,11 +303,16 @@ class ArenaPageAllocator final : public PageAllocator {
       // arena_bytes_mapped — the mapping is still resident, and the
       // counters are documented as current-state gauges.
       spare_.push_back(arena);
+      obs::Trace(obs::TraceEvent::kArenaReclaim, 1, arena->bytes);
       return;
     }
     arenas_reclaimed_.fetch_add(1, std::memory_order_relaxed);
     arenas_live_.fetch_sub(1, std::memory_order_relaxed);
     bytes_mapped_.fetch_sub(arena->bytes, std::memory_order_relaxed);
+    SPROFILE_METRIC_COUNTER("sprofile_arena_reclaims", "arenas",
+                            "Drained arena mappings returned to the OS")
+        .Increment();
+    obs::Trace(obs::TraceEvent::kArenaReclaim, 0, arena->bytes);
     UnmapLocked(arena);
   }
 

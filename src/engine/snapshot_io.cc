@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/profile_io.h"
+#include "sprofile/obs/trace_ring.h"
 
 namespace sprofile {
 namespace engine {
@@ -145,6 +146,9 @@ Status SaveAll(ShardedProfiler& engine, const std::string& dir,
       SPROFILE_ASSIGN_OR_RETURN(const std::string bytes,
                                 SerializeProfile(snap->profile.backend()));
       SPROFILE_RETURN_NOT_OK(sink.WriteFile(dir + "/" + file, bytes));
+      // Lands in the SAVING thread's ring (usually the global fallback):
+      // the spill is a reader-side operation, not a shard-worker one.
+      obs::Trace(obs::TraceEvent::kSpill, s, bytes.size());
     }
     manifest << "shard " << s << ' ' << shard_capacity << ' ' << snap->epoch
              << ' ' << file << '\n';

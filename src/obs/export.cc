@@ -1,0 +1,252 @@
+#include "sprofile/obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace sprofile {
+namespace obs {
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Prometheus HELP text escaping: backslash and newline only (spec 0.0.4).
+std::string PromEscapeHelp(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string_view KindName(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+    case MetricKind::kCallbackGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+void AppendJsonLine(std::string& out, std::string_view source,
+                    std::string_view metric, std::string_view kind,
+                    std::string_view unit, uint64_t tick, int64_t value) {
+  char buf[64];
+  out += "{\"bench\":\"";
+  out += JsonEscape(source);
+  out += "\",\"metric\":\"";
+  out += JsonEscape(metric);
+  out += "\",\"value\":";
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  out += buf;
+  out += ",\"scale\":\"obs\",\"kind\":\"";
+  out += kind;
+  out += "\",\"unit\":\"";
+  out += JsonEscape(unit);
+  out += "\",\"tick\":";
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, tick);
+  out += buf;
+  out += "}\n";
+}
+
+}  // namespace
+
+std::string ToJsonLines(const MetricsSnapshot& snap, std::string_view source,
+                        uint64_t tick) {
+  std::string out;
+  for (const MetricSample& s : snap.samples) {
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        AppendJsonLine(out, source, s.name, "counter", s.unit, tick,
+                       static_cast<int64_t>(s.count));
+        break;
+      case MetricKind::kGauge:
+      case MetricKind::kCallbackGauge:
+        AppendJsonLine(out, source, s.name, "gauge", s.unit, tick, s.value);
+        break;
+      case MetricKind::kHistogram: {
+        // Three derived series per histogram: the count is monotone (CI
+        // treats *_count like a counter), the sum tracks load, and the
+        // p99 upper bound is the dashboard-facing latency signal.
+        AppendJsonLine(out, source, s.name + "_count", "histogram", s.unit,
+                       tick, static_cast<int64_t>(s.count));
+        AppendJsonLine(out, source, s.name + "_sum", "histogram", s.unit,
+                       tick, static_cast<int64_t>(s.sum));
+        uint64_t p99 = 0;
+        if (s.count > 0) {
+          uint64_t target = (s.count * 99 + 99) / 100;
+          if (target < 1) target = 1;
+          if (target > s.count) target = s.count;
+          uint64_t cum = 0;
+          for (size_t i = 0; i < s.buckets.size(); ++i) {
+            cum += s.buckets[i];
+            if (cum >= target) {
+              p99 = Histogram::BucketUpperBound(i);
+              break;
+            }
+          }
+        }
+        AppendJsonLine(out, source, s.name + "_p99_ub", "histogram", s.unit,
+                       tick, static_cast<int64_t>(p99));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snap) {
+  std::string out;
+  char buf[64];
+  for (const MetricSample& s : snap.samples) {
+    out += "# HELP " + s.name + " " + PromEscapeHelp(s.help) + "\n";
+    out += "# TYPE " + s.name + " ";
+    out += KindName(s.kind);
+    out += "\n";
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, s.count);
+        out += s.name + " " + buf + "\n";
+        break;
+      case MetricKind::kGauge:
+      case MetricKind::kCallbackGauge:
+        std::snprintf(buf, sizeof(buf), "%" PRId64, s.value);
+        out += s.name + " " + buf + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        // Cumulative buckets up to the highest populated one, then +Inf.
+        size_t last = 0;
+        for (size_t i = 0; i < s.buckets.size(); ++i) {
+          if (s.buckets[i] != 0) last = i;
+        }
+        uint64_t cum = 0;
+        for (size_t i = 0; i <= last; ++i) {
+          cum += s.buckets[i];
+          std::snprintf(buf, sizeof(buf), "%" PRIu64,
+                        Histogram::BucketUpperBound(i));
+          out += s.name + "_bucket{le=\"" + buf + "\"} ";
+          std::snprintf(buf, sizeof(buf), "%" PRIu64, cum);
+          out += buf;
+          out += "\n";
+        }
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, s.count);
+        out += s.name + "_bucket{le=\"+Inf\"} " + buf + "\n";
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, s.sum);
+        out += s.name + "_sum " + buf + "\n";
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, s.count);
+        out += s.name + "_count " + buf + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PeriodicExporter
+// ---------------------------------------------------------------------------
+
+struct PeriodicExporter::Impl {
+  std::chrono::milliseconds interval{1000};
+  std::function<void(const MetricsSnapshot&, uint64_t)> sink;
+
+  Mutex mu;
+  CondVar cv;
+  bool stop SPROFILE_GUARDED_BY(mu) = false;
+  bool joined SPROFILE_GUARDED_BY(mu) = false;
+
+  std::atomic<uint64_t> ticks{0};
+  std::thread thread;
+
+  void Run() SPROFILE_EXCLUDES(mu) {
+    bool done = false;
+    while (!done) {
+      {
+        MutexLock lock(mu);
+        if (!stop) cv.WaitFor(mu, interval);
+        done = stop;
+      }
+      // One tick per wakeup; the post-stop pass delivers the final tick
+      // so even a shorter-than-interval process lifetime exports once.
+      // orders: relaxed — advisory tick count.
+      const uint64_t tick = ticks.fetch_add(1, std::memory_order_relaxed) + 1;
+      sink(Registry::Global().Snapshot(), tick);
+    }
+  }
+};
+
+PeriodicExporter::PeriodicExporter(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+PeriodicExporter::~PeriodicExporter() { Stop(); }
+
+void PeriodicExporter::Stop() {
+  if (impl_ == nullptr) return;
+  {
+    MutexLock lock(impl_->mu);
+    if (impl_->joined) return;
+    impl_->stop = true;
+    impl_->joined = true;
+  }
+  impl_->cv.NotifyAll();
+  if (impl_->thread.joinable()) impl_->thread.join();
+}
+
+uint64_t PeriodicExporter::ticks() const {
+  // orders: relaxed — advisory count.
+  return impl_ == nullptr ? 0
+                          : impl_->ticks.load(std::memory_order_relaxed);
+}
+
+std::unique_ptr<PeriodicExporter> StartPeriodicExporter(
+    std::chrono::milliseconds interval,
+    std::function<void(const MetricsSnapshot&, uint64_t tick)> sink) {
+  auto impl = std::make_unique<PeriodicExporter::Impl>();
+  impl->interval = interval;
+  impl->sink = std::move(sink);
+  PeriodicExporter::Impl* raw = impl.get();
+  impl->thread = std::thread([raw] { raw->Run(); });
+  return std::unique_ptr<PeriodicExporter>(
+      new PeriodicExporter(std::move(impl)));
+}
+
+}  // namespace obs
+}  // namespace sprofile

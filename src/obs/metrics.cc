@@ -1,0 +1,308 @@
+#include "sprofile/obs/metrics.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sprofile/obs/trace_ring.h"
+#include "util/logging.h"
+
+namespace sprofile {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+uint64_t Histogram::ApproxQuantileUpperBound(double q) const {
+  uint64_t counts[kHistogramBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    counts[i] = BucketCount(i);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the quantile element, 1-based, ceil so q=1.0 is the max.
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (target < 1) target = 1;
+  if (target > total) target = total;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    cum += counts[i];
+    if (cum >= target) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kHistogramBuckets - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct Registry::Entry {
+  std::string name;
+  std::string unit;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  // Exactly one of these is set, per kind. unique_ptr keeps the padded
+  // instruments off the Entry (stable addresses even if entries_ grows).
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+  struct Callback {
+    uint64_t id = 0;
+    std::function<int64_t()> fn;
+  };
+  std::vector<Callback> callbacks;
+};
+
+Registry& Registry::Global() {
+  // Heap-allocated and never freed: metric references handed out by the
+  // SPROFILE_METRIC_* macros must outlive every static destructor that
+  // might still record. Reachable through this pointer, so LeakSanitizer
+  // does not flag it.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+Registry::Entry& Registry::GetOrCreate(std::string_view name, MetricKind kind,
+                                       std::string_view unit,
+                                       std::string_view help) {
+  for (auto& e : entries_) {
+    if (e->name == name) {
+      SPROFILE_CHECK(e->kind == kind);
+      return *e;
+    }
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = std::string(name);
+  e->unit = std::string(unit);
+  e->help = std::string(help);
+  e->kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      e->counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      e->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      e->histogram = std::make_unique<Histogram>();
+      break;
+    case MetricKind::kCallbackGauge:
+      break;  // value comes from callbacks at snapshot time
+  }
+  entries_.push_back(std::move(e));
+  return *entries_.back();
+}
+
+Counter& Registry::GetCounter(std::string_view name, std::string_view unit,
+                              std::string_view help) {
+  MutexLock lock(mu_);
+  return *GetOrCreate(name, MetricKind::kCounter, unit, help).counter;
+}
+
+Gauge& Registry::GetGauge(std::string_view name, std::string_view unit,
+                          std::string_view help) {
+  MutexLock lock(mu_);
+  return *GetOrCreate(name, MetricKind::kGauge, unit, help).gauge;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name,
+                                  std::string_view unit,
+                                  std::string_view help) {
+  MutexLock lock(mu_);
+  return *GetOrCreate(name, MetricKind::kHistogram, unit, help).histogram;
+}
+
+CallbackGaugeHandle Registry::AddCallbackGauge(std::string_view name,
+                                               std::string_view unit,
+                                               std::string_view help,
+                                               std::function<int64_t()> fn) {
+  MutexLock lock(mu_);
+  Entry& e = GetOrCreate(name, MetricKind::kCallbackGauge, unit, help);
+  const uint64_t id = next_callback_id_++;
+  e.callbacks.push_back({id, std::move(fn)});
+  return CallbackGaugeHandle(id);
+}
+
+void Registry::RemoveCallback(uint64_t id) {
+  MutexLock lock(mu_);
+  for (auto& e : entries_) {
+    auto& cbs = e->callbacks;
+    for (size_t i = 0; i < cbs.size(); ++i) {
+      if (cbs[i].id == id) {
+        cbs.erase(cbs.begin() + static_cast<ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot snap;
+  {
+    MutexLock lock(mu_);
+    snap.samples.reserve(entries_.size());
+    for (const auto& ep : entries_) {
+      const Entry& e = *ep;
+      // gcc 12 mis-traces e.kind through the unique_ptr indirection and
+      // reports -Wmaybe-uninitialized; a concrete reference and local
+      // copy keep the (always initialized) load visible to the analysis.
+      const MetricKind kind = e.kind;
+      MetricSample s;
+      s.name = e.name;
+      s.kind = kind;
+      s.unit = e.unit;
+      s.help = e.help;
+      switch (kind) {
+        case MetricKind::kCounter:
+          s.count = e.counter->Value();
+          break;
+        case MetricKind::kGauge:
+          s.value = e.gauge->Value();
+          break;
+        case MetricKind::kHistogram: {
+          s.count = e.histogram->Count();
+          s.sum = e.histogram->Sum();
+          s.buckets.resize(kHistogramBuckets);
+          for (size_t i = 0; i < kHistogramBuckets; ++i) {
+            s.buckets[i] = e.histogram->BucketCount(i);
+          }
+          break;
+        }
+        case MetricKind::kCallbackGauge: {
+          int64_t total = 0;
+          for (const auto& cb : e.callbacks) total += cb.fn();
+          s.value = total;
+          break;
+        }
+      }
+      snap.samples.push_back(std::move(s));
+    }
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+const MetricSample* MetricsSnapshot::Find(std::string_view name) const {
+  const auto it = std::lower_bound(
+      samples.begin(), samples.end(), name,
+      [](const MetricSample& s, std::string_view n) { return s.name < n; });
+  if (it == samples.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+void CallbackGaugeHandle::Release() {
+  if (id_ == 0) return;
+  Registry::Global().RemoveCallback(id_);
+  id_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Trace ring
+// ---------------------------------------------------------------------------
+
+std::string_view TraceEventName(TraceEvent ev) {
+  switch (ev) {
+    case TraceEvent::kPublishBegin:
+      return "publish_begin";
+    case TraceEvent::kPublishEnd:
+      return "publish_end";
+    case TraceEvent::kEpochFlip:
+      return "epoch_flip";
+    case TraceEvent::kCowFault:
+      return "cow_fault";
+    case TraceEvent::kReflatten:
+      return "reflatten";
+    case TraceEvent::kConsolidate:
+      return "consolidate";
+    case TraceEvent::kArenaCreate:
+      return "arena_create";
+    case TraceEvent::kArenaReclaim:
+      return "arena_reclaim";
+    case TraceEvent::kSpill:
+      return "spill";
+  }
+  return "unknown";
+}
+
+TraceRing& GlobalTraceRing() {
+  // Same lifetime contract as Registry::Global(): core layers may trace
+  // from static destructors, so the ring is never destroyed.
+  static TraceRing* g = new TraceRing(8192);
+  return *g;
+}
+
+std::vector<TraceRecord> TraceRing::Dump() const {
+  std::vector<TraceRecord> out;
+  out.reserve(slots_.size());
+  for (const Slot& s : slots_) {
+    // orders: acquire pairs with Emit()'s release seq store — a nonzero
+    // seq guarantees the field stores below it are visible.
+    const uint64_t seq1 = s.seq.load(std::memory_order_acquire);
+    if (seq1 == 0) continue;
+    TraceRecord r;
+    r.seq = seq1 - 1;
+    // orders: relaxed — covered by the seq acquire above; a concurrent
+    // overwrite can tear this record (documented) but not race it.
+    r.ns = s.ns.load(std::memory_order_relaxed);
+    r.detail = s.detail.load(std::memory_order_relaxed);
+    r.arg = s.arg.load(std::memory_order_relaxed);
+    r.event = static_cast<TraceEvent>(s.event.load(std::memory_order_relaxed));
+    r.shard = s.shard.load(std::memory_order_relaxed);
+    out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::vector<TraceRecord> MergeTraces(
+    const std::vector<std::vector<TraceRecord>>& dumps) {
+  std::vector<TraceRecord> out;
+  size_t total = 0;
+  for (const auto& d : dumps) total += d.size();
+  out.reserve(total);
+  for (const auto& d : dumps) out.insert(out.end(), d.begin(), d.end());
+  std::sort(out.begin(), out.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              if (a.ns != b.ns) return a.ns < b.ns;
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::string FormatTrace(const std::vector<TraceRecord>& records) {
+  std::string out;
+  if (records.empty()) return out;
+  uint64_t base = records.front().ns;
+  for (const TraceRecord& r : records) base = std::min(base, r.ns);
+  for (const TraceRecord& r : records) {
+    out += "+";
+    out += std::to_string(r.ns - base);
+    out += "ns shard=";
+    if (r.shard == kTraceNoShard) {
+      out += "-";
+    } else {
+      out += std::to_string(r.shard);
+    }
+    out += " ";
+    out += TraceEventName(r.event);
+    out += " arg=";
+    out += std::to_string(r.arg);
+    out += " detail=";
+    out += std::to_string(r.detail);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace sprofile

@@ -33,6 +33,7 @@
 #include "core/frequency_profile.h"
 #include "core/page_arena.h"
 #include "sprofile/event.h"
+#include "sprofile/obs/trace_ring.h"
 #include "util/random.h"
 #include "util/sync.h"
 
@@ -276,6 +277,64 @@ TEST(FlatEpochPagedArrayTest, EnsureFlatOnEmptiedArrayReleasesWitnessPin) {
   // Only the anchored home-run block may remain live; with the leak the
   // pinned standalone page block survived too.
   EXPECT_EQ(alloc->Stats().pages_live(), 1u);
+}
+
+// Regression (the PR 6 Release-only flake in
+// ArenaReclaimTortureTest.ConcurrentSnapshotDropsReclaimSafely,
+// pages_live 15 vs 14): a PINNED page witness armed on a shared
+// standalone page inflates that block's refcount by one. When the owner
+// later faults the page away, the pin used to stay armed — and the only
+// thing that ever drops a pin is a future EnsureFlat poll, which a
+// quiescent array never runs. Once the snapshots died, the pin alone
+// kept the orphaned block (and potentially its whole arena) alive for
+// the array's lifetime. EnsureWritable/FaultPage/resize now lift the pin
+// before the watched block leaves the page table. The lifecycle trace
+// ring (obs/trace_ring.h) is what made the leak's event order visible
+// without a Release debugger: fault(0) -> witness pin -> fault(0) again
+// with no intervening re-flatten poll.
+TEST(FlatEpochPagedArrayTest, WitnessPinReleasedWhenWatchedPageFaultsAway) {
+  auto alloc = SmallArena();
+  obs::TraceRing ring(64);
+  obs::ScopedTraceRing scope(&ring, /*shard=*/7);
+
+  cow::PagedArray<uint64_t> a(alloc, 1024);
+  a.resize(1024);
+  ASSERT_TRUE(a.EnsureFlat());
+
+  auto snap1 = std::make_optional<cow::PagedArray<uint64_t>>(a);
+  a.Mutable(0) = 1;  // fault #1: page 0 -> standalone block s1
+  // snap2 shares s1, so the next probe finds page 0 at refs == 2 and
+  // arms the PINNED page witness on s1 (refs -> 3).
+  auto snap2 = std::make_optional<cow::PagedArray<uint64_t>>(a);
+  EXPECT_FALSE(a.EnsureFlat());
+  // fault #2: the owner writes the watched page again. The pin must lift
+  // here — after this, s1 is out of the table and no poll will ever run.
+  a.Mutable(0) = 2;
+  snap1.reset();
+  snap2.reset();  // s1's last snapshot reference gone
+
+  // No EnsureFlat between the re-fault and this check, on purpose: the
+  // leak only showed on arrays that went quiescent. Live blocks must be
+  // exactly the anchored home run + the current standalone page 0; with
+  // the stale pin, s1 survived as a third.
+  EXPECT_EQ(alloc->Stats().pages_live(), 2u)
+      << "stale witness pin leaked the faulted-away block";
+  EXPECT_EQ(a[0], 2u);
+
+  // The trace ring saw both faults of page 0, tagged with our scope id.
+  int faults_page0 = 0;
+  for (const obs::TraceRecord& r : ring.Dump()) {
+    if (r.event == obs::TraceEvent::kCowFault && r.arg == 0) {
+      EXPECT_EQ(r.shard, 7u);
+      ++faults_page0;
+    }
+  }
+  EXPECT_EQ(faults_page0, 2);
+
+  // And the epoch is still reachable afterwards.
+  ASSERT_TRUE(a.EnsureFlat());
+  EXPECT_EQ(alloc->Stats().pages_live(), 1u);
+  EXPECT_EQ(a[0], 2u);
 }
 
 TEST(FlatEpochPagedArrayTest, HeapAllocatorNeverFlat) {

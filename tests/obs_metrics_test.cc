@@ -1,0 +1,269 @@
+// sprofile::obs metrics registry: striped counters under contention,
+// log2 histogram buckets, callback-gauge summation, the global enable
+// gate, and exporter round-trips (JSON lines + Prometheus text).
+//
+// The registry is process-global and never frees metrics, so every test
+// registers names unique to itself and asserts deltas, not absolutes.
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sprofile/obs/export.h"
+#include "sprofile/obs/metrics.h"
+
+namespace sprofile {
+namespace obs {
+namespace {
+
+// Restores the record-path gate no matter how a test exits.
+struct EnabledGuard {
+  bool prev = Enabled();
+  ~EnabledGuard() { SetEnabled(prev); }
+};
+
+TEST(ObsCounterTest, StripedAddsSumExactlyAcrossThreads) {
+  Counter& c = SPROFILE_METRIC_COUNTER("sprofile_test_striped_counter",
+                                       "widgets", "striped counter test");
+  const uint64_t before = c.Value();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value() - before, kThreads * kPerThread);
+}
+
+TEST(ObsCounterTest, MacroMemoizesOneInstancePerName) {
+  Counter& a = SPROFILE_METRIC_COUNTER("sprofile_test_memoized", "ops", "x");
+  Counter& b = SPROFILE_METRIC_COUNTER("sprofile_test_memoized", "ops", "x");
+  EXPECT_EQ(&a, &b);
+  const uint64_t before = a.Value();
+  b.Add(3);
+  EXPECT_EQ(a.Value() - before, 3u);
+}
+
+TEST(ObsGaugeTest, SetAddSubUpdateMax) {
+  Gauge& g = SPROFILE_METRIC_GAUGE("sprofile_test_gauge", "items", "gauge");
+  g.Set(10);
+  EXPECT_EQ(g.Value(), 10);
+  g.Add(5);
+  g.Sub(2);
+  EXPECT_EQ(g.Value(), 13);
+  g.UpdateMax(9);  // below: no-op
+  EXPECT_EQ(g.Value(), 13);
+  g.UpdateMax(40);
+  EXPECT_EQ(g.Value(), 40);
+}
+
+TEST(ObsHistogramTest, Log2BucketsAndQuantileBound) {
+  EXPECT_EQ(Histogram::BucketFor(0), 0u);
+  EXPECT_EQ(Histogram::BucketFor(1), 1u);
+  EXPECT_EQ(Histogram::BucketFor(2), 2u);
+  EXPECT_EQ(Histogram::BucketFor(3), 2u);
+  EXPECT_EQ(Histogram::BucketFor(4), 3u);
+  EXPECT_EQ(Histogram::BucketFor(1023), 10u);
+  EXPECT_EQ(Histogram::BucketFor(1024), 11u);
+  // Values wider than the last bucket clamp into it.
+  EXPECT_EQ(Histogram::BucketFor(~uint64_t{0}), kHistogramBuckets - 1);
+
+  Histogram& h = SPROFILE_METRIC_HISTOGRAM("sprofile_test_histogram", "ns",
+                                           "histogram test");
+  const uint64_t count0 = h.Count();
+  const uint64_t sum0 = h.Sum();
+  for (int i = 0; i < 99; ++i) h.Record(3);   // bucket 2
+  h.Record(1 << 20);                          // bucket 21, the p100 tail
+  EXPECT_EQ(h.Count() - count0, 100u);
+  EXPECT_EQ(h.Sum() - sum0, 99u * 3 + (1u << 20));
+  EXPECT_GE(h.BucketCount(2), 99u);
+  // p50 of {99 x 3, 1 x 2^20} sits in bucket 2 → upper bound 4.
+  EXPECT_EQ(h.ApproxQuantileUpperBound(0.5), 4u);
+  // p100 must cover the outlier.
+  EXPECT_GE(h.ApproxQuantileUpperBound(1.0), uint64_t{1} << 20);
+}
+
+TEST(ObsRegistryTest, CallbackGaugesSumAcrossRegistrantsAndUnregister) {
+  Registry& reg = Registry::Global();
+  std::atomic<int64_t> a{7};
+  std::atomic<int64_t> b{5};
+  CallbackGaugeHandle ha = reg.AddCallbackGauge(
+      "sprofile_test_cb_gauge", "items", "callback gauge test",
+      [&a] { return a.load(); });
+  {
+    CallbackGaugeHandle hb = reg.AddCallbackGauge(
+        "sprofile_test_cb_gauge", "items", "callback gauge test",
+        [&b] { return b.load(); });
+    const MetricSample* s =
+        reg.Snapshot().Find("sprofile_test_cb_gauge");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->kind, MetricKind::kCallbackGauge);
+    EXPECT_EQ(s->value, 12);
+    // hb unregisters here.
+  }
+  const MetricSample* s = reg.Snapshot().Find("sprofile_test_cb_gauge");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->value, 7);
+  // Moved-to handles carry the registration; moved-from ones are inert.
+  CallbackGaugeHandle moved = std::move(ha);
+  moved.Release();
+  s = reg.Snapshot().Find("sprofile_test_cb_gauge");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->value, 0);
+}
+
+TEST(ObsRegistryTest, SnapshotIsSortedAndFindsByName) {
+  SPROFILE_METRIC_COUNTER("sprofile_test_sorted_a", "ops", "a").Increment();
+  SPROFILE_METRIC_COUNTER("sprofile_test_sorted_b", "ops", "b").Increment();
+  const MetricsSnapshot snap = Registry::Global().Snapshot();
+  for (size_t i = 1; i < snap.samples.size(); ++i) {
+    EXPECT_LT(snap.samples[i - 1].name, snap.samples[i].name);
+  }
+  ASSERT_NE(snap.Find("sprofile_test_sorted_a"), nullptr);
+  EXPECT_EQ(snap.Find("sprofile_test_no_such_metric"), nullptr);
+}
+
+TEST(ObsRegistryTest, DisabledGateSuppressesRecordingOnly) {
+  EnabledGuard guard;
+  Counter& c = SPROFILE_METRIC_COUNTER("sprofile_test_gate_counter", "ops",
+                                       "gate test");
+  Gauge& g = SPROFILE_METRIC_GAUGE("sprofile_test_gate_gauge", "ops", "gate");
+  Histogram& h =
+      SPROFILE_METRIC_HISTOGRAM("sprofile_test_gate_hist", "ns", "gate");
+  SetEnabled(true);
+  c.Add(2);
+  g.Set(11);
+  h.Record(8);
+  const uint64_t count = c.Value();
+  const uint64_t hcount = h.Count();
+
+  SetEnabled(false);
+  EXPECT_FALSE(Enabled());
+  c.Add(100);
+  g.Set(999);
+  g.UpdateMax(1'000'000);
+  h.Record(1 << 30);
+  // Off suppresses new recording; existing values survive.
+  EXPECT_EQ(c.Value(), count);
+  EXPECT_EQ(g.Value(), 11);
+  EXPECT_EQ(h.Count(), hcount);
+
+  SetEnabled(true);
+  c.Increment();
+  EXPECT_EQ(c.Value(), count + 1);
+}
+
+TEST(ObsExportTest, JsonLinesRoundTripsEverySample) {
+  SPROFILE_METRIC_COUNTER("sprofile_test_export_counter", "ops", "c").Add(5);
+  SPROFILE_METRIC_GAUGE("sprofile_test_export_gauge", "items", "g").Set(-3);
+  SPROFILE_METRIC_HISTOGRAM("sprofile_test_export_hist", "ns", "h").Record(7);
+  const MetricsSnapshot snap = Registry::Global().Snapshot();
+  const std::string json = ToJsonLines(snap, "sprofile_obs", /*tick=*/2);
+
+  // Every sample emits at least one line carrying its name; histograms
+  // emit the three derived series.
+  for (const MetricSample& s : snap.samples) {
+    if (s.kind == MetricKind::kHistogram) {
+      EXPECT_NE(json.find("\"metric\":\"" + s.name + "_count\""),
+                std::string::npos)
+          << s.name;
+      EXPECT_NE(json.find("\"metric\":\"" + s.name + "_sum\""),
+                std::string::npos)
+          << s.name;
+      EXPECT_NE(json.find("\"metric\":\"" + s.name + "_p99_ub\""),
+                std::string::npos)
+          << s.name;
+    } else {
+      EXPECT_NE(json.find("\"metric\":\"" + s.name + "\""), std::string::npos)
+          << s.name;
+    }
+  }
+  // The repo bench-JSON convention: tagged source, scale, and tick.
+  EXPECT_NE(json.find("\"bench\":\"sprofile_obs\""), std::string::npos);
+  EXPECT_NE(json.find("\"scale\":\"obs\""), std::string::npos);
+  EXPECT_NE(json.find("\"tick\":2}"), std::string::npos);
+  // Negative gauges serialize as signed values.
+  EXPECT_NE(
+      json.find(
+          "\"metric\":\"sprofile_test_export_gauge\",\"value\":-3"),
+      std::string::npos);
+}
+
+TEST(ObsExportTest, PrometheusTextCoversEveryMetricWithTypeAndBuckets) {
+  SPROFILE_METRIC_COUNTER("sprofile_test_prom_counter", "ops", "c").Add(1);
+  SPROFILE_METRIC_HISTOGRAM("sprofile_test_prom_hist", "ns", "h").Record(9);
+  const MetricsSnapshot snap = Registry::Global().Snapshot();
+  const std::string text = ToPrometheusText(snap);
+  for (const MetricSample& s : snap.samples) {
+    EXPECT_NE(text.find("# TYPE " + s.name + " "), std::string::npos)
+        << s.name;
+  }
+  EXPECT_NE(text.find("# TYPE sprofile_test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sprofile_test_prom_hist histogram"),
+            std::string::npos);
+  // Cumulative buckets must close with +Inf and carry _sum/_count.
+  EXPECT_NE(text.find("sprofile_test_prom_hist_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("sprofile_test_prom_hist_sum"), std::string::npos);
+  EXPECT_NE(text.find("sprofile_test_prom_hist_count"), std::string::npos);
+}
+
+TEST(ObsExportTest, PeriodicExporterTicksAndDeliversFinalSnapshot) {
+  Counter& c = SPROFILE_METRIC_COUNTER("sprofile_test_periodic", "ops", "p");
+  c.Add(4);
+  std::atomic<uint64_t> last_tick{0};
+  std::atomic<int> calls{0};
+  std::atomic<bool> saw_metric{false};
+  auto exporter = StartPeriodicExporter(
+      std::chrono::milliseconds(5),
+      [&](const MetricsSnapshot& snap, uint64_t tick) {
+        last_tick.store(tick);
+        calls.fetch_add(1);
+        if (snap.Find("sprofile_test_periodic") != nullptr) {
+          saw_metric.store(true);
+        }
+      });
+  // Stop() blocks until the final shutdown tick has been delivered, so
+  // at least one call is guaranteed even if no interval elapsed.
+  exporter->Stop();
+  EXPECT_GE(calls.load(), 1);
+  EXPECT_EQ(exporter->ticks(), last_tick.load());
+  EXPECT_TRUE(saw_metric.load());
+  exporter->Stop();  // idempotent
+  EXPECT_EQ(exporter->ticks(), last_tick.load());
+}
+
+TEST(ObsExportTest, ConcurrentRecordingWhileSnapshottingIsTornButSafe) {
+  // Counters/histograms are merged with relaxed loads while writers are
+  // mid-update: totals may be stale but never torn below a single
+  // metric's past (monotone reads per stripe).
+  Counter& c = SPROFILE_METRIC_COUNTER("sprofile_test_torn", "ops", "t");
+  const uint64_t before = c.Value();
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) c.Increment();
+  });
+  uint64_t prev = before;
+  for (int i = 0; i < 200; ++i) {
+    const MetricSample* s =
+        Registry::Global().Snapshot().Find("sprofile_test_torn");
+    ASSERT_NE(s, nullptr);
+    EXPECT_GE(s->count, prev);
+    prev = s->count;
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_GE(c.Value(), prev);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sprofile

@@ -1,0 +1,9 @@
+// Clean file: every registered metric has a catalog row in the fixture's
+// docs/OBSERVABILITY.md — the rule must stay quiet here.
+#include "sprofile/obs/metrics.h"
+
+void Clean() {
+  SPROFILE_METRIC_HISTOGRAM("sprofile_fixture_documented", "ns",
+                            "A histogram with a catalog row")
+      .Record(1);
+}

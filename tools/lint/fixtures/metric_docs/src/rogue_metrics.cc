@@ -1,0 +1,21 @@
+// Seeded violation: registers metrics that docs/OBSERVABILITY.md does
+// not catalog — one per registration spelling the rule must recognize.
+#include "sprofile/obs/metrics.h"
+
+void Rogue() {
+  SPROFILE_METRIC_COUNTER(
+      "sprofile_fixture_undocumented_counter", "widgets",
+      "A counter with no catalog row")
+      .Increment();
+  ::sprofile::obs::Registry::Global().AddCallbackGauge(
+      "sprofile_fixture_undocumented_callback", "widgets",
+      "A callback gauge with no catalog row", [] { return 0; });
+}
+
+struct StatGauge {
+  const char* name;
+  const char* unit;
+};
+constexpr StatGauge kRogueTable[] = {
+    {"sprofile_fixture_undocumented_table", "widgets"},
+};

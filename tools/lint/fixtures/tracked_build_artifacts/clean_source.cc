@@ -1,0 +1,3 @@
+// Clean file: lives outside any build*/ tree — the rule must not flag
+// ordinary sources.
+int main() { return 0; }

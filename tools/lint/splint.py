@@ -19,6 +19,12 @@ checks (see tools/lint/README.md for the rationale behind each rule):
                       allocators (cow_pages.h, page_arena.h) — no naked
                       mmap / operator-new / malloc elsewhere in the
                       storage layers
+  metric-docs         every metric registered through the
+                      SPROFILE_METRIC_* macros / AddCallbackGauge has a
+                      catalog row in docs/OBSERVABILITY.md
+  tracked-build-artifacts
+                      no build*/ tree is committed to the repository
+                      (PR 6 accidentally committed build_review/)
 
 Exit status: 0 clean, 1 violations (printed one per line as
 path:line: [rule] message), 2 usage/internal error.
@@ -75,9 +81,25 @@ PAYLOAD_FORBIDDEN = re.compile(
     r"\bmmap\s*\(|::operator new\b|\bstd::malloc\s*\(|\bmalloc\s*\(|"
     r"\bnew\s+(?:char|std::byte|uint8_t|unsigned char)\s*\[")
 
-# atomic-orders applies to the lock-free storage cores, wherever they
-# live under the scanned root.
-ATOMIC_ORDER_FILES = {"ring_buffer.h", "cow_pages.h", "page_arena.h"}
+# atomic-orders applies to the lock-free storage cores and the obs
+# record/trace paths, wherever they live under the scanned root.
+ATOMIC_ORDER_FILES = {"ring_buffer.h", "cow_pages.h", "page_arena.h",
+                      "metrics.h", "trace_ring.h"}
+
+# metric-docs: where metric registrations live (tests may register
+# ad-hoc metrics without documenting them), and the catalog they must
+# appear in.
+METRIC_SCAN_DIRS = ("src", "include", "bench", "examples")
+METRIC_DOCS_PATH = "docs/OBSERVABILITY.md"
+# Registration spellings: the macros, a literal-first-arg callback
+# gauge, and {"name", "unit", ...} rows of a gauge table (see
+# RegisterObsGauges in sharded_profiler.h). \s crosses clang-format
+# line breaks.
+METRIC_NAME_RES = (
+    re.compile(r'SPROFILE_METRIC_(?:COUNTER|GAUGE|HISTOGRAM)\(\s*"([^"]+)"'),
+    re.compile(r'AddCallbackGauge\(\s*"([^"]+)"'),
+    re.compile(r'\{"(sprofile_[a-z0-9_]+)",\s*"'),
+)
 ATOMIC_CALL_RE = re.compile(
     r"\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
     r"fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\(")
@@ -311,6 +333,15 @@ def rule_atomic_orders(root):
                 line_text = text[line_start:line_end if line_end != -1 else None]
                 if decl.search(line_text):
                     continue
+                # Skip declarations of PLAIN variables that merely share a
+                # name with an atomic elsewhere in the file (`uint64_t seq
+                # = head_.fetch_add(...)`, default parameters, and plain
+                # mirror structs like obs::TraceRecord).
+                plain_decl = re.compile(
+                    r"\b(?:const\s+)?[A-Za-z_][\w:]*(?:<[^<>]*>)?[&*\s]+"
+                    + re.escape(name) + r"\s*=")
+                if plain_decl.search(line_text):
+                    continue
                 line = text.count("\n", 0, m.start()) + 1
                 violations.append(Violation(
                     rel, line, "atomic-orders",
@@ -358,6 +389,84 @@ def rule_payload_alloc(root):
     return violations
 
 
+def rule_metric_docs(root):
+    violations = []
+    docs = read(root, METRIC_DOCS_PATH)
+    registrations = []  # (relpath, line, name)
+    for reldir in METRIC_SCAN_DIRS:
+        for rel in iter_files(root, reldir, (".h", ".cc", ".cpp")):
+            raw = read(root, rel) or ""
+            # Doc comments may quote the macro spelling as an example
+            # ("SPROFILE_METRIC_COUNTER(\"name\", ...)") — blank those
+            # lines (keeping line numbers) so only code registers.
+            scrubbed = "\n".join(
+                "" if line.lstrip().startswith("//") else line
+                for line in raw.split("\n"))
+            for pat in METRIC_NAME_RES:
+                for m in pat.finditer(scrubbed):
+                    line = scrubbed.count("\n", 0, m.start()) + 1
+                    registrations.append((rel, line, m.group(1)))
+    if not registrations:
+        return violations
+    if docs is None:
+        violations.append(Violation(
+            METRIC_DOCS_PATH, 1, "metric-docs",
+            "metrics are registered but the catalog file is missing"))
+        return violations
+    documented = set(re.findall(r"^\|\s*`([^`]+)`", docs, re.M))
+    seen = set()
+    for rel, line, name in registrations:
+        if name in documented or name in seen:
+            continue
+        seen.add(name)
+        violations.append(Violation(
+            rel, line, "metric-docs",
+            f"metric '{name}' has no catalog row in {METRIC_DOCS_PATH} "
+            "(a markdown table row starting with | `" + name + "` |) — "
+            "every exported metric must be documented"))
+    return violations
+
+
+def rule_tracked_build_artifacts(root):
+    """Flags build*/ paths committed to the repository. With a .git
+    directory the tracked set comes from `git ls-files` (the authoritative
+    answer); the fixture tree has no .git, so it falls back to a
+    filesystem walk."""
+    violations = []
+    build_re = re.compile(r"^build[^/]*/")
+    paths = []
+    if os.path.isdir(os.path.join(root, ".git")):
+        import subprocess
+        try:
+            out = subprocess.run(
+                ["git", "ls-files"], cwd=root, capture_output=True,
+                text=True, check=True).stdout
+        except (OSError, subprocess.CalledProcessError):
+            return violations  # no git available: nothing to assert
+        paths = out.splitlines()
+    else:
+        for dirpath, _, names in os.walk(root):
+            for name in sorted(names):
+                rel = os.path.relpath(
+                    os.path.join(dirpath, name), root).replace(os.sep, "/")
+                paths.append(rel)
+    flagged_dirs = set()
+    for rel in paths:
+        m = build_re.match(rel)
+        if m is None:
+            continue
+        top = m.group(0)
+        if top in flagged_dirs:
+            continue  # one violation per build tree, not per file
+        flagged_dirs.add(top)
+        violations.append(Violation(
+            rel, 1, "tracked-build-artifacts",
+            f"build tree '{top}' is committed to the repository — "
+            "`git rm -r --cached " + top.rstrip("/") + "` and keep "
+            "build*/ in .gitignore"))
+    return violations
+
+
 RULES = {
     "test-registration": rule_test_registration,
     "sanitizer-coverage": rule_sanitizer_coverage,
@@ -365,6 +474,8 @@ RULES = {
     "atomic-orders": rule_atomic_orders,
     "facade-includes": rule_facade_includes,
     "payload-alloc": rule_payload_alloc,
+    "metric-docs": rule_metric_docs,
+    "tracked-build-artifacts": rule_tracked_build_artifacts,
 }
 
 # Fixture directory name per rule (dashes -> underscores).
