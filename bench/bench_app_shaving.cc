@@ -27,9 +27,12 @@ struct GraphCase {
 };
 
 std::vector<GraphCase> MakeGraphs(ScaleMode mode) {
-  uint32_t n_er, n_ba;
-  uint64_t e_er;
-  uint32_t k_ba;
+  // Initialized in every switch case below; the = 0 defaults keep gcc's
+  // -Wmaybe-uninitialized quiet in sanitizer builds (it cannot prove the
+  // enum switch is exhaustive).
+  uint32_t n_er = 0, n_ba = 0;
+  uint64_t e_er = 0;
+  uint32_t k_ba = 0;
   switch (mode) {
     case ScaleMode::kQuick:
       n_er = 20000, e_er = 100000, n_ba = 20000, k_ba = 5;

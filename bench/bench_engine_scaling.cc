@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "core/flat_kernel.h"
 #include "core/page_arena.h"
 #include "sprofile/obs/export.h"
 #include "sprofile/obs/metrics.h"
@@ -262,6 +263,24 @@ const char* ModeName(engine::SnapshotMode mode) {
   return mode == engine::SnapshotMode::kCow ? "cow" : "deep_copy";
 }
 
+/// The kernel tiers this machine can A/B: scalar always, plus whatever
+/// the CPU dispatches to (forced-scalar builds detect only scalar, so
+/// their rows simply carry kernel=scalar — the trajectory gate matches
+/// rows on (scale, m, kernel) and never compares across tiers).
+std::vector<sprofile::simd::KernelTier> KernelTiers() {
+  std::vector<sprofile::simd::KernelTier> tiers{
+      sprofile::simd::KernelTier::kScalar};
+  if (sprofile::simd::DetectKernelTier() !=
+      sprofile::simd::KernelTier::kScalar) {
+    tiers.push_back(sprofile::simd::DetectKernelTier());
+  }
+  return tiers;
+}
+
+std::string ActiveKernelName() {
+  return sprofile::simd::KernelTierName(sprofile::simd::ActiveKernelTier());
+}
+
 }  // namespace
 
 int main() {
@@ -430,7 +449,9 @@ int main() {
     std::snprintf(rel, sizeof(rel), "%.2fx", ns / flat_ns);
     update_table.AddRow({c.name, nss, rel});
     EmitJsonLine("bench_engine_scaling", "update_ns_per_event", ns,
-                 {{"storage", c.name}, {"m", std::to_string(sizes.m)}});
+                 {{"storage", c.name},
+                  {"m", std::to_string(sizes.m)},
+                  {"kernel", ActiveKernelName()}});
     EmitJsonLine("bench_engine_scaling",
                  std::string(c.name) + "_over_flat", ns / flat_ns,
                  {{"m", std::to_string(sizes.m)}});
@@ -450,6 +471,71 @@ int main() {
               "(ISSUE 5 exclusive-epoch flat path; was the ISSUE 4 1.25x "
               "goal); heap_pages is the PR 3 layout tax, kept as the "
               "no-runs fallback\n\n");
+
+  // -----------------------------------------------------------------------
+  // Kernel A/B (ISSUE 9): the same stream through each dispatchable
+  // kernel tier. Two shapes:
+  //   - batched single-thread ApplyBatch in engine-sized chunks (2048) —
+  //     the staged replay path (coalesce/netting, locality sort, warm
+  //     pass, lookahead) in isolation;
+  //   - single-shard end-to-end ingestion — the 2x-vs-seed acceptance
+  //     row, per tier, so the trajectory history records which kernel
+  //     produced every events_per_sec figure.
+  // kernel_speedup_vs_scalar compares tiers within THIS run only; the CI
+  // gate never compares rows across different kernel tags.
+  // -----------------------------------------------------------------------
+  std::printf("# kernel A/B (single thread ApplyBatch chunks of 2048, then "
+              "single-shard engine)\n");
+  TablePrinter kernel_table(
+      {"kernel", "batch ns/event", "engine events/sec", "vs scalar"});
+  double scalar_eps = 0.0;
+  for (const sprofile::simd::KernelTier tier : KernelTiers()) {
+    sprofile::simd::SetKernelTier(tier);
+    const std::string kernel = ActiveKernelName();
+
+    double batch_ns = 0.0;
+    {
+      auto alloc = sprofile::cow::MakeArenaPageAllocator();
+      sprofile::FrequencyProfile p(sizes.m, alloc);
+      WallTimer timer;
+      for (uint64_t i = 0; i < events.size(); i += 2048) {
+        const uint64_t n = std::min<uint64_t>(2048, events.size() - i);
+        p.ApplyBatch(std::span<const Event>(events.data() + i, n));
+      }
+      batch_ns = timer.ElapsedSeconds() * 1e9 /
+                 static_cast<double>(events.size());
+      Sink(p.Mode().frequency);
+    }
+
+    const RunResult r =
+        RunIngestion(sizes, /*shards=*/1, /*snapshot_interval=*/0,
+                     engine::SnapshotMode::kCow, events,
+                     engine::PageAllocatorKind::kArena);
+    if (tier == sprofile::simd::KernelTier::kScalar) {
+      scalar_eps = r.events_per_sec;
+    }
+    char bns[32], eps_s[32], rel[32];
+    std::snprintf(bns, sizeof(bns), "%.3g", batch_ns);
+    std::snprintf(eps_s, sizeof(eps_s), "%.3g", r.events_per_sec);
+    std::snprintf(rel, sizeof(rel), "%.2fx", r.events_per_sec / scalar_eps);
+    kernel_table.AddRow({kernel, bns, eps_s, rel});
+    const std::vector<JsonTag> ktags = {{"m", std::to_string(sizes.m)},
+                                        {"kernel", kernel}};
+    EmitJsonLine("bench_engine_scaling", "batch_update_ns_per_event", batch_ns,
+                 ktags);
+    EmitJsonLine("bench_engine_scaling", "events_per_sec", r.events_per_sec,
+                 {{"shards", "1"},
+                  {"alloc", "arena"},
+                  {"pin", "off"},
+                  {"kernel", kernel}});
+    EmitJsonLine("bench_engine_scaling", "kernel_speedup_vs_scalar",
+                 r.events_per_sec / scalar_eps, ktags);
+  }
+  sprofile::simd::ClearKernelTierOverride();
+  std::printf("%s\n", kernel_table.ToString().c_str());
+  std::printf("# target (ISSUE 9): single-shard events/sec >= 2x the seed "
+              "baseline at quick scale; vectorized tiers >= the scalar "
+              "row\n\n");
 
   // -----------------------------------------------------------------------
   // Publish-interval sweep (ISSUE 5 satellite): "the COW tax is
@@ -501,7 +587,8 @@ int main() {
                         nss, rel, shr, flt});
     const std::vector<JsonTag> tags = {{"mode", "publish_sweep"},
                                        {"interval", std::to_string(interval)},
-                                       {"m", std::to_string(sizes.m)}};
+                                       {"m", std::to_string(sizes.m)},
+                                       {"kernel", ActiveKernelName()}};
     EmitJsonLine("bench_engine_scaling", "update_ns_per_event", ns, tags);
     EmitJsonLine("bench_engine_scaling", "sweep_over_flat", ns / flat_ns,
                  tags);

@@ -1,0 +1,44 @@
+# SIMD kernel dispatch probe — decides whether src/core/flat_kernel.h may
+# compile its AVX2/AVX-512 staging paths (runtime-dispatched via
+# __builtin_cpu_supports; the binary still runs on any x86-64).
+#
+# The kernel needs two toolchain features, probed together with a
+# try_compile of cmake/probes/simd_kernel.cc:
+#
+#   - function multi-versioning via __attribute__((target("avx2"))) /
+#     ("avx512f")) on a per-function basis (no global -mavx2 — the rest of
+#     the build stays baseline x86-64 so one binary serves every machine);
+#   - <immintrin.h> gather intrinsics under those target attributes.
+#
+# When the probe fails (non-x86 target, exotic toolchain), nothing breaks:
+# flat_kernel.h's SPROFILE_X86_KERNEL_DISPATCH macro independently gates on
+# architecture + compiler and falls back to the scalar kernel — the probe
+# exists so the configure log SAYS which kernel a build will carry, and so
+# CI's forced-scalar leg is an explicit choice rather than a silent one.
+#
+# SPROFILE_FORCE_SCALAR_KERNEL pins the scalar kernel even where the
+# toolchain could vectorize: the CI matrix builds one leg with it to prove
+# the scalar path stays live (and to give bench rows a kernel=scalar
+# baseline on any machine).
+
+option(SPROFILE_FORCE_SCALAR_KERNEL
+  "Compile only the scalar update kernel; skip AVX2/AVX-512 staging paths \
+even when the toolchain supports them (CI scalar leg, A/B benchmarking)" OFF)
+
+if(SPROFILE_FORCE_SCALAR_KERNEL)
+  add_compile_definitions(SPROFILE_FORCE_SCALAR_KERNEL)
+  set(SPROFILE_SIMD_KERNEL "scalar (forced)")
+else()
+  try_compile(_sprofile_simd_ok
+    ${CMAKE_BINARY_DIR}/simd_kernel_probe.dir
+    SOURCES ${CMAKE_SOURCE_DIR}/cmake/probes/simd_kernel.cc
+    CXX_STANDARD 20
+    CXX_STANDARD_REQUIRED TRUE
+  )
+  if(_sprofile_simd_ok)
+    set(SPROFILE_SIMD_KERNEL "scalar + AVX2/AVX-512 (runtime-dispatched)")
+  else()
+    set(SPROFILE_SIMD_KERNEL "scalar (toolchain lacks target-attribute intrinsics)")
+  endif()
+endif()
+message(STATUS "sprofile update kernel: ${SPROFILE_SIMD_KERNEL}")

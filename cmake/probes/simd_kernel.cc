@@ -1,0 +1,31 @@
+// Configure-time probe for cmake/SimdKernel.cmake: can this toolchain
+// compile per-function target("avx2")/target("avx512f") variants using
+// <immintrin.h> gathers, without global -mavx flags? Mirrors the idiom
+// src/core/flat_kernel.h uses (runtime dispatch keeps the binary portable).
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+
+#include <cstdint>
+
+__attribute__((target("avx2"))) void GatherAvx2(const int* base,
+                                                uint32_t* out) {
+  const __m256i idx = _mm256_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14);
+  const __m256i v = _mm256_i32gather_epi32(base, idx, 4);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), v);
+}
+
+__attribute__((target("avx512f"))) void GatherAvx512(const int* base,
+                                                     uint32_t* out) {
+  const __m512i idx = _mm512_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20,
+                                        22, 24, 26, 28, 30);
+  const __m512i v = _mm512_mask_i32gather_epi32(
+      _mm512_setzero_si512(), static_cast<__mmask16>(0xffff), idx, base, 4);
+  _mm512_storeu_si512(out, v);
+}
+
+int main() {
+  return __builtin_cpu_supports("avx2") ? 0 : 1;
+}
+#else
+#error "non-x86 target or unsupported compiler: scalar kernel only"
+#endif

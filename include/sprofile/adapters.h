@@ -108,6 +108,13 @@ class SProfile : public ProfilerBase<SProfile> {
   /// it succeeds.
   void MaintainStorage() { p_.TryReflatten(); }
 
+  /// Batch-pipeline tuning hook (engine::TunesBatchPipeline): minimum
+  /// drained-batch size before ApplyBatch reorders a batch by block
+  /// locality. Forwarded from EngineOptions::batch_sort_threshold.
+  void SetBatchSortThreshold(uint32_t threshold) {
+    p_.set_batch_sort_threshold(threshold);
+  }
+
   /// True while updates run through the flat (no page-table) kernel.
   bool storage_flat() const { return p_.storage_flat(); }
 

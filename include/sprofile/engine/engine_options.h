@@ -101,6 +101,15 @@ struct EngineOptions {
   /// Memory placement for pinned workers (see NumaPolicy).
   NumaPolicy numa_policy = NumaPolicy::kNone;
 
+  /// Minimum drained-batch size before a shard's backend reorders the
+  /// batch for block locality (the radix partition / rank sort in
+  /// FrequencyProfile::ApplyBatch). Below the threshold the batch is
+  /// replayed in arrival order — small batches cannot amortize the extra
+  /// partition passes. Must be in [1, queue_capacity]: a batch can never
+  /// exceed the ring, so a larger value could silently never trigger.
+  /// Ignored by backends without a SetBatchSortThreshold hook.
+  uint32_t batch_sort_threshold = 256;
+
   /// Per-shard capacity of the publish-pause sample ring backing
   /// SnapshotPauseSamplesNs(): the most recent N pause durations are
   /// retained (older samples are overwritten in ring order). Exact
@@ -166,6 +175,11 @@ struct EngineOptions {
           "engine pause_sample_capacity must be in [1, " +
           std::to_string(kMaxPauseSampleCapacity) + "], got " +
           std::to_string(pause_sample_capacity));
+    }
+    if (batch_sort_threshold == 0 || batch_sort_threshold > queue_capacity) {
+      return Status::InvalidArgument(
+          "engine batch_sort_threshold must be in [1, queue_capacity], got " +
+          std::to_string(batch_sort_threshold));
     }
     if (numa_policy == NumaPolicy::kLocal && !pin_threads) {
       return Status::InvalidArgument(

@@ -126,6 +126,17 @@ concept ReportsPageAllocator = requires(const B& b) {
 template <typename B>
 concept MaintainsStorage = requires(B& b) { b.MaintainStorage(); };
 
+/// Backends whose batch-replay pipeline takes a locality-sort threshold
+/// (adapters::SProfile models this with
+/// FrequencyProfile::set_batch_sort_threshold): the shard worker forwards
+/// EngineOptions::batch_sort_threshold right after constructing the
+/// backend, so a drained batch at least that large may be reordered by
+/// block locality before replay. Backends without the hook ignore the
+/// option.
+template <typename B>
+concept TunesBatchPipeline =
+    requires(B& b, uint32_t t) { b.SetBatchSortThreshold(t); };
+
 /// Aggregated storage counters across every shard whose allocator the
 /// engine knows (ShardedProfilerT::MemoryStats): arena lifecycle, live
 /// pages, and the post-publish COW fault tally.
@@ -166,6 +177,7 @@ class ShardWorker {
               cow::PageAllocatorRef allocator)
       : queue_(options.queue_capacity),
         drain_batch_(options.drain_batch),
+        batch_sort_threshold_(options.batch_sort_threshold),
         snapshot_interval_(options.snapshot_interval == 0
                                ? std::numeric_limits<uint64_t>::max()
                                : options.snapshot_interval),
@@ -218,17 +230,36 @@ class ShardWorker {
   ShardWorker(const ShardWorker&) = delete;
   ShardWorker& operator=(const ShardWorker&) = delete;
 
-  /// Enqueues n events, blocking (spin-yield) under backpressure when the
-  /// ring is full. Safe from any number of producer threads.
+  /// Failed full-ring probes tolerated before Push stops trusting
+  /// sched_yield and sleeps for real.
+  static constexpr uint32_t kPushSpinLimit = 64;
+
+  /// Enqueues n events, blocking (bounded spin, then sleep) under
+  /// backpressure when the ring is full. Safe from any number of producer
+  /// threads.
   void Push(const Event* data, size_t n) {
     size_t done = 0;
+    uint32_t spins = 0;
     while (done < n) {
       const size_t pushed = queue_.TryPushSpan(data + done, n - done);
       done += pushed;
       if (done < n) {
         // Full: make sure the worker is running, then let it drain.
         WakeIfParked();
-        std::this_thread::yield();
+        if (pushed > 0) spins = 0;
+        if (++spins <= kPushSpinLimit) {
+          std::this_thread::yield();
+        } else {
+          // A full ring means the worker is behind by a whole queue
+          // capacity, so there is nothing useful to do for a while. On an
+          // oversubscribed machine sched_yield is only a hint — a spinning
+          // producer can burn its entire timeslice re-probing while the
+          // worker waits for the core — so force a real deschedule. The
+          // sleep is well under the time the worker needs to drain a few
+          // batches, so the ring never runs dry because of it.
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          spins = 0;
+        }
       }
     }
     enqueued_.fetch_add(n, std::memory_order_release);
@@ -288,6 +319,9 @@ class ShardWorker {
       // libnuma-free half of numa_policy=local).
       live_.emplace(factory_());
       factory_ = nullptr;  // release captured state (restored backends)
+      if constexpr (TunesBatchPipeline<Backend>) {
+        live_->SetBatchSortThreshold(batch_sort_threshold_);
+      }
       Publish(/*record_pause=*/false);  // the epoch-0 snapshot
     } catch (...) {
       // Hand the failure to WaitReady (the engine constructor) instead of
@@ -349,11 +383,18 @@ class ShardWorker {
         }
         continue;
       }
-      // Queue drained: refresh the snapshot if it lags, then park. The
-      // idle refresh is what makes "write burst, then read" workloads see
-      // fresh statistics without an explicit Flush.
-      if (snapshot_epoch_.load(std::memory_order_relaxed) !=
-          applied_.load(std::memory_order_relaxed)) {
+      // Queue drained. An explicit snapshot barrier (Flush/WaitSnapshotAt)
+      // publishes immediately; the freshness-only idle refresh is
+      // deferred until a park expires — roughly a millisecond of genuine
+      // idleness — so "write burst, then read" workloads still see fresh
+      // statistics without a Flush. A transient empty during
+      // producer/worker ping-pong (the common case under sustained
+      // ingestion, where the producer re-wakes the worker within
+      // microseconds) no longer pays a COW publish: each one left every
+      // live page shared with the retained snapshot, and the ~175 us of
+      // page-unsharing write faults per publish cycle (m = 2^16) was the
+      // single largest cost on a core-constrained ingestion run.
+      if (SnapshotDue()) {
         Publish();
         since_snapshot = 0;
       }
@@ -369,7 +410,12 @@ class ShardWorker {
         if (queue_.Empty()) return;
         continue;  // a straggler push raced the stop flag; drain it
       }
-      Park();
+      if (Park() && queue_.Empty() &&
+          snapshot_epoch_.load(std::memory_order_relaxed) !=
+              applied_.load(std::memory_order_relaxed)) {
+        Publish();
+        since_snapshot = 0;
+      }
     }
   }
 
@@ -452,7 +498,12 @@ class ShardWorker {
     done_cv_.NotifyAll();
   }
 
-  void Park() SPROFILE_EXCLUDES(wake_mu_) {
+  /// Returns true when the park expired on its own — roughly a
+  /// millisecond of genuine idleness — rather than being cut short by a
+  /// producer wake (or skipped entirely). The drain loop uses an expired
+  /// park as its cue that the shard is actually idle and a deferred
+  /// freshness publish is worth paying for.
+  bool Park() SPROFILE_EXCLUDES(wake_mu_) {
     SPROFILE_METRIC_COUNTER("sprofile_engine_parks", "parks",
                             "Worker park attempts on an empty queue")
         .Increment();
@@ -462,11 +513,13 @@ class ShardWorker {
     // it (a producer can push between Empty() and wait); the bounded
     // wait_for is the safety net that turns a missed notify into 1ms of
     // latency instead of a hang.
+    bool expired = false;
     if (queue_.Empty() && !stop_.load(std::memory_order_acquire) &&
         !SnapshotDue()) {
-      wake_cv_.WaitFor(wake_mu_, std::chrono::milliseconds(1));
+      expired = !wake_cv_.WaitFor(wake_mu_, std::chrono::milliseconds(1));
     }
     parked_.store(false, std::memory_order_release);
+    return expired;
   }
 
   void WakeIfParked() SPROFILE_EXCLUDES(wake_mu_) {
@@ -486,6 +539,7 @@ class ShardWorker {
 
   MpscRingBuffer<Event> queue_;
   const uint32_t drain_batch_;
+  const uint32_t batch_sort_threshold_;  // forwarded to the backend's hook
   const uint64_t snapshot_interval_;
   const bool cow_snapshots_;
   const int pin_core_;  // -1 = unpinned

@@ -119,9 +119,15 @@ class BlockPool {
   // ---------------------------------------------------------------------
 
   /// Attempts to put both arrays into their flat view and caches the base
-  /// pointers. Returns flat_ok().
-  bool BeginFlat() {
-    if (!blocks_.EnsureFlat() || !free_list_.EnsureFlat()) {
+  /// pointers. Returns flat_ok(). With force, pages still shared with a
+  /// live snapshot are actively faulted instead of blocking the epoch
+  /// (see CowPageArray::ForceFlat); callers gate that on accumulated
+  /// paged-path work.
+  bool BeginFlat(bool force = false) {
+    const bool ok = force
+                        ? blocks_.ForceFlat() && free_list_.ForceFlat()
+                        : blocks_.EnsureFlat() && free_list_.EnsureFlat();
+    if (!ok) {
       flat_ok_ = false;
       return false;
     }

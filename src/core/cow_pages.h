@@ -625,6 +625,32 @@ class PagedArray {
     return true;
   }
 
+  /// EnsureFlat's forcing sibling for write-hot arrays pinned by a
+  /// long-lived snapshot: every page still shared is actively faulted —
+  /// the same copies later writes would otherwise pay one miss at a time —
+  /// and the array then consolidates into a fresh private run, sidestepping
+  /// home slots the snapshot still pins. Costs up to one full-array copy,
+  /// so callers gate it on accumulated paged-path work (an engine worker
+  /// stuck behind a retained snapshot forever, for example); a sporadic
+  /// writer should keep polling plain EnsureFlat instead. Returns flat().
+  bool ForceFlat() {
+    if (EnsureFlat()) return true;
+    if (!alloc_->SupportsRuns()) return false;
+    ClearWitness();
+    for (size_t p = 0; p < pages_.size(); ++p) {
+      // orders: acquire pairs with UnrefPage's release fetch_sub, same as
+      // EnsureFlat pass 1 — refs == 1 orders us after every released
+      // co-owner's reads. Refs can only fall concurrently (new shares are
+      // owner-thread Snapshot calls), so the verdict cannot rot.
+      if (ctrls_[p]->refs.load(std::memory_order_acquire) != 1) {
+        FaultPage(p, 0, page_mask_);
+      }
+    }
+    // Every page is now exclusive; home slots the snapshot still pins are
+    // sidestepped entirely by consolidating into a fresh run.
+    return Consolidate();
+  }
+
   // -----------------------------------------------------------------------
   // Introspection (tests, MemoryBytes, bench assertions).
   // -----------------------------------------------------------------------

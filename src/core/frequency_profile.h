@@ -67,6 +67,18 @@ struct RankSlot {
 /// The rank array's storage: copy-on-write pages, so Snapshot() is an
 /// O(#pages) pointer grab (core/cow_pages.h).
 using RankSlotArray = cow::PagedArray<RankSlot>;
+
+/// Test-only overrides for the batch staging gates (0 = use the measured
+/// production constant). The kernel parity suite lowers these so the radix
+/// partition and gather-pipeline replay paths — gated on DRAM-scale m in
+/// production — run and get diffed against the scalar kernel at unit-test
+/// scale. Production code never writes these; they are read once per batch.
+struct BatchGateOverrides {
+  uint32_t gather_pipeline_min_m = 0;
+  uint32_t partition_min_m = 0;
+  uint32_t sort_locality_min_m = 0;
+};
+BatchGateOverrides& batch_gate_overrides();
 }  // namespace internal
 
 /// A group of objects tied at one frequency — one block of the profile.
@@ -287,7 +299,28 @@ class FrequencyProfile {
   /// For trusted non-cancelling hot paths, loop Add/Remove. Every event id
   /// must be in range and unfrozen; deltas of any magnitude are allowed.
   /// The observable result equals applying the events one by one.
+  ///
+  /// Replay staging (ISSUE 9; docs/ENGINE.md "vectorized kernel & batch
+  /// pipeline"): ids whose net delta is zero are dropped before any
+  /// structural work (the fused count-then-move path); surviving ids are
+  /// locality-sorted by their pre-replay rank when the list reaches
+  /// batch_sort_threshold(); and on the flat epoch with an AVX2/AVX-512
+  /// kernel tier active (core/flat_kernel.h) a staged gather+prefetch
+  /// pipeline runs a few groups ahead of the scalar Algorithm-1 replay.
+  /// None of this changes the observable result — only which equivalent
+  /// rank permutation the structure lands on.
   void ApplyBatch(std::span<const Event> events);
+
+  /// Minimum coalesced-replay size at which ApplyBatch locality-sorts the
+  /// surviving ids by current rank before replaying. Sorting costs
+  /// O(k log k) on k ids and pays when the batch is large enough that
+  /// rank-neighbouring updates share slot/block cache lines; tiny batches
+  /// replay in first-seen order. The engine plumbs
+  /// EngineOptions::batch_sort_threshold through here per shard.
+  void set_batch_sort_threshold(uint32_t threshold) {
+    batch_sort_threshold_ = threshold;
+  }
+  uint32_t batch_sort_threshold() const { return batch_sort_threshold_; }
 
   // ---------------------------------------------------------------------
   // Point queries.
@@ -442,6 +475,14 @@ class FrequencyProfile {
   /// Paged updates between flat re-entry probes on the singles path.
   static constexpr uint32_t kReflattenPeriod = 64;
 
+  /// Paged updates tolerated (since the last flat epoch) before
+  /// TryReflatten forcibly diverges snapshot-pinned pages. At ~30 ns of
+  /// paged-kernel premium per update this is ~120 us of waste — about the
+  /// cost of the full-array copy the force pays — so a profile that keeps
+  /// ingesting breaks even immediately and wins from there on, while a
+  /// briefly-written profile never triggers it.
+  static constexpr uint32_t kForceReflattenUpdates = 4096;
+
   /// Allocator counters for this profile's storage: pages live, COW
   /// faults, arenas created/reclaimed (zero arena fields under the heap
   /// allocator). Shared-allocator caveat: profiles constructed with the
@@ -559,6 +600,20 @@ class FrequencyProfile {
     return FlatOps{this, flat_f_to_t_, flat_slots_, pool_.flat_blocks_base()};
   }
 
+  /// Replays the coalesced batch (batch_touched_ / batch_delta_) through
+  /// Add/Remove, running the staged gather+prefetch pipeline
+  /// (core/flat_kernel.h) ahead of execution when the flat epoch holds
+  /// and a vector kernel tier is active. Defined in the .cc so the
+  /// intrinsics header stays out of this one.
+  void ReplayBatch();
+
+  /// Replays raw events in arrival order — the path ApplyBatch takes when
+  /// the coalescing EWMA says the stream is not netting (nearly-unique
+  /// ids per batch make the epoch-stamp pass pure overhead). Runs the
+  /// lean scalar lookahead from core/flat_kernel.h when a vector tier is
+  /// active and the flat epoch holds.
+  void ReplayDirect(std::span<const Event> events);
+
   /// Singles-path re-entry throttle: probe TryReflatten every
   /// kReflattenPeriod paged updates (the probe itself is O(1) while a
   /// witness page stays pinned).
@@ -599,13 +654,28 @@ class FrequencyProfile {
   internal::RankSlot* flat_slots_ = nullptr;
   uint32_t reflatten_tick_ = 0;
   uint64_t paged_updates_ = 0;
+  // paged_updates_ as of the last successful reflatten: once the delta
+  // passes kForceReflattenUpdates, TryReflatten escalates to forced
+  // divergence (CowPageArray::ForceFlat) instead of waiting for pinning
+  // snapshots to die.
+  uint64_t flat_paged_mark_ = 0;
 
   // ApplyBatch scratch, epoch-stamped so a batch costs O(|batch|) and no
   // per-batch O(m) clear. Lazily sized to m on first use.
   std::vector<uint32_t> batch_epoch_;
   std::vector<int64_t> batch_delta_;
   std::vector<uint32_t> batch_touched_;
+  std::vector<uint64_t> batch_sort_keys_;  // (rank << 32 | id) sort scratch
+  std::vector<uint8_t> batch_bucket_;      // per-event radix bucket scratch
   uint32_t batch_epoch_counter_ = 0;
+  uint32_t batch_sort_threshold_ = 256;
+
+  // Adaptive-coalescing state: EWMA of the event-mass fraction the netting
+  // pass removed (fixed point /256), plus a probe counter so a stream that
+  // turns bursty later is rediscovered. Starts optimistic (256 = "assume
+  // everything nets") so the first batches measure before deciding.
+  uint32_t coalesce_yield_ewma_ = 256;
+  uint32_t batch_probe_counter_ = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,385 @@
+// Kernel parity property suite (ISSUE 9) — every replay staging path the
+// vectorized flat update kernel adds must answer exactly like the scalar
+// kernel, which in turn must answer exactly like a plain per-id counter
+// oracle, under randomized update/snapshot interleavings.
+//
+// Gates, in order of importance:
+//   - TIER PARITY: the same seeded op stream driven through each available
+//     kernel tier (scalar, AVX2, AVX-512 — including switching tiers
+//     mid-stream) produces identical frequencies, totals, and snapshot
+//     contents. The staging layers (locality sort, radix partition, warm
+//     pass, gather pipeline) may permute ranks, never answers.
+//   - STAGING-PATH COVERAGE: the partition and gather-pipeline branches
+//     are gated on DRAM-scale m in production; the suite lowers those
+//     gates through internal::batch_gate_overrides so each branch runs —
+//     and gets diffed against the oracle — at unit-test scale.
+//   - FORCED REFLATTEN: a long-lived snapshot pins pages the gentle
+//     EnsureFlat probe can never reclaim; after kForceReflattenUpdates
+//     paged updates the profile must force its way back to the flat epoch
+//     (cow::PagedArray::ForceFlat) without perturbing the snapshot.
+//   - the heap-allocator fallback: flat never engages, answers identical.
+//
+// The file name carries both "core" and "cow" on purpose: the ASan CI leg
+// runs -R "engine|core", the TSan leg -R "engine|cow|arena" — this suite
+// is the kernel parity gate under both sanitizers (ISSUE 9 acceptance).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/cow_pages.h"
+#include "core/flat_kernel.h"
+#include "core/frequency_profile.h"
+#include "core/page_arena.h"
+#include "sprofile/event.h"
+#include "util/random.h"
+
+namespace sprofile {
+namespace {
+
+cow::PageAllocatorRef SmallArena() {
+  return cow::MakeArenaPageAllocator(cow::ArenaOptions{
+      .arena_bytes = 64 * 1024, .first_arena_bytes = 64 * 1024});
+}
+
+// Restores the detected kernel tier and the production gate constants no
+// matter how a test exits — a leaked override would silently change every
+// later suite in the same binary.
+struct KernelEnvGuard {
+  ~KernelEnvGuard() {
+    simd::ClearKernelTierOverride();
+    internal::batch_gate_overrides() = internal::BatchGateOverrides{};
+  }
+};
+
+// Which staging branch the run should steer replays into. Each entry
+// lowers exactly one production m-gate to 1 so the branch engages at
+// test-scale m; `defaults` leaves them alone (lean lookahead + warm pass).
+struct GateConfig {
+  const char* name;
+  internal::BatchGateOverrides overrides;
+};
+
+const GateConfig kGateConfigs[] = {
+    {"defaults", {}},
+    {"partition", {.partition_min_m = 1}},
+    {"gather_pipeline", {.gather_pipeline_min_m = 1}},
+    {"locality_sort", {.sort_locality_min_m = 1}},
+};
+
+std::vector<simd::KernelTier> AvailableTiers() {
+  std::vector<simd::KernelTier> tiers{simd::KernelTier::kScalar};
+  const simd::KernelTier top = simd::DetectKernelTier();
+  if (top >= simd::KernelTier::kAvx2) tiers.push_back(simd::KernelTier::kAvx2);
+  if (top >= simd::KernelTier::kAvx512) {
+    tiers.push_back(simd::KernelTier::kAvx512);
+  }
+  return tiers;
+}
+
+constexpr uint32_t kM = 4096;
+constexpr int kBatches = 160;
+
+// One held snapshot plus the frequencies it must keep answering forever.
+struct HeldSnapshot {
+  FrequencyProfile snap;
+  std::vector<int64_t> expected;
+};
+
+// Drives one seeded interleaving of ApplyBatch / singles / snapshot
+// take+drop against a plain counter oracle. `mixed_tiers` re-rolls the
+// kernel tier before every batch (parity must survive mid-stream
+// switches); otherwise the caller's override stays pinned.
+void RunParityInterleave(cow::PageAllocatorRef alloc, uint64_t seed,
+                         bool mixed_tiers,
+                         std::vector<int64_t>* final_freqs_out) {
+  const std::vector<simd::KernelTier> tiers = AvailableTiers();
+  FrequencyProfile p(kM, std::move(alloc));
+  p.set_batch_sort_threshold(32);  // engine-tunable; low so staging engages
+  std::vector<int64_t> oracle(kM, 0);
+  std::deque<HeldSnapshot> held;
+  Xoshiro256PlusPlus rng(seed);
+  // Tier rolls come from their own stream so the op sequence stays
+  // draw-for-draw identical with the pinned-tier runs being diffed.
+  Xoshiro256PlusPlus tier_rng(Mix64(seed));
+
+  for (int b = 0; b < kBatches; ++b) {
+    if (mixed_tiers) {
+      simd::SetKernelTier(tiers[tier_rng.NextBounded(tiers.size())]);
+    }
+    const uint32_t r = rng.NextBounded(100);
+    if (r < 8) {
+      // Singles keep the non-batch Add/Remove kernel in the interleave.
+      for (int i = 0; i < 64; ++i) {
+        const uint32_t id = rng.NextBounded(kM);
+        if (rng.NextBounded(2) == 0) {
+          p.Add(id);
+          ++oracle[id];
+        } else {
+          p.Remove(id);
+          --oracle[id];
+        }
+      }
+    } else {
+      // Batch sizes straddle every gate: below batch_sort_threshold (32),
+      // above it, and above kWarmMinBatch (256). The id universe narrows
+      // on some batches so the coalescing pass sees real duplicate mass
+      // (and its EWMA keeps both the coalesced and direct replay paths
+      // alive across the run).
+      const size_t n = 1 + rng.NextBounded(rng.NextBounded(2) == 0
+                                               ? 48
+                                               : simd::kWarmMinBatch + 200);
+      const uint32_t universe =
+          rng.NextBounded(3) == 0 ? 1 + rng.NextBounded(64) : kM;
+      std::vector<Event> batch;
+      batch.reserve(n + 2);
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t id = rng.NextBounded(universe);
+        const int32_t delta =
+            static_cast<int32_t>(1 + rng.NextBounded(3)) *
+            (rng.NextBounded(2) == 0 ? 1 : -1);
+        batch.push_back(Event{id, delta});
+        oracle[id] += delta;
+      }
+      if (rng.NextBounded(4) == 0) {
+        // Self-cancelling pair: exercises the fused count-then-move
+        // netting (net zero must leave the id's block untouched).
+        const uint32_t id = rng.NextBounded(universe);
+        batch.push_back(Event{id, +2});
+        batch.push_back(Event{id, -2});
+      }
+      p.ApplyBatch(batch);
+    }
+
+    // Snapshot churn: takes pin pages (ending any flat epoch), drops let
+    // the gentle re-flatten resume. Long-held ones force divergence.
+    if (rng.NextBounded(5) == 0 && held.size() < 4) {
+      held.push_back(HeldSnapshot{p.Snapshot(), oracle});
+    }
+    if (rng.NextBounded(6) == 0 && !held.empty()) {
+      const HeldSnapshot& h = held.front();
+      ASSERT_EQ(h.snap.ToFrequencies(), h.expected)
+          << "dropped snapshot diverged (seed=" << seed << " batch=" << b
+          << ")";
+      held.pop_front();
+    }
+    if (b % 16 == 0) {
+      // Spot-check live answers mid-stream so a failure shrinks to the
+      // earliest divergent batch rather than only surfacing at the end.
+      for (int probe = 0; probe < 8; ++probe) {
+        const uint32_t id = rng.NextBounded(kM);
+        ASSERT_EQ(p.Frequency(id), oracle[id])
+            << "live frequency diverged (seed=" << seed << " batch=" << b
+            << " id=" << id << ")";
+      }
+    }
+  }
+
+  ASSERT_TRUE(p.Validate().ok()) << p.Validate().message();
+  ASSERT_EQ(p.ToFrequencies(), oracle) << "seed=" << seed;
+  int64_t total = 0;
+  for (const int64_t f : oracle) total += f;
+  ASSERT_EQ(p.total_count(), total) << "seed=" << seed;
+  for (const HeldSnapshot& h : held) {
+    ASSERT_EQ(h.snap.ToFrequencies(), h.expected)
+        << "held snapshot diverged (seed=" << seed << ")";
+  }
+  if (final_freqs_out != nullptr) *final_freqs_out = p.ToFrequencies();
+}
+
+// The parity statement proper: for every staging configuration, every
+// available tier (pinned) plus a mixed-tier run reproduces the identical
+// final state on the identical seeded stream.
+void RunTierParity(bool heap_alloc, uint64_t seed) {
+  KernelEnvGuard guard;
+  for (const GateConfig& cfg : kGateConfigs) {
+    SCOPED_TRACE(cfg.name);
+    internal::batch_gate_overrides() = cfg.overrides;
+    std::vector<std::vector<int64_t>> results;
+    for (const simd::KernelTier tier : AvailableTiers()) {
+      SCOPED_TRACE(simd::KernelTierName(tier));
+      ASSERT_EQ(simd::SetKernelTier(tier), tier);
+      cow::PageAllocatorRef alloc =
+          heap_alloc ? std::make_shared<cow::HeapPageAllocator>()
+                     : SmallArena();
+      results.emplace_back();
+      RunParityInterleave(std::move(alloc), seed, /*mixed_tiers=*/false,
+                          &results.back());
+      if (results.size() > 1) {
+        ASSERT_EQ(results.back(), results.front())
+            << "tier diverged from scalar (seed=" << seed << ")";
+      }
+    }
+    simd::ClearKernelTierOverride();
+    std::vector<int64_t> mixed;
+    RunParityInterleave(heap_alloc
+                            ? cow::PageAllocatorRef(
+                                  std::make_shared<cow::HeapPageAllocator>())
+                            : SmallArena(),
+                        seed, /*mixed_tiers=*/true, &mixed);
+    ASSERT_EQ(mixed, results.front())
+        << "mid-stream tier switching diverged (seed=" << seed << ")";
+  }
+}
+
+TEST(KernelParityPropertyTest, ArenaTiersMatchOracle) {
+  RunTierParity(/*heap_alloc=*/false, 20260808);
+}
+
+TEST(KernelParityPropertyTest, ArenaTiersMatchOracleSecondSeed) {
+  RunTierParity(/*heap_alloc=*/false, 97);
+}
+
+TEST(KernelParityPropertyTest, HeapTiersMatchOracle) {
+  // SupportsRuns() == false: the flat epoch never engages, every staged
+  // branch must fall through to the paged kernel with identical answers.
+  RunTierParity(/*heap_alloc=*/true, 20260808);
+}
+
+// ---------------------------------------------------------------------------
+// Forced reflatten (cow::PagedArray::ForceFlat) — the new escalation path.
+// ---------------------------------------------------------------------------
+
+TEST(KernelParityForceFlatTest, PagedArrayForceFlatEvictsPinnedSnapshot) {
+  auto alloc = SmallArena();
+  cow::PagedArray<uint64_t> a(alloc, 4096);
+  a.resize(4096);
+  ASSERT_TRUE(a.EnsureFlat());
+  for (size_t i = 0; i < a.size(); ++i) a.flat_data()[i] = i * 5;
+
+  const cow::PagedArray<uint64_t> snap = a;
+  a.Mutable(11) = 1111;
+  ASSERT_FALSE(a.EnsureFlat()) << "gentle probe must stay pinned";
+
+  // Forced divergence: every still-shared page faults to a private copy,
+  // then consolidates into a fresh run the snapshot has no claim on.
+  ASSERT_TRUE(a.ForceFlat());
+  ASSERT_TRUE(a.flat());
+  EXPECT_EQ(a[11], 1111u);
+  for (size_t i = 0; i < a.size(); i += 37) {
+    if (i == 11) continue;
+    ASSERT_EQ(a[i], i * 5) << i;
+    ASSERT_EQ(a.flat_data()[i], i * 5) << i;
+  }
+  // Post-force flat writes must not leak into the still-held snapshot.
+  for (size_t i = 0; i < a.size(); ++i) a.flat_data()[i] = 9;
+  EXPECT_EQ(snap[11], 55u);
+  for (size_t i = 0; i < snap.size(); i += 37) {
+    if (i == 11) continue;
+    ASSERT_EQ(snap[i], i * 5) << i;
+  }
+}
+
+TEST(KernelParityForceFlatTest, HeapForceFlatStaysPaged) {
+  auto alloc = std::make_shared<cow::HeapPageAllocator>();
+  cow::PagedArray<uint64_t> a(alloc, 1024);
+  a.resize(1024);
+  const cow::PagedArray<uint64_t> snap = a;
+  a.Mutable(3) = 33;
+  EXPECT_FALSE(a.ForceFlat()) << "no runs: force must refuse, not crash";
+  EXPECT_EQ(a[3], 33u);
+  EXPECT_EQ(snap[3], 0u);
+}
+
+TEST(KernelParityForceFlatTest, ProfileForcesFlatUnderHeldSnapshot) {
+  // The engine shape that motivated ForceFlat: a retained publish pins the
+  // profile's pages while the owner keeps batching. The gentle probe can
+  // never win; after kForceReflattenUpdates paged updates TryReflatten
+  // must force the flat epoch back — with the snapshot still live and
+  // still frozen.
+  KernelEnvGuard guard;
+  FrequencyProfile p(kM, SmallArena());
+  p.set_batch_sort_threshold(32);
+  std::vector<int64_t> oracle(kM, 0);
+  Xoshiro256PlusPlus rng(424242);
+
+  // Seed some mass, enter the flat epoch, then pin it with a snapshot.
+  for (uint32_t id = 0; id < kM; ++id) {
+    p.Add(id % 97);
+    ++oracle[id % 97];
+  }
+  ASSERT_TRUE(p.TryReflatten());
+  const FrequencyProfile snap = p.Snapshot();
+  const std::vector<int64_t> snap_expected = oracle;
+  EXPECT_FALSE(p.storage_flat()) << "sharing ends the exclusive epoch";
+
+  // Far more than kForceReflattenUpdates of paged batch work.
+  for (int b = 0; b < 64; ++b) {
+    std::vector<Event> batch;
+    batch.reserve(400);
+    for (int i = 0; i < 400; ++i) {
+      const uint32_t id = rng.NextBounded(kM);
+      const int32_t delta = rng.NextBounded(2) == 0 ? 1 : -1;
+      batch.push_back(Event{id, delta});
+      oracle[id] += delta;
+    }
+    p.ApplyBatch(batch);
+  }
+
+  EXPECT_TRUE(p.storage_flat())
+      << "forced reflatten never fired despite a snapshot-pinned, "
+         "write-hot profile";
+  ASSERT_TRUE(p.Validate().ok()) << p.Validate().message();
+  EXPECT_EQ(p.ToFrequencies(), oracle);
+  EXPECT_EQ(snap.ToFrequencies(), snap_expected)
+      << "forced divergence leaked into a held snapshot";
+}
+
+TEST(KernelParityForceFlatTest, ForcedEpochParityAcrossTiers) {
+  // Same held-snapshot hammering, once per tier: the forced-flat epoch's
+  // staged replay must keep parity with the scalar kernel too.
+  KernelEnvGuard guard;
+  std::vector<std::vector<int64_t>> results;
+  for (const simd::KernelTier tier : AvailableTiers()) {
+    SCOPED_TRACE(simd::KernelTierName(tier));
+    ASSERT_EQ(simd::SetKernelTier(tier), tier);
+    FrequencyProfile p(kM, SmallArena());
+    p.set_batch_sort_threshold(32);
+    Xoshiro256PlusPlus rng(7777);
+    ASSERT_TRUE(p.TryReflatten());
+    const FrequencyProfile snap = p.Snapshot();
+    for (int b = 0; b < 48; ++b) {
+      std::vector<Event> batch;
+      batch.reserve(300);
+      for (int i = 0; i < 300; ++i) {
+        batch.push_back(Event{static_cast<uint32_t>(rng.NextBounded(kM)),
+                              rng.NextBounded(2) == 0 ? 1 : -1});
+      }
+      p.ApplyBatch(batch);
+    }
+    EXPECT_TRUE(p.storage_flat());
+    ASSERT_TRUE(p.Validate().ok()) << p.Validate().message();
+    results.push_back(p.ToFrequencies());
+    if (results.size() > 1) {
+      ASSERT_EQ(results.back(), results.front()) << "tier diverged";
+    }
+    EXPECT_EQ(snap.ToFrequencies(), std::vector<int64_t>(kM, 0));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tier override plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(KernelTierTest, OverrideClampsToDetectedTier) {
+  KernelEnvGuard guard;
+  const simd::KernelTier top = simd::DetectKernelTier();
+  // Requesting more than the CPU has clamps; requesting scalar always
+  // sticks (the forced-scalar CI leg and bench A/B rely on both).
+  EXPECT_EQ(simd::SetKernelTier(simd::KernelTier::kAvx512),
+            top >= simd::KernelTier::kAvx512 ? simd::KernelTier::kAvx512
+                                             : top);
+  EXPECT_EQ(simd::SetKernelTier(simd::KernelTier::kScalar),
+            simd::KernelTier::kScalar);
+  EXPECT_EQ(simd::ActiveKernelTier(), simd::KernelTier::kScalar);
+  simd::ClearKernelTierOverride();
+  EXPECT_EQ(simd::ActiveKernelTier(), top);
+  EXPECT_STRNE(simd::KernelTierName(simd::ActiveKernelTier()), nullptr);
+}
+
+}  // namespace
+}  // namespace sprofile

@@ -101,20 +101,25 @@ TEST(ObsRegistryTest, CallbackGaugesSumAcrossRegistrantsAndUnregister) {
     CallbackGaugeHandle hb = reg.AddCallbackGauge(
         "sprofile_test_cb_gauge", "items", "callback gauge test",
         [&b] { return b.load(); });
-    const MetricSample* s =
-        reg.Snapshot().Find("sprofile_test_cb_gauge");
+    // Find() returns a pointer into the snapshot's samples vector, so the
+    // snapshot must outlive the pointer — a temporary here is a
+    // use-after-free (caught by ASan).
+    const MetricsSnapshot both = reg.Snapshot();
+    const MetricSample* s = both.Find("sprofile_test_cb_gauge");
     ASSERT_NE(s, nullptr);
     EXPECT_EQ(s->kind, MetricKind::kCallbackGauge);
     EXPECT_EQ(s->value, 12);
     // hb unregisters here.
   }
-  const MetricSample* s = reg.Snapshot().Find("sprofile_test_cb_gauge");
+  const MetricsSnapshot after_hb = reg.Snapshot();
+  const MetricSample* s = after_hb.Find("sprofile_test_cb_gauge");
   ASSERT_NE(s, nullptr);
   EXPECT_EQ(s->value, 7);
   // Moved-to handles carry the registration; moved-from ones are inert.
   CallbackGaugeHandle moved = std::move(ha);
   moved.Release();
-  s = reg.Snapshot().Find("sprofile_test_cb_gauge");
+  const MetricsSnapshot after_release = reg.Snapshot();
+  s = after_release.Find("sprofile_test_cb_gauge");
   ASSERT_NE(s, nullptr);
   EXPECT_EQ(s->value, 0);
 }
@@ -253,8 +258,10 @@ TEST(ObsExportTest, ConcurrentRecordingWhileSnapshottingIsTornButSafe) {
   });
   uint64_t prev = before;
   for (int i = 0; i < 200; ++i) {
-    const MetricSample* s =
-        Registry::Global().Snapshot().Find("sprofile_test_torn");
+    // Keep the snapshot alive past Find(): its pointer aims into the
+    // snapshot's own samples vector.
+    const MetricsSnapshot snap = Registry::Global().Snapshot();
+    const MetricSample* s = snap.Find("sprofile_test_torn");
     ASSERT_NE(s, nullptr);
     EXPECT_GE(s->count, prev);
     prev = s->count;

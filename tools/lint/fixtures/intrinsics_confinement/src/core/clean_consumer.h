@@ -1,0 +1,19 @@
+// Clean twin for the intrinsics-confinement selftest: mentions SIMD only
+// in comments and through the dispatched wrapper API — the rule must stay
+// quiet here. A comment naming _mm256_i32gather_epi32 or __m512i is
+// documentation, not an intrinsic use; "summit_(x)" must not trip the
+// _mm*_ call pattern either.
+#ifndef FIXTURE_CLEAN_CONSUMER_H_
+#define FIXTURE_CLEAN_CONSUMER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// Imagine this forwards to flat_kernel.h's GatherEventRanks (AVX2 tier
+// uses _mm256_i32gather_epi32 internally; AVX-512 uses __m512i lanes).
+void GatherRanksViaWrapper(const void* events, size_t n,
+                           const uint32_t* f_to_t, uint32_t* out);
+
+inline uint32_t summit_(uint32_t x) { return x + 1; }
+
+#endif  // FIXTURE_CLEAN_CONSUMER_H_

@@ -1,0 +1,17 @@
+// Seeded violation for the intrinsics-confinement selftest: open-coded
+// x86 SIMD outside src/core/flat_kernel.h. Three distinct spellings the
+// rule must catch — the include, a _mm*_ call, and a vector type.
+#ifndef FIXTURE_ROGUE_MATH_H_
+#define FIXTURE_ROGUE_MATH_H_
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+inline void RogueSum(const int* base, uint32_t* out) {
+  const __m256i idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out),
+                      _mm256_i32gather_epi32(base, idx, 4));
+}
+
+#endif  // FIXTURE_ROGUE_MATH_H_
