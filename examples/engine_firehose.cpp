@@ -9,10 +9,13 @@
 //
 //   ./examples/engine_firehose
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <random>
 #include <span>
 #include <string>
 #include <thread>
@@ -22,11 +25,51 @@
 #include "sprofile/obs/trace_ring.h"
 #include "sprofile/sprofile.h"
 #include "stream/log_stream.h"
+#include "util/failpoint.h"
 
 namespace engine = sprofile::engine;
 using sprofile::Event;
 
-int main() {
+namespace {
+
+// The chaos schedule's menu: recoverable faults only. Quarantining
+// points (heap_page_alloc_fail, engine_worker_drain_fail) are left to
+// the chaos test suite — this example asserts EXACT end-to-end results,
+// which a quarantined shard intentionally cannot provide.
+constexpr const char* kChaosPoints[] = {
+    "arena_alloc_fail",
+    "arena_mmap_fail",
+    "cow_page_alloc_fail",
+    "engine_ring_push_full",
+};
+
+void ChaosMonkey(const std::atomic<bool>& stop) {
+  namespace fp = sprofile::failpoint;
+  std::mt19937_64 rng(20260808);
+  while (!stop.load(std::memory_order_acquire)) {
+    const char* name = kChaosPoints[rng() % std::size(kChaosPoints)];
+    if (rng() % 2 == 0) {
+      fp::Registry::Global().Activate(
+          name, fp::Trigger::EveryNth(2 + rng() % 9));
+    } else {
+      fp::Registry::Global().Activate(
+          name, fp::Trigger::Probability(0.05 + 0.01 * (rng() % 20),
+                                         /*seed=*/rng()));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    fp::Registry::Global().Deactivate(name);
+  }
+  fp::Registry::Global().DeactivateAll();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool chaos = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
+  }
+
   constexpr uint32_t kCapacity = 1u << 18;   // distinct content ids
   constexpr uint32_t kProducers = 4;
   constexpr uint64_t kEventsPerProducer = 500000;
@@ -45,9 +88,14 @@ int main() {
   }
   engine::ShardedProfiler profiler = std::move(made).value();
 
-  std::printf("firehose: %u producers x %llu events into %u shards\n",
+  std::printf("firehose: %u producers x %llu events into %u shards%s\n",
               kProducers, static_cast<unsigned long long>(kEventsPerProducer),
-              profiler.num_shards());
+              profiler.num_shards(),
+              chaos ? " (chaos: recoverable faults armed)" : "");
+
+  std::atomic<bool> stop_chaos{false};
+  std::thread chaos_monkey;
+  if (chaos) chaos_monkey = std::thread(ChaosMonkey, std::cref(stop_chaos));
 
   std::vector<std::thread> producers;
   for (uint32_t p = 0; p < kProducers; ++p) {
@@ -77,6 +125,10 @@ int main() {
   }
 
   for (auto& t : producers) t.join();
+  if (chaos_monkey.joinable()) {
+    stop_chaos.store(true, std::memory_order_release);
+    chaos_monkey.join();  // disarms everything on its way out
+  }
   profiler.Drain();  // read-your-writes barrier: stats below are exact
 
   const uint64_t total_events = uint64_t{kProducers} * kEventsPerProducer;
@@ -100,10 +152,21 @@ int main() {
   const sprofile::obs::MetricsSnapshot metrics =
       sprofile::obs::Registry::Global().Snapshot();
   std::printf("\nobs registry (%zu metrics):\n", metrics.samples.size());
-  for (const char* name :
-       {"sprofile_engine_events_drained", "sprofile_engine_publishes",
-        "sprofile_engine_parks", "sprofile_engine_pages_live",
-        "sprofile_engine_arena_bytes_mapped", "sprofile_cow_faults"}) {
+  std::vector<const char*> shown = {
+      "sprofile_engine_events_drained", "sprofile_engine_publishes",
+      "sprofile_engine_parks",          "sprofile_engine_pages_live",
+      "sprofile_engine_arena_bytes_mapped", "sprofile_cow_faults"};
+  if (chaos) {
+    // The ladder's own telemetry: how often faults fired and what each
+    // rung absorbed. Quarantines must stay 0 — only recoverable points
+    // were armed — and with the default kBlock policy so must sheds.
+    shown.insert(shown.end(),
+                 {"sprofile_failpoint_fires", "sprofile_cow_degraded_allocs",
+                  "sprofile_arena_alloc_failures",
+                  "sprofile_engine_shed_events",
+                  "sprofile_engine_quarantined_shards"});
+  }
+  for (const char* name : shown) {
     const sprofile::obs::MetricSample* s = metrics.Find(name);
     if (s == nullptr) continue;
     const long long v = s->kind == sprofile::obs::MetricKind::kCounter
@@ -139,5 +202,29 @@ int main() {
   std::printf("snapshot round-trip via %s: %s\n", dir.c_str(),
               same ? "OK" : "MISMATCH");
   std::filesystem::remove_all(dir);
-  return same ? 0 : 1;
+
+  bool healthy = true;
+  if (chaos) {
+    namespace fp = sprofile::failpoint;
+    uint64_t fires = 0;
+    for (const char* name : kChaosPoints) {
+      const uint64_t n = fp::Registry::Global().FireCount(name);
+      fires += n;
+      std::printf("chaos: %-24s fired %llu times\n", name,
+                  static_cast<unsigned long long>(n));
+    }
+#if defined(SPROFILE_FAILPOINTS)
+    std::printf("chaos: %llu injected faults absorbed, engine %s\n",
+                static_cast<unsigned long long>(fires),
+                profiler.Healthy() ? "healthy" : "QUARANTINED");
+#else
+    std::printf("chaos: injection sites compiled out "
+                "(build with -DSPROFILE_FAILPOINTS=ON); %llu fires\n",
+                static_cast<unsigned long long>(fires));
+#endif
+    // Recoverable faults only: a quarantine or a dropped event here
+    // means a ladder rung leaked.
+    healthy = profiler.Healthy() && profiler.ShedEvents() == 0;
+  }
+  return (same && healthy) ? 0 : 1;
 }

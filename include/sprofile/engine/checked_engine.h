@@ -15,6 +15,13 @@
 // TryApplyBatch validates the WHOLE batch before routing anything, so a
 // rejected batch enqueues nothing (all-or-nothing at the ingestion edge).
 // The unchecked engine stays one call away via engine().
+//
+// Degraded mode (docs/ROBUSTNESS.md) surfaces here too: ingestion that
+// the rings shed — OverloadPolicy::kShed/kDeadline under overload, or any
+// push against a quarantined shard — returns Unavailable (with the
+// accepted count in the message), where the unchecked engine sheds
+// silently. TryHealthOf exposes per-shard supervision state so serving
+// layers can flag answers that may lean on a frozen (stale) shard.
 
 #ifndef SPROFILE_SPROFILE_ENGINE_CHECKED_ENGINE_H_
 #define SPROFILE_SPROFILE_ENGINE_CHECKED_ENGINE_H_
@@ -53,13 +60,13 @@ class CheckedShardedProfiler {
 
   Status TryAdd(uint32_t id) {
     SPROFILE_RETURN_NOT_OK(CheckId(id));
-    e_.Add(id);
+    if (!e_.Add(id)) return Shed(1, 0);
     return Status::OK();
   }
 
   Status TryRemove(uint32_t id) {
     SPROFILE_RETURN_NOT_OK(CheckId(id));
-    e_.Remove(id);
+    if (!e_.Remove(id)) return Shed(1, 0);
     return Status::OK();
   }
 
@@ -67,8 +74,12 @@ class CheckedShardedProfiler {
     return is_add ? TryAdd(id) : TryRemove(id);
   }
 
-  /// Validates every event, then routes the batch. All-or-nothing: a
-  /// non-OK return means nothing was enqueued.
+  /// Validates every event, then routes the batch. All-or-nothing at the
+  /// VALIDATION edge: a non-Unavailable error means nothing was enqueued.
+  /// Unavailable means the rings shed part (or all) of a valid batch —
+  /// overload under kShed/kDeadline, or a quarantined shard — with the
+  /// accepted prefix already applied per shard (the message carries the
+  /// accepted/total counts).
   Status TryApplyBatch(std::span<const Event> events) {
     for (size_t i = 0; i < events.size(); ++i) {
       Status s = CheckId(events[i].id);
@@ -77,16 +88,37 @@ class CheckedShardedProfiler {
             s.code(), "batch event " + std::to_string(i) + ": " + s.message());
       }
     }
-    e_.ApplyBatch(events);
+    const size_t accepted = e_.ApplyBatch(events);
+    if (accepted < events.size()) return Shed(events.size(), accepted);
     return Status::OK();
   }
 
   // ---------------------------------------------------------------------
-  // Barriers (infallible; passthrough).
+  // Barriers (infallible; passthrough). With a quarantined shard they
+  // return without that shard's epoch guarantee — check Healthy().
   // ---------------------------------------------------------------------
 
   void Flush() { e_.Flush(); }
   void Drain() { e_.Drain(); }
+
+  // ---------------------------------------------------------------------
+  // Health (docs/ROBUSTNESS.md). Queries against a quarantined shard
+  // still answer — from its frozen snapshot — so a serving layer that
+  // must flag staleness checks here.
+  // ---------------------------------------------------------------------
+
+  bool Healthy() const { return e_.Healthy(); }
+  uint32_t QuarantinedShards() const { return e_.QuarantinedShards(); }
+  uint64_t ShedEvents() const { return e_.ShedEvents(); }
+
+  StatusOr<ShardHealth> TryHealthOf(uint32_t shard) const {
+    if (shard >= e_.num_shards()) {
+      return Status::OutOfRange("shard " + std::to_string(shard) +
+                                " outside [0, " +
+                                std::to_string(e_.num_shards()) + ")");
+    }
+    return e_.HealthOf(shard);
+  }
 
   // ---------------------------------------------------------------------
   // Checked merged queries.
@@ -171,6 +203,14 @@ class CheckedShardedProfiler {
 
   static Status Empty(const char* what) {
     return Status::FailedPrecondition(std::string(what) + " on empty engine");
+  }
+
+  static Status Shed(size_t total, size_t accepted) {
+    return Status::Unavailable(
+        "ingestion shed " + std::to_string(total - accepted) + " of " +
+        std::to_string(total) +
+        " events (overload policy or quarantined shard); accepted " +
+        std::to_string(accepted));
   }
 
   ShardedProfiler e_;

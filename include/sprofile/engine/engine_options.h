@@ -41,6 +41,24 @@ enum class PageAllocatorKind : uint8_t {
   kHeap,
 };
 
+/// What a producer does when a shard's ingestion ring stays full (the
+/// degradation ladder's overload rung; docs/ROBUSTNESS.md).
+enum class OverloadPolicy : uint8_t {
+  /// Wait for space with capped exponential backoff (yield spins, then
+  /// sleeps doubling up to ~256 us). Never loses events; a stalled
+  /// worker stalls its producers. The default, and the only policy the
+  /// oracle-parity suites run under.
+  kBlock,
+  /// Give up after the yield-spin phase and drop the remaining events,
+  /// counting them in shed_events(). The unchecked facade sheds
+  /// silently; the checked Try* tier reports Status::Unavailable.
+  kShed,
+  /// Block with backoff, but only up to push_deadline_us per call; then
+  /// drop the remainder as in kShed. Bounds producer latency (measured
+  /// in the sprofile_engine_ring_push_wait_ns histogram).
+  kDeadline,
+};
+
 /// Memory placement for pinned shard workers.
 enum class NumaPolicy : uint8_t {
   /// No placement policy: the OS decides.
@@ -109,6 +127,16 @@ struct EngineOptions {
   /// exceed the ring, so a larger value could silently never trigger.
   /// Ignored by backends without a SetBatchSortThreshold hook.
   uint32_t batch_sort_threshold = 256;
+
+  /// Producer behavior on a persistently full shard ring (see
+  /// OverloadPolicy). kBlock preserves every event; kShed / kDeadline
+  /// trade loss for bounded producer latency.
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+
+  /// Per-Push producer wait budget in microseconds under
+  /// OverloadPolicy::kDeadline (ignored by the other policies). Must be
+  /// in [1, kMaxPushDeadlineUs].
+  uint32_t push_deadline_us = 1000;
 
   /// Per-shard capacity of the publish-pause sample ring backing
   /// SnapshotPauseSamplesNs(): the most recent N pause durations are
@@ -181,6 +209,20 @@ struct EngineOptions {
           "engine batch_sort_threshold must be in [1, queue_capacity], got " +
           std::to_string(batch_sort_threshold));
     }
+    if (overload_policy != OverloadPolicy::kBlock &&
+        overload_policy != OverloadPolicy::kShed &&
+        overload_policy != OverloadPolicy::kDeadline) {
+      return Status::InvalidArgument(
+          "engine overload_policy is not an OverloadPolicy value: " +
+          std::to_string(static_cast<unsigned>(overload_policy)));
+    }
+    if (overload_policy == OverloadPolicy::kDeadline &&
+        (push_deadline_us == 0 || push_deadline_us > kMaxPushDeadlineUs)) {
+      return Status::InvalidArgument(
+          "engine push_deadline_us must be in [1, " +
+          std::to_string(kMaxPushDeadlineUs) + "] under overload_policy="
+          "deadline, got " + std::to_string(push_deadline_us));
+    }
     if (numa_policy == NumaPolicy::kLocal && !pin_threads) {
       return Status::InvalidArgument(
           "numa_policy=local requires pin_threads: node-local placement is "
@@ -197,6 +239,9 @@ struct EngineOptions {
   static constexpr uint64_t kMaxArenaBytes = uint64_t{1} << 30;
   // 2^20 samples x 8 bytes = 8 MiB per shard at the extreme.
   static constexpr uint32_t kMaxPauseSampleCapacity = 1u << 20;
+  // 60 s: far beyond any sane producer budget, small enough that a typo
+  // (ms vs us) cannot silently mean "block for an hour".
+  static constexpr uint32_t kMaxPushDeadlineUs = 60u * 1000 * 1000;
 };
 
 }  // namespace engine

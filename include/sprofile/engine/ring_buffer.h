@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace sprofile {
@@ -71,6 +72,13 @@ class MpscRingBuffer {
   /// 0 when full, possibly < n when nearly full).
   size_t TryPushSpan(const T* data, size_t n) {
     if (n == 0) return 0;
+    if (SPROFILE_FAILPOINT("engine_ring_push_full")) {
+      // Injected full queue: exercises every overload policy above this
+      // seam without needing a real saturated consumer.
+      // orders: relaxed — contention statistic only, as below.
+      full_rejections_.fetch_add(1, std::memory_order_relaxed);
+      return 0;
+    }
     // orders: relaxed — only a CAS seed; the CAS below revalidates it and
     // cell ownership is transferred by seq, not by this counter.
     uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);

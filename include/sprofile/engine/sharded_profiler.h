@@ -36,6 +36,12 @@
 //     enqueued before the call is applied AND visible to queries.
 //   - Drain() additionally quiesces: it loops Flush until no new events
 //     arrived, leaving queues empty (assuming producers have stopped).
+//   - Degraded mode (docs/ROBUSTNESS.md): a shard whose worker dies is
+//     quarantined, not process-fatal — it sheds new events and serves
+//     its last published snapshot; barriers return without its epoch
+//     guarantee. Under OverloadPolicy::kShed/kDeadline a full ring may
+//     drop events (counted in ShedEvents()), so read-your-writes holds
+//     only for events Push actually accepted.
 //
 // Updates accept any Profiler-concept-shaped traffic (Add/Remove/Apply/
 // ApplyBatch with arbitrary deltas); ShardedProfiler itself models
@@ -57,6 +63,8 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -69,6 +77,7 @@
 #include "sprofile/obs/metrics.h"
 #include "sprofile/obs/trace_ring.h"
 #include "sprofile/profiler_concept.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/sync.h"
 #include "util/thread_annotations.h"
@@ -147,6 +156,22 @@ struct EngineMemoryStats {
   uint32_t shards_reporting = 0;
 };
 
+/// One shard's supervision state (ShardedProfilerT::HealthOf). A
+/// quarantined shard has lost its worker to an uncaught drain failure:
+/// it sheds all new events but keeps answering queries from the last
+/// snapshot it published — the stale-serve rung of the degradation
+/// ladder (docs/ROBUSTNESS.md).
+struct ShardHealth {
+  bool quarantined = false;
+  /// The quarantining exception's what(); empty while healthy.
+  std::string message;
+  /// Epoch of the snapshot currently being served. Frozen from the
+  /// moment of quarantine onward.
+  uint64_t published_epoch = 0;
+  /// Events this shard's Push dropped (overload shed or quarantine).
+  uint64_t shed_events = 0;
+};
+
 namespace internal {
 
 /// Builds the per-shard arena allocator (NUMA binding included). Defined
@@ -182,6 +207,8 @@ class ShardWorker {
                                ? std::numeric_limits<uint64_t>::max()
                                : options.snapshot_interval),
         cow_snapshots_(options.snapshot_mode == SnapshotMode::kCow),
+        overload_policy_(options.overload_policy),
+        push_deadline_us_(options.push_deadline_us),
         pin_core_(pin_core),
         pause_capacity_(options.pause_sample_capacity),
         shard_index_(static_cast<uint16_t>(shard_index)),
@@ -234,44 +261,135 @@ class ShardWorker {
   /// sched_yield and sleeps for real.
   static constexpr uint32_t kPushSpinLimit = 64;
 
-  /// Enqueues n events, blocking (bounded spin, then sleep) under
-  /// backpressure when the ring is full. Safe from any number of producer
-  /// threads.
-  void Push(const Event* data, size_t n) {
+  /// Ceiling of the slow-path sleep ladder under kBlock/kDeadline: well
+  /// under the time the worker needs to drain a few batches, so a
+  /// recovering ring never runs dry waiting on a sleeping producer.
+  static constexpr uint64_t kPushBackoffCapUs = 256;
+
+  /// Enqueues up to n events per the configured OverloadPolicy. Returns
+  /// how many the ring accepted: always n under kBlock; possibly fewer
+  /// under kShed/kDeadline, with the remainder counted in shed_events()
+  /// and the sprofile_engine_shed_events counter. A quarantined shard
+  /// sheds immediately under every policy — its worker will never drain
+  /// again, so waiting on it would hang. Safe from any number of
+  /// producer threads.
+  size_t Push(const Event* data, size_t n) {
     size_t done = 0;
     uint32_t spins = 0;
+    uint64_t backoff_us = 1;
+    std::chrono::steady_clock::time_point wait_start{};
+    bool waited = false;
     while (done < n) {
+      // orders: acquire pairs with Quarantine's release store — a
+      // producer that sees the flag also sees the worker gone for good.
+      if (quarantined_.load(std::memory_order_acquire)) break;
       const size_t pushed = queue_.TryPushSpan(data + done, n - done);
       done += pushed;
-      if (done < n) {
-        // Full: make sure the worker is running, then let it drain.
-        WakeIfParked();
-        if (pushed > 0) spins = 0;
-        if (++spins <= kPushSpinLimit) {
-          std::this_thread::yield();
-        } else {
-          // A full ring means the worker is behind by a whole queue
-          // capacity, so there is nothing useful to do for a while. On an
-          // oversubscribed machine sched_yield is only a hint — a spinning
-          // producer can burn its entire timeslice re-probing while the
-          // worker waits for the core — so force a real deschedule. The
-          // sleep is well under the time the worker needs to drain a few
-          // batches, so the ring never runs dry because of it.
-          std::this_thread::sleep_for(std::chrono::microseconds(50));
-          spins = 0;
-        }
+      if (done >= n) break;
+      // Full: make sure the worker is running, then let it drain.
+      WakeIfParked();
+      if (pushed > 0) {
+        spins = 0;
+        backoff_us = 1;
       }
+      if (++spins <= kPushSpinLimit) {
+        std::this_thread::yield();
+        continue;
+      }
+      // The yield phase failed: the worker is behind by a whole queue
+      // capacity, so there is nothing useful to do for a while. kShed
+      // gives up right here. The waiting policies force a real
+      // deschedule — on an oversubscribed machine sched_yield is only a
+      // hint, and a spinning producer can burn its whole timeslice
+      // re-probing while the worker waits for the core — with the sleep
+      // doubling from 1 us up to kPushBackoffCapUs: short while the
+      // backlog is transient, capped once it clearly is not.
+      if (overload_policy_ == OverloadPolicy::kShed) break;
+      const auto now = std::chrono::steady_clock::now();
+      if (!waited) {
+        waited = true;
+        wait_start = now;
+      }
+      uint64_t sleep_us = backoff_us;
+      if (overload_policy_ == OverloadPolicy::kDeadline) {
+        const auto budget = std::chrono::microseconds(push_deadline_us_);
+        const auto spent = now - wait_start;
+        if (spent >= budget) break;
+        // Clamp the last sleep to the remaining budget so the bound in
+        // sprofile_engine_ring_push_wait_ns overshoots the deadline by
+        // scheduler noise only, never by a whole backoff step.
+        const auto left = std::chrono::duration_cast<std::chrono::microseconds>(
+            budget - spent);
+        sleep_us = std::min<uint64_t>(
+            sleep_us, static_cast<uint64_t>(left.count()) + 1);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+      backoff_us = std::min<uint64_t>(backoff_us * 2, kPushBackoffCapUs);
+      spins = 0;
     }
-    enqueued_.fetch_add(n, std::memory_order_release);
-    WakeIfParked();
+    if (waited) {
+      SPROFILE_METRIC_HISTOGRAM(
+          "sprofile_engine_ring_push_wait_ns", "ns",
+          "Producer slow-path wait per Push once yield spins gave up")
+          .Record(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - wait_start)
+                  .count()));
+    }
+    if (done > 0) {
+      enqueued_.fetch_add(done, std::memory_order_release);
+      WakeIfParked();
+    }
+    if (done < n) RecordShed(n - done);
+    return done;
   }
 
   uint64_t enqueued() const { return enqueued_.load(std::memory_order_acquire); }
   uint64_t applied() const { return applied_.load(std::memory_order_acquire); }
 
+  /// True once the worker has died on an uncaught drain failure. The
+  /// shard stops ingesting (Push sheds) but keeps serving its last
+  /// published snapshot — the stale-serve rung of the degradation
+  /// ladder (docs/ROBUSTNESS.md).
+  bool quarantined() const {
+    // orders: acquire pairs with Quarantine's release store.
+    return quarantined_.load(std::memory_order_acquire);
+  }
+
+  /// What killed the worker; empty while healthy. Stable once set (the
+  /// worker quarantines at most once).
+  std::string quarantine_message() const SPROFILE_EXCLUDES(done_mu_) {
+    MutexLock lock(done_mu_);
+    return quarantine_message_;
+  }
+
+  /// Events dropped by Push under kShed/kDeadline overload or against a
+  /// quarantined shard, cumulative.
+  uint64_t shed_events() const {
+    // orders: relaxed — advisory statistic, mirrors the ring counters.
+    return shed_.load(std::memory_order_relaxed);
+  }
+
+  /// Epoch of the currently published snapshot, without touching the
+  /// snapshot itself (health probes use this so they do not count as
+  /// stale serves).
+  uint64_t published_epoch() const {
+    // orders: acquire pairs with Publish's release store.
+    return snapshot_epoch_.load(std::memory_order_acquire);
+  }
+
   /// The current published snapshot (never null; epoch 0 at startup).
+  /// Reads against a quarantined shard still succeed — frozen at the
+  /// last published epoch — and are tallied in
+  /// sprofile_engine_stale_query_serves.
   std::shared_ptr<const ShardSnapshot<Backend>> snapshot() const
       SPROFILE_EXCLUDES(snapshot_mu_) {
+    if (quarantined_.load(std::memory_order_acquire)) {
+      SPROFILE_METRIC_COUNTER(
+          "sprofile_engine_stale_query_serves", "queries",
+          "Snapshot reads answered from a quarantined shard's frozen state")
+          .Increment();
+    }
     MutexLock lock(snapshot_mu_);
     return snapshot_;
   }
@@ -290,6 +408,9 @@ class ShardWorker {
 
   /// Blocks until a snapshot with epoch >= target is published. `target`
   /// must be <= enqueued() (otherwise nothing guarantees progress).
+  /// Returns early — without the epoch guarantee — if the worker
+  /// quarantines: a dead worker publishes nothing more, and barriers
+  /// (Flush/Drain) must not hang on it.
   void WaitSnapshotAt(uint64_t target) SPROFILE_EXCLUDES(done_mu_) {
     uint64_t cur = snapshot_target_.load(std::memory_order_relaxed);
     while (cur < target && !snapshot_target_.compare_exchange_weak(
@@ -300,7 +421,8 @@ class ShardWorker {
     // orders: acquire pairs with Publish's release store of
     // snapshot_epoch_ — the published snapshot contents happen-before
     // this waiter's reads.
-    while (snapshot_epoch_.load(std::memory_order_acquire) < target) {
+    while (snapshot_epoch_.load(std::memory_order_acquire) < target &&
+           !quarantined_.load(std::memory_order_acquire)) {
       done_cv_.Wait(done_mu_);
     }
   }
@@ -357,9 +479,18 @@ class ShardWorker {
         "Deepest ingestion backlog (enqueued - applied) seen at drain time");
     std::vector<Event> batch(drain_batch_);
     uint64_t since_snapshot = 0;
+    // Supervision: a drain-loop failure (backend invariant blown,
+    // bad_alloc past the heap-fallback rung, injected fault) quarantines
+    // THIS shard instead of taking the process down via std::terminate.
+    // The last published snapshot keeps serving; Push sheds from now on.
+    try {
     for (;;) {
       const size_t n = queue_.TryPopBatch(batch.data(), drain_batch_);
       if (n > 0) {
+        if (SPROFILE_FAILPOINT("engine_worker_drain_fail")) {
+          throw std::runtime_error(
+              "injected drain failure (failpoint engine_worker_drain_fail)");
+        }
         // The Enabled() gate keeps both clock reads off the drain path
         // when obs is off (the bench's obs={on,off} overhead row).
         const uint64_t t0 = obs::Enabled() ? obs::TraceRing::NowNs() : 0;
@@ -417,6 +548,40 @@ class ShardWorker {
         since_snapshot = 0;
       }
     }
+    } catch (...) {
+      Quarantine(std::current_exception());
+    }
+  }
+
+  /// Marks this shard dead-but-serving after a drain failure: producers
+  /// shed, barriers stop waiting on it, queries keep answering from the
+  /// frozen snapshot. Worker thread only; runs at most once, then the
+  /// thread exits.
+  void Quarantine(std::exception_ptr error)
+      SPROFILE_EXCLUDES(done_mu_) {
+    std::string msg = "unknown exception";
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      msg = e.what();
+    } catch (...) {
+    }
+    {
+      MutexLock lock(done_mu_);
+      quarantine_message_ = std::move(msg);
+      // orders: release pairs with the acquire loads in Push, snapshot(),
+      // quarantined() and WaitSnapshotAt — whoever sees the flag also
+      // sees the message and the final snapshot state. Stored under
+      // done_mu_ so WaitSnapshotAt cannot miss the notify between its
+      // condition check and its wait.
+      quarantined_.store(true, std::memory_order_release);
+    }
+    done_cv_.NotifyAll();
+    obs::Trace(obs::TraceEvent::kQuarantine, shard_index_);
+    SPROFILE_METRIC_COUNTER(
+        "sprofile_engine_quarantines", "shards",
+        "Shard workers quarantined after an uncaught drain failure")
+        .Increment();
   }
 
   /// A barrier asked for a snapshot at snapshot_target_ and enough events
@@ -522,6 +687,19 @@ class ShardWorker {
     return expired;
   }
 
+  /// Tallies events Push gave up on (policy drop or quarantine): the
+  /// shard-local counter behind shed_events(), the process counter, and
+  /// a trace record carrying the drop size.
+  void RecordShed(size_t dropped) {
+    // orders: relaxed — advisory statistic, mirrors the ring counters.
+    shed_.fetch_add(dropped, std::memory_order_relaxed);
+    SPROFILE_METRIC_COUNTER(
+        "sprofile_engine_shed_events", "events",
+        "Events dropped under kShed/kDeadline overload or quarantine")
+        .Add(static_cast<int64_t>(dropped));
+    obs::Trace(obs::TraceEvent::kShed, shard_index_, dropped);
+  }
+
   void WakeIfParked() SPROFILE_EXCLUDES(wake_mu_) {
     // orders: acquire pairs with Park's release store of parked_, so a
     // producer that sees the flag also sees the worker committed to (or
@@ -542,6 +720,8 @@ class ShardWorker {
   const uint32_t batch_sort_threshold_;  // forwarded to the backend's hook
   const uint64_t snapshot_interval_;
   const bool cow_snapshots_;
+  const OverloadPolicy overload_policy_;
+  const uint32_t push_deadline_us_;  // kDeadline wait budget per Push
   const int pin_core_;  // -1 = unpinned
   const uint32_t pause_capacity_;   // EngineOptions::pause_sample_capacity
   const uint16_t shard_index_;      // recorded on every trace event
@@ -555,6 +735,8 @@ class ShardWorker {
   std::atomic<uint64_t> snapshot_epoch_{0};
   std::atomic<bool> stop_{false};
   std::atomic<bool> parked_{false};
+  std::atomic<bool> quarantined_{false};
+  std::atomic<uint64_t> shed_{0};
 
   cow::PageAllocatorRef allocator_;     // may be null; stats only
   std::function<Backend()> factory_;    // consumed by the worker thread
@@ -566,10 +748,11 @@ class ShardWorker {
   std::vector<uint64_t> pause_ns_ SPROFILE_GUARDED_BY(snapshot_mu_);
   size_t pause_ring_next_ = 0;  // worker-only
 
-  Mutex done_mu_;
+  mutable Mutex done_mu_;
   CondVar done_cv_;
   bool ready_ SPROFILE_GUARDED_BY(done_mu_) = false;
   std::exception_ptr init_error_ SPROFILE_GUARDED_BY(done_mu_);
+  std::string quarantine_message_ SPROFILE_GUARDED_BY(done_mu_);
   Mutex wake_mu_;
   CondVar wake_cv_;
 
@@ -668,23 +851,31 @@ class ShardedProfilerT {
 
   // ---------------------------------------------------------------------
   // Ingestion — thread-safe, non-blocking except ring backpressure.
+  // Every method reports how many events the rings actually accepted:
+  // always everything under OverloadPolicy::kBlock on a healthy engine;
+  // possibly less under kShed/kDeadline or against a quarantined shard
+  // (the shortfall is counted in ShedEvents()). Callers on the unchecked
+  // tier may ignore the return — shedding is silent here; the checked
+  // facade turns a shortfall into Status::Unavailable.
   // ---------------------------------------------------------------------
 
-  void Add(uint32_t id) { PushOne(id, +1); }
-  void Remove(uint32_t id) { PushOne(id, -1); }
-  void Apply(uint32_t id, bool is_add) { PushOne(id, is_add ? +1 : -1); }
+  bool Add(uint32_t id) { return PushOne(id, +1); }
+  bool Remove(uint32_t id) { return PushOne(id, -1); }
+  bool Apply(uint32_t id, bool is_add) {
+    return PushOne(id, is_add ? +1 : -1);
+  }
 
   /// Routes a batch: one counting-scatter pass partitions the events by
   /// shard (remapping to local ids), then each shard gets its run in one
-  /// Push — a single reservation CAS per shard per batch.
-  void ApplyBatch(std::span<const Event> events) {
+  /// Push — a single reservation CAS per shard per batch. Returns the
+  /// number of events accepted across all shards.
+  size_t ApplyBatch(std::span<const Event> events) {
     const uint32_t ns = num_shards();
-    if (events.empty()) return;
+    if (events.empty()) return 0;
     if (ns == 1) {
       // local id == global id; forward the span unmodified.
       SPROFILE_DCHECK(CheckIds(events));
-      shards_[0]->Push(events.data(), events.size());
-      return;
+      return shards_[0]->Push(events.data(), events.size());
     }
     SPROFILE_DCHECK(CheckIds(events));
     // Per-producer-thread scratch: ApplyBatch is the producer hot path, so
@@ -701,11 +892,13 @@ class ShardedProfilerT {
     for (const Event& e : events) {
       scratch[offsets[e.id % ns]++] = Event{e.id / ns, e.delta};
     }
+    size_t accepted = 0;
     for (uint32_t s = 0; s < ns; ++s) {
       const uint32_t begin = s == 0 ? 0 : offsets[s - 1];
       const uint32_t count = offsets[s] - begin;
-      if (count > 0) shards_[s]->Push(&scratch[begin], count);
+      if (count > 0) accepted += shards_[s]->Push(&scratch[begin], count);
     }
+    return accepted;
   }
 
   // ---------------------------------------------------------------------
@@ -777,6 +970,42 @@ class ShardedProfilerT {
       ++out.shards_reporting;
     }
     return out;
+  }
+
+  // ---------------------------------------------------------------------
+  // Health — the degradation ladder's reporting surface
+  // (docs/ROBUSTNESS.md). None of these touch snapshots, so probing
+  // health does not count as a stale serve.
+  // ---------------------------------------------------------------------
+
+  /// One shard's supervision state.
+  ShardHealth HealthOf(uint32_t shard) const {
+    const auto& w = *shards_[shard];
+    ShardHealth h;
+    h.quarantined = w.quarantined();
+    if (h.quarantined) h.message = w.quarantine_message();
+    h.published_epoch = w.published_epoch();
+    h.shed_events = w.shed_events();
+    return h;
+  }
+
+  /// Shards whose worker has quarantined (0 on a healthy engine). Also
+  /// exported as the sprofile_engine_quarantined_shards gauge.
+  uint32_t QuarantinedShards() const {
+    uint32_t n = 0;
+    for (const auto& s : shards_) n += s->quarantined() ? 1 : 0;
+    return n;
+  }
+
+  /// True while every shard's worker is alive and ingesting.
+  bool Healthy() const { return QuarantinedShards() == 0; }
+
+  /// Events dropped across all shards (overload shed or quarantine),
+  /// cumulative. 0 under OverloadPolicy::kBlock on a healthy engine.
+  uint64_t ShedEvents() const {
+    uint64_t sum = 0;
+    for (const auto& s : shards_) sum += s->shed_events();
+    return sum;
   }
 
   /// Publish-pause samples (ns) from every shard, unordered: how long each
@@ -1011,6 +1240,14 @@ class ShardedProfilerT {
           }
           return sum;
         }));
+    obs_handles_.push_back(reg.AddCallbackGauge(
+        "sprofile_engine_quarantined_shards", "shards",
+        "Shards whose worker died and now serve frozen snapshots",
+        [workers] {
+          int64_t n = 0;
+          for (const auto* w : workers) n += w->quarantined() ? 1 : 0;
+          return n;
+        }));
     if (allocs.empty()) return;
     // Storage gauges rebased onto the allocators' PageAllocStats seam —
     // the same counters MemoryStats() aggregates, now pullable from the
@@ -1099,10 +1336,10 @@ class ShardedProfilerT {
     for (const auto& s : shards_) s->WaitReady();
   }
 
-  void PushOne(uint32_t id, int32_t delta) {
+  bool PushOne(uint32_t id, int32_t delta) {
     SPROFILE_DCHECK(id < capacity_);
     const Event e{LocalId(id), delta};
-    shards_[ShardOf(id)]->Push(&e, 1);
+    return shards_[ShardOf(id)]->Push(&e, 1) == 1;
   }
 
   bool CheckIds(std::span<const Event> events) const {

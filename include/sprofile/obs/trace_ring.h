@@ -57,6 +57,10 @@ enum class TraceEvent : uint16_t {
   kArenaCreate = 6,    // detail = arena bytes
   kArenaReclaim = 7,   // detail = arena bytes, arg = 1 if parked as spare
   kSpill = 8,          // SPPF save; arg = shard index written
+  kFailpoint = 9,      // injected fault; arg = point index, detail = fires
+  kDegradedAlloc = 10,  // arena alloc failed, heap fallback; detail = bytes
+  kShed = 11,           // ring-full events dropped; detail = event count
+  kQuarantine = 12,     // worker quarantined; arg = shard index
 };
 
 std::string_view TraceEventName(TraceEvent ev);

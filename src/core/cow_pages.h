@@ -100,6 +100,7 @@
 
 #include "sprofile/obs/metrics.h"
 #include "sprofile/obs/trace_ring.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 // Builds where the per-page heap allocator must stay the default so the
@@ -185,6 +186,7 @@ struct PageAllocStats {
   uint64_t arenas_live = 0;       ///< mappings currently held (incl. warm spares)
   uint64_t hugepage_arenas = 0;   ///< live mappings flagged MADV_HUGEPAGE (gauge)
   uint64_t arena_bytes_mapped = 0;///< bytes currently mmap-reserved (incl. spares)
+  uint64_t alloc_failures = 0;    ///< requests refused (null return; arena only)
 
   uint64_t pages_live() const { return pages_allocated - pages_freed; }
 
@@ -198,6 +200,7 @@ struct PageAllocStats {
     arenas_live += o.arenas_live;
     hugepage_arenas += o.hugepage_arenas;
     arena_bytes_mapped += o.arena_bytes_mapped;
+    alloc_failures += o.alloc_failures;
     return *this;
   }
 };
@@ -214,6 +217,10 @@ class PageAllocator {
  public:
   virtual ~PageAllocator() = default;
 
+  /// May return null when the backing store is exhausted but the failure
+  /// is recoverable (ArenaPageAllocator on mmap failure); PagedArray then
+  /// falls back to heap pages (the degradation ladder, docs/ROBUSTNESS.md).
+  /// Unrecoverable exhaustion (operator new) throws bad_alloc instead.
   virtual void* Allocate(size_t bytes) = 0;
   virtual void Deallocate(void* block, size_t bytes) noexcept = 0;
 
@@ -255,6 +262,11 @@ using PageAllocatorRef = std::shared_ptr<PageAllocator>;
 class HeapPageAllocator final : public PageAllocator {
  public:
   void* Allocate(size_t bytes) override {
+    // The bottom of the degradation ladder: heap exhaustion is
+    // unrecoverable for the allocator, so the injected failure is the
+    // real one — bad_alloc, which the engine worker catches and answers
+    // with shard quarantine.
+    if (SPROFILE_FAILPOINT("heap_page_alloc_fail")) throw std::bad_alloc();
     // orders: relaxed — statistics only; the page pointer handoff itself
     // synchronizes any content the caller publishes.
     pages_allocated_.fetch_add(1, std::memory_order_relaxed);
@@ -302,6 +314,11 @@ namespace internal {
 struct RunHeader {
   std::atomic<uint64_t> live{0};  ///< active pages + the owner's anchor
   size_t block_bytes = 0;         ///< Deallocate size (block starts at this)
+  /// Allocator the block actually came from when it is NOT the owning
+  /// array's (heap fallback after the primary refused); null = the
+  /// array's own. Raw pointer is safe: the only non-null value is the
+  /// process-static GlobalHeapPageAllocator.
+  PageAllocator* source = nullptr;
 };
 
 /// Per-page control block: the refcount that used to ride behind each
@@ -319,6 +336,10 @@ struct PageCtrl {
   uint32_t dirty_lo = 1;  ///< lo > hi: no dirty tracking on this page
   uint32_t dirty_hi = 0;
   RunHeader* run = nullptr;  ///< owning run; null = standalone block
+  /// Fallback source of a standalone block (see RunHeader::source);
+  /// null = the array's own allocator. Unused for run pages (the run
+  /// header carries the block's source).
+  PageAllocator* source = nullptr;
 };
 
 static_assert(sizeof(RunHeader) <= 64, "run header must fit its prelude");
@@ -789,6 +810,37 @@ class PagedArray {
     witness_pinned_ = false;
   }
 
+  /// The degradation rung under every block allocation: the array's own
+  /// allocator first; when it refuses (recoverable arena exhaustion —
+  /// null return), the block comes from the process heap instead and the
+  /// array keeps working, degraded but correct. True heap exhaustion
+  /// still throws bad_alloc to the caller (the engine answers with shard
+  /// quarantine; docs/ROBUSTNESS.md). *source is null for the primary
+  /// allocator, else the fallback the block must be returned to.
+  void* AllocateBlock(size_t bytes, PageAllocator** source) const {
+    if (!SPROFILE_FAILPOINT("cow_page_alloc_fail")) {
+      void* block = alloc_->Allocate(bytes);
+      if (block != nullptr) [[likely]] {
+        *source = nullptr;
+        return block;
+      }
+    }
+    PageAllocator* heap = GlobalHeapPageAllocator().get();
+    void* block = heap->Allocate(bytes);  // bad_alloc propagates
+    *source = heap;
+    SPROFILE_METRIC_COUNTER(
+        "sprofile_cow_degraded_allocs", "blocks",
+        "Page blocks served from the heap after the primary allocator refused")
+        .Increment();
+    obs::Trace(obs::TraceEvent::kDegradedAlloc, 0, bytes);
+    return block;
+  }
+
+  /// The allocator a block must be returned to.
+  PageAllocator* BlockSource(PageAllocator* source) const {
+    return source != nullptr ? source : alloc_.get();
+  }
+
   /// Carves a run block for `cap` pages: [RunHeader][ctrl strip][payloads
   /// — adjacent]. The returned header starts with live == 1: the owning
   /// array's anchor, which keeps the block mapped (so home slots stay
@@ -797,12 +849,14 @@ class PagedArray {
                    T** base) const {
     const size_t strip = RoundUp64Sz(cap * sizeof(PageCtrl));
     const size_t bytes = kBlockPrelude + strip + cap * payload_bytes_;
-    char* block = static_cast<char*>(alloc_->Allocate(bytes));
+    PageAllocator* source = nullptr;
+    char* block = static_cast<char*>(AllocateBlock(bytes, &source));
     auto* h = new (block) RunHeader();
     // orders: relaxed — the block is thread-private until a Snapshot()
     // publishes pages from it; that handoff provides the ordering.
     h->live.store(1, std::memory_order_relaxed);
     h->block_bytes = bytes;
+    h->source = source;
     auto* cs = reinterpret_cast<PageCtrl*>(block + kBlockPrelude);
     for (size_t i = 0; i < cap; ++i) {
       auto* c = new (&cs[i]) PageCtrl();
@@ -825,21 +879,24 @@ class PagedArray {
   /// (snapshot readers retire pages).
   void DropRunRef(RunHeader* run) const {
     const size_t bytes = run->block_bytes;
+    PageAllocator* source = BlockSource(run->source);
     // orders: acq_rel — release publishes this owner's last accesses to
     // pages in the block; acquire (taken by whichever decrement hits 0)
     // orders every other owner's accesses before the Deallocate.
     if (run->live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      alloc_->Deallocate(run, bytes);
+      source->Deallocate(run, bytes);
     }
   }
 
   /// Standalone single-page block: [PageCtrl][payload]. refs starts at 1.
   T* NewStandalonePage(PageCtrl** ctrl_out) const {
-    char* block =
-        static_cast<char*>(alloc_->Allocate(kBlockPrelude + payload_bytes_));
+    PageAllocator* source = nullptr;
+    char* block = static_cast<char*>(
+        AllocateBlock(kBlockPrelude + payload_bytes_, &source));
     auto* ctrl = new (block) PageCtrl();
     // orders: relaxed — thread-private until published (see AllocateRun).
     ctrl->refs.store(1, std::memory_order_relaxed);
+    ctrl->source = source;
     *ctrl_out = ctrl;
     return reinterpret_cast<T*>(block + kBlockPrelude);
   }
@@ -855,7 +912,8 @@ class PagedArray {
       if (run != nullptr) {
         DropRunRef(run);
       } else {
-        alloc_->Deallocate(ctrl, kBlockPrelude + payload_bytes_);
+        BlockSource(ctrl->source)
+            ->Deallocate(ctrl, kBlockPrelude + payload_bytes_);
       }
     }
   }

@@ -226,6 +226,15 @@ class FrequencyProfile {
   /// hugepage arena for large profiles, the shared heap for small ones,
   /// and always the heap in ASan / forced-heap builds. Snapshots and
   /// Clone()s share the allocator, so it outlives every page.
+  ///
+  /// Storage failure model (docs/ROBUSTNESS.md): a recoverable arena
+  /// refusal (mmap ENOMEM) never reaches this layer — the page layer
+  /// falls back to heap blocks and the profile keeps its full contract,
+  /// merely losing the flat-view locality for the fallback blocks. Only
+  /// true heap exhaustion escapes, as std::bad_alloc from any allocating
+  /// operation (construction, growth, COW fault); the engine catches it
+  /// at the shard-worker boundary and quarantines the shard rather than
+  /// aborting the process.
   explicit FrequencyProfile(uint32_t num_objects,
                             cow::PageAllocatorRef alloc = nullptr);
 

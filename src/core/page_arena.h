@@ -58,6 +58,7 @@
 #include "core/cow_pages.h"
 #include "sprofile/obs/metrics.h"
 #include "sprofile/obs/trace_ring.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/sync.h"
 #include "util/thread_annotations.h"
@@ -136,7 +137,12 @@ class ArenaPageAllocator final : public PageAllocator {
     }
   }
 
+  /// Returns null when the OS refuses a new mapping (ENOMEM) — a
+  /// recoverable condition, not a crash: cow::PagedArray falls back to
+  /// heap pages and the engine's degradation ladder takes it from there
+  /// (docs/ROBUSTNESS.md).
   void* Allocate(size_t bytes) override SPROFILE_EXCLUDES(mu_) {
+    if (SPROFILE_FAILPOINT("arena_alloc_fail")) return nullptr;
     const size_t need = kBlockPrelude + RoundUp64(bytes);
     MutexLock lock(mu_);
     Arena* arena;
@@ -144,6 +150,7 @@ class ArenaPageAllocator final : public PageAllocator {
       // Oversized request: a dedicated mapping, sealed on the spot so it
       // drains straight to reclamation when its block dies.
       arena = NewArenaLocked(need);
+      if (arena == nullptr) return AllocFailedLocked();
       arena->sealed = true;
     } else {
       if (current_ == nullptr || current_->bump + need > current_->bytes) {
@@ -151,6 +158,7 @@ class ArenaPageAllocator final : public PageAllocator {
         current_ = NewArenaLocked(need);
       }
       arena = current_;
+      if (arena == nullptr) return AllocFailedLocked();
     }
     char* block = arena->base + arena->bump;
     arena->bump += need;
@@ -192,6 +200,7 @@ class ArenaPageAllocator final : public PageAllocator {
     s.arenas_live = arenas_live_.load(std::memory_order_relaxed);
     s.hugepage_arenas = hugepage_arenas_.load(std::memory_order_relaxed);
     s.arena_bytes_mapped = bytes_mapped_.load(std::memory_order_relaxed);
+    s.alloc_failures = alloc_failures_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -262,7 +271,12 @@ class ArenaPageAllocator final : public PageAllocator {
       arena = arenas_.back().get();
     }
     arena->base = MapArena(bytes, &arena->huge);
-    SPROFILE_CHECK_MSG(arena->base != nullptr, "arena mmap failed");
+    if (arena->base == nullptr) {
+      // Recoverable mmap failure (ENOMEM / vm.max_map_count): the
+      // descriptor stays on the table with a null base, exactly the
+      // shape the recycle scan above looks for, so nothing leaks.
+      return nullptr;
+    }
     arena->bytes = bytes;
     arena->bump = 0;
     arena->sealed = false;
@@ -334,8 +348,20 @@ class ArenaPageAllocator final : public PageAllocator {
     return (n + unit - 1) / unit * unit;
   }
 
+  /// Null on a fired alloc-failure accounting path: one counter bump per
+  /// refused request so degraded periods are visible in Stats() even
+  /// when the heap fallback papers over them.
+  void* AllocFailedLocked() SPROFILE_REQUIRES(mu_) {
+    alloc_failures_.fetch_add(1, std::memory_order_relaxed);
+    SPROFILE_METRIC_COUNTER("sprofile_arena_alloc_failures", "failures",
+                            "Arena page allocations refused (mmap failure)")
+        .Increment();
+    return nullptr;
+  }
+
   char* MapArena(size_t bytes, bool* huge) {
     *huge = false;
+    if (SPROFILE_FAILPOINT("arena_mmap_fail")) return nullptr;
 #if SPROFILE_ARENA_HAVE_MMAP
     void* base = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
@@ -376,6 +402,7 @@ class ArenaPageAllocator final : public PageAllocator {
   std::atomic<uint64_t> arenas_live_{0};
   std::atomic<uint64_t> hugepage_arenas_{0};
   std::atomic<uint64_t> bytes_mapped_{0};
+  std::atomic<uint64_t> alloc_failures_{0};
 };
 
 inline PageAllocatorRef MakeArenaPageAllocator(ArenaOptions options = {}) {

@@ -10,6 +10,7 @@
 
 #include "core/profile_io.h"
 #include "sprofile/obs/trace_ring.h"
+#include "util/failpoint.h"
 
 namespace sprofile {
 namespace engine {
@@ -83,6 +84,12 @@ Status SnapshotSink::CreateDir(const std::string& dir) {
 
 Status SnapshotSink::WriteFile(const std::string& path,
                                std::string_view bytes) {
+  if (SPROFILE_FAILPOINT("snapshot_save_write_fail")) {
+    // Injected disk-full/EIO: SaveAll must abandon the save with the
+    // previous generation fully intact (the crash-consistency contract).
+    return Status::IOError("injected write failure (failpoint "
+                           "snapshot_save_write_fail): " + path);
+  }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot open " + path);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
@@ -178,6 +185,12 @@ Status SaveAll(ShardedProfiler& engine, const std::string& dir) {
 StatusOr<ShardedProfiler> LoadAll(const std::string& dir,
                                   const EngineOptions& options) {
   const std::string manifest_path = dir + "/" + kManifestFileName;
+  if (SPROFILE_FAILPOINT("snapshot_load_read_fail")) {
+    // Injected unreadable manifest: restore paths must degrade to a clean
+    // Status, never a partially constructed engine.
+    return Status::IOError("injected read failure (failpoint "
+                           "snapshot_load_read_fail): " + manifest_path);
+  }
   std::ifstream in(manifest_path);
   if (!in) return Status::IOError("cannot open " + manifest_path);
 

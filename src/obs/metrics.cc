@@ -226,6 +226,14 @@ std::string_view TraceEventName(TraceEvent ev) {
       return "arena_reclaim";
     case TraceEvent::kSpill:
       return "spill";
+    case TraceEvent::kFailpoint:
+      return "failpoint";
+    case TraceEvent::kDegradedAlloc:
+      return "degraded_alloc";
+    case TraceEvent::kShed:
+      return "shed";
+    case TraceEvent::kQuarantine:
+      return "quarantine";
   }
   return "unknown";
 }

@@ -1,0 +1,135 @@
+#include "util/failpoint.h"
+
+#include "sprofile/obs/metrics.h"
+#include "sprofile/obs/trace_ring.h"
+
+namespace sprofile {
+namespace failpoint {
+
+namespace {
+
+// splitmix64: tiny, seedable, and good enough for per-hit coin flips.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Point::Activate(const Trigger& trigger) {
+  MutexLock lock(mu_);
+  trigger_ = trigger;
+  hits_since_arm_ = 0;
+  rng_state_ = trigger.seed;
+  // orders: relaxed — the mutex above already orders the trigger state
+  // against any ShouldFireSlow that observes armed_ == true.
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void Point::Deactivate() {
+  MutexLock lock(mu_);
+  // orders: relaxed — see Activate.
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+bool Point::ShouldFireSlow() {
+  bool fire = false;
+  {
+    MutexLock lock(mu_);
+    // Re-check under the lock: a Deactivate may have won the race since
+    // the fast-path load.
+    // orders: relaxed — mu_ orders the trigger state.
+    if (!armed_.load(std::memory_order_relaxed)) return false;
+    const uint64_t hit = ++hits_since_arm_;
+    switch (trigger_.mode) {
+      case Trigger::Mode::kAlways:
+        fire = true;
+        break;
+      case Trigger::Mode::kOnce:
+        fire = true;
+        // orders: relaxed — self-disarm under mu_, same contract as
+        // Deactivate.
+        armed_.store(false, std::memory_order_relaxed);
+        break;
+      case Trigger::Mode::kEveryNth:
+        fire = (hit % trigger_.n) == 0;
+        break;
+      case Trigger::Mode::kProbability: {
+        // Map the top 53 bits to [0, 1): an exact-1.0 trigger always
+        // fires, an exact-0.0 one never does.
+        const double u =
+            static_cast<double>(NextRandom(&rng_state_) >> 11) * 0x1p-53;
+        fire = u < trigger_.probability;
+        break;
+      }
+      case Trigger::Mode::kAfterNHits:
+        fire = hit > trigger_.n;
+        break;
+    }
+  }
+  // orders: relaxed — advisory counters.
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (fire) {
+    const uint64_t fired = fires_.fetch_add(1, std::memory_order_relaxed) + 1;
+    SPROFILE_METRIC_COUNTER("sprofile_failpoint_fires", "fires",
+                            "Armed failpoints that injected a failure")
+        .Add(1);
+    obs::Trace(obs::TraceEvent::kFailpoint, index_, fired);
+  }
+  return fire;
+}
+
+Registry& Registry::Global() {
+  // Never destroyed: macro sites may fire from static destructors and
+  // cache Point references for the process lifetime (the same contract
+  // as obs::Registry::Global()).
+  static Registry* g = new Registry();
+  return *g;
+}
+
+Point& Registry::GetOrCreate(std::string_view name) {
+  MutexLock lock(mu_);
+  for (Point* p : points_) {
+    if (p->name() == name) return *p;
+  }
+  points_.push_back(
+      new Point(std::string(name), static_cast<uint32_t>(points_.size())));
+  return *points_.back();
+}
+
+bool Registry::Deactivate(std::string_view name) {
+  MutexLock lock(mu_);
+  for (Point* p : points_) {
+    if (p->name() == name) {
+      p->Deactivate();
+      return true;
+    }
+  }
+  return false;
+}
+
+void Registry::DeactivateAll() {
+  MutexLock lock(mu_);
+  for (Point* p : points_) p->Deactivate();
+}
+
+uint64_t Registry::FireCount(std::string_view name) const {
+  MutexLock lock(mu_);
+  for (const Point* p : points_) {
+    if (p->name() == name) return p->fire_count();
+  }
+  return 0;
+}
+
+std::vector<std::string> Registry::Names() const {
+  MutexLock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(points_.size());
+  for (const Point* p : points_) out.push_back(p->name());
+  return out;
+}
+
+}  // namespace failpoint
+}  // namespace sprofile

@@ -1,0 +1,199 @@
+// sprofile::failpoint — compile-time-gated fault-injection registry
+// (the libfail / RocksDB fault_injection idiom).
+//
+// A failpoint is a named site in production code where a test (or the
+// chaos harness) can inject a failure:
+//
+//   if (SPROFILE_FAILPOINT("arena_mmap_fail")) return nullptr;
+//
+// Sites are declared with the macro and cost NOTHING unless the build
+// defines SPROFILE_FAILPOINTS (`cmake -DSPROFILE_FAILPOINTS=ON`): the
+// macro expands to the constant `(false)` and the branch dead-codes
+// away, so the default build's hot paths are bit-identical to a tree
+// with no failpoints at all. With the flag on, each site memoizes a
+// registry lookup in a function-local static (exactly the
+// SPROFILE_METRIC_* pattern) and the per-call cost is one relaxed
+// atomic load while the point is disarmed.
+//
+// Tests arm points by name with a trigger policy:
+//
+//   failpoint::Registry::Global().Activate(
+//       "engine_ring_push_full", failpoint::Trigger::EveryNth(64));
+//   ...
+//   failpoint::Registry::Global().DeactivateAll();
+//
+// Activate() creates the point if no site has executed yet, so a test
+// can arm before the code path first runs. Activation, deactivation,
+// and ShouldFire() are all thread-safe; ShouldFire() may race
+// Activate() from another thread (a fire decided under the old trigger
+// may land just after a Deactivate — callers must tolerate one
+// straggler, which chaos tests do by quiescing before asserting).
+//
+// Every fire increments the `sprofile_failpoint_fires` obs counter and
+// emits a kFailpoint trace-ring event, so a chaos run's injection
+// schedule is reconstructible from the same post-mortem dump as the
+// engine's own lifecycle events.
+//
+// The registry API below compiles in ALL builds (it is tiny and lets
+// tests share one source under both configurations); only the macro —
+// i.e. the production-code sites — is compile-gated.
+//
+// Catalog discipline: every name passed to SPROFILE_FAILPOINT must have
+// a row in docs/ROBUSTNESS.md (the `failpoint-docs` splint rule, the
+// same contract metric-docs enforces for metrics).
+
+#ifndef SPROFILE_UTIL_FAILPOINT_H_
+#define SPROFILE_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace sprofile {
+namespace failpoint {
+
+/// When an armed point fires, relative to the hits it observes while
+/// armed. Hits are only counted while the point is armed (a disarmed
+/// site is one relaxed load, no bookkeeping).
+struct Trigger {
+  enum class Mode : uint8_t {
+    kAlways = 0,       // fire on every hit
+    kOnce = 1,         // fire on the first hit, then self-disarm
+    kEveryNth = 2,     // fire on hits n, 2n, 3n, ...
+    kProbability = 3,  // fire on each hit with probability p (seeded)
+    kAfterNHits = 4,   // stay quiet for n hits, fire on every later one
+  };
+
+  Mode mode = Mode::kAlways;
+  uint64_t n = 1;          // period (kEveryNth) or threshold (kAfterNHits)
+  double probability = 1;  // kProbability only
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+
+  static Trigger Always() { return {}; }
+  static Trigger Once() { return {Mode::kOnce, 1, 1, 0x9e3779b97f4a7c15ull}; }
+  static Trigger EveryNth(uint64_t n) {
+    return {Mode::kEveryNth, n < 1 ? 1 : n, 1, 0x9e3779b97f4a7c15ull};
+  }
+  static Trigger Probability(double p, uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    return {Mode::kProbability, 1, p, seed};
+  }
+  static Trigger AfterNHits(uint64_t n) {
+    return {Mode::kAfterNHits, n, 1, 0x9e3779b97f4a7c15ull};
+  }
+};
+
+/// One named injection site. Created on first registry contact
+/// (macro-site static init or test Activate) and never destroyed —
+/// macro sites cache references for the process lifetime.
+class Point {
+ public:
+  explicit Point(std::string name, uint32_t index)
+      : name_(std::move(name)), index_(index) {}
+
+  Point(const Point&) = delete;
+  Point& operator=(const Point&) = delete;
+
+  /// The injection decision. Disarmed fast path: one relaxed load.
+  bool ShouldFire() {
+    // orders: relaxed — armed_ is an advisory gate; all trigger state
+    // it protects is re-checked under mu_ in ShouldFireSlow, and a
+    // stale false merely skips an injection one hit late.
+    if (!armed_.load(std::memory_order_relaxed)) [[likely]] return false;
+    return ShouldFireSlow();
+  }
+
+  const std::string& name() const { return name_; }
+  uint32_t index() const { return index_; }
+
+  /// Lifetime totals (cumulative across re-activations).
+  uint64_t fire_count() const {
+    // orders: relaxed — advisory counter read by tests after quiescing.
+    return fires_.load(std::memory_order_relaxed);
+  }
+  uint64_t hit_count() const {
+    // orders: relaxed — advisory counter, same contract as fires_.
+    return hits_.load(std::memory_order_relaxed);
+  }
+
+  void Activate(const Trigger& trigger);
+  void Deactivate();
+  bool armed() const {
+    // orders: relaxed — advisory, see ShouldFire.
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool ShouldFireSlow();
+
+  const std::string name_;
+  const uint32_t index_;
+  // orders: this flag gates entry to the mutex-protected slow path; it
+  // carries no data dependency, so every access is relaxed.
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> fires_{0};
+
+  Mutex mu_;
+  Trigger trigger_ SPROFILE_GUARDED_BY(mu_);
+  uint64_t hits_since_arm_ SPROFILE_GUARDED_BY(mu_) = 0;
+  uint64_t rng_state_ SPROFILE_GUARDED_BY(mu_) = 0;
+};
+
+/// Process-global name -> Point table. Lookup is linear under a mutex:
+/// it runs once per macro site (memoized in a static) and per test
+/// activation, never per hit.
+class Registry {
+ public:
+  static Registry& Global();
+
+  /// Finds or creates the point. The reference is valid forever.
+  Point& GetOrCreate(std::string_view name);
+
+  /// Arms `name` (creating it if no site has executed yet).
+  void Activate(std::string_view name, const Trigger& trigger) {
+    GetOrCreate(name).Activate(trigger);
+  }
+
+  /// Disarms `name`. Returns false if the point was never registered.
+  bool Deactivate(std::string_view name);
+
+  /// Disarms every point (test teardown).
+  void DeactivateAll();
+
+  /// Lifetime fires of `name`; 0 if never registered.
+  uint64_t FireCount(std::string_view name) const;
+
+  /// Names of all registered points, registration order.
+  std::vector<std::string> Names() const;
+
+ private:
+  Registry() = default;
+
+  mutable Mutex mu_;
+  // Pointer stability: points are heap-allocated and never freed.
+  std::vector<Point*> points_ SPROFILE_GUARDED_BY(mu_);
+};
+
+}  // namespace failpoint
+}  // namespace sprofile
+
+#if defined(SPROFILE_FAILPOINTS)
+// Memoized site: the registry lookup runs once (thread-safe static
+// init), after which a hit is Point::ShouldFire — one relaxed load
+// while disarmed.
+#define SPROFILE_FAILPOINT(name)                                      \
+  ([]() -> bool {                                                     \
+    static ::sprofile::failpoint::Point& sprofile_failpoint_site =    \
+        ::sprofile::failpoint::Registry::Global().GetOrCreate(name);  \
+    return sprofile_failpoint_site.ShouldFire();                      \
+  }())
+#else
+#define SPROFILE_FAILPOINT(name) (false)
+#endif
+
+#endif  // SPROFILE_UTIL_FAILPOINT_H_

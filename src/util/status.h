@@ -29,6 +29,7 @@ enum class StatusCode : int {
   kCorruption = 7,
   kFailedPrecondition = 8,
   kUnimplemented = 9,
+  kUnavailable = 10,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -72,6 +73,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  /// Transient overload / degraded-mode rejection: the operation may
+  /// succeed if retried later (shed events under OverloadPolicy::kShed,
+  /// queries against a quarantined shard). RocksDB's TryAgain family.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// Builds a non-OK status with an explicit code — for layers that annotate

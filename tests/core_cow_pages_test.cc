@@ -242,6 +242,91 @@ TEST(CowPagedArrayTest, ConcurrentSnapshotReadersSeeFrozenState) {
   reader.join();
 }
 
+
+// The degradation ladder's first rung (docs/ROBUSTNESS.md), exercised
+// WITHOUT failpoints: a primary allocator that refuses requests must not
+// sink the array — refused blocks come from the process heap instead,
+// values stay exact, and every block frees back to the allocator that
+// actually produced it (the per-block source routing).
+class FlakyAllocator final : public PageAllocator {
+ public:
+  /// Refuses every `refuse_every`-th request; serves the rest from an
+  /// inner heap allocator whose books must balance at teardown.
+  explicit FlakyAllocator(uint64_t refuse_every)
+      : refuse_every_(refuse_every) {}
+
+  void* Allocate(size_t bytes) override {
+    if (++calls_ % refuse_every_ == 0) {
+      ++refusals_;
+      return nullptr;
+    }
+    return inner_.Allocate(bytes);
+  }
+  void Deallocate(void* block, size_t bytes) noexcept override {
+    inner_.Deallocate(block, bytes);
+  }
+  PageAllocStats Stats() const override { return inner_.Stats(); }
+
+  uint64_t refusals() const { return refusals_; }
+
+ private:
+  const uint64_t refuse_every_;
+  uint64_t calls_ = 0;
+  uint64_t refusals_ = 0;
+  HeapPageAllocator inner_;
+};
+
+TEST(CowDegradationTest, TotalRefusalFallsBackToHeapPages) {
+  auto refusing = std::make_shared<FlakyAllocator>(/*refuse_every=*/1);
+  {
+    PagedArray<uint32_t> a(refusing, 2 * kElems);
+    a.resize(2 * kElems);
+    for (size_t i = 0; i < a.size(); ++i) {
+      a.Mutable(i) = static_cast<uint32_t>(i);
+    }
+    const PagedArray<uint32_t> snap = a;
+    a.Mutable(0) = 777;  // fault copy also lands on the fallback
+    for (size_t i = 1; i < a.size(); ++i) ASSERT_EQ(a[i], i) << i;
+    EXPECT_EQ(snap[0], 0u) << "snapshot stays frozen across the fallback";
+    EXPECT_GT(refusing->refusals(), 0u);
+    EXPECT_EQ(refusing->Stats().pages_allocated, 0u)
+        << "the refusing primary never produced a block";
+  }
+  // Teardown freed heap-fallback blocks to the heap, not to the primary.
+  EXPECT_EQ(refusing->Stats().pages_freed, 0u);
+}
+
+TEST(CowDegradationTest, MixedSourcesFreeToTheirOwnAllocator) {
+  auto flaky = std::make_shared<FlakyAllocator>(/*refuse_every=*/3);
+  {
+    PagedArray<uint32_t> a(flaky, 4 * kElems);
+    a.resize(4 * kElems);
+    for (size_t i = 0; i < a.size(); ++i) {
+      a.Mutable(i) = static_cast<uint32_t>(i * 3);
+    }
+    // Churn both block shapes: snapshot + scattered writes produce
+    // standalone fault copies alongside the home runs.
+    const PagedArray<uint32_t> snap = a;
+    for (size_t i = 0; i < a.size(); i += kElems) a.Mutable(i) = 1;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (i % kElems == 0) {
+        ASSERT_EQ(a[i], 1u) << i;
+      } else {
+        ASSERT_EQ(a[i], i * 3) << i;
+      }
+    }
+    EXPECT_GT(flaky->refusals(), 0u);
+    EXPECT_GT(flaky->Stats().pages_allocated, 0u)
+        << "the test needs BOTH sources in play";
+  }
+  // Every block the flaky primary produced came back to it — a heap
+  // block routed here (or vice versa) would unbalance the books (and
+  // trip ASan on the mismatched free).
+  const PageAllocStats s = flaky->Stats();
+  EXPECT_EQ(s.pages_allocated, s.pages_freed);
+  EXPECT_EQ(s.page_bytes_live, 0u);
+}
+
 }  // namespace
 }  // namespace cow
 }  // namespace sprofile

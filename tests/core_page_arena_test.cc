@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <memory>
 #include <thread>
@@ -31,6 +32,7 @@
 
 #include "core/frequency_profile.h"
 #include "core/keyed_profile.h"
+#include "util/failpoint.h"
 #include "util/random.h"
 #include "util/sync.h"
 
@@ -465,6 +467,51 @@ TEST(ArenaReclaimTortureTest, ConcurrentSnapshotDropsReclaimSafely) {
   const PageAllocStats s = alloc->Stats();
   EXPECT_LE(s.pages_live(), p.TotalStoragePages() + 4);
 }
+
+
+// ISSUE 10 satellite: an arena mmap failure used to abort the process
+// via SPROFILE_CHECK ("arena mmap failed"). It must instead surface as a
+// null block — the recoverable rung of the degradation ladder
+// (docs/ROBUSTNESS.md) that PagedArray answers with heap-page fallback —
+// counted in Stats().alloc_failures, with the allocator fully usable
+// again once mappings succeed. The failing-first shape needs the
+// injection site compiled in (-DSPROFILE_FAILPOINTS=ON).
+#if defined(SPROFILE_FAILPOINTS)
+TEST(ArenaPageAllocatorTest, MmapFailureReturnsNullInsteadOfAborting) {
+  auto& registry = failpoint::Registry::Global();
+  ArenaPageAllocator alloc(ArenaOptions{.first_arena_bytes = 64 * 1024});
+
+  registry.Activate("arena_mmap_fail", failpoint::Trigger::Always());
+  void* refused = alloc.Allocate(4096);  // first arena mapping fails
+  EXPECT_EQ(refused, nullptr);
+  EXPECT_GT(alloc.Stats().alloc_failures, 0u);
+  registry.DeactivateAll();
+
+  // Recovered: the refusal left no half-built arena behind, so the next
+  // request maps an arena and succeeds.
+  void* ok = alloc.Allocate(4096);
+  ASSERT_NE(ok, nullptr);
+  std::memset(ok, 0xcd, 4096);
+  alloc.Deallocate(ok, 4096);
+  EXPECT_EQ(alloc.Stats().page_bytes_live, 0u);
+}
+
+TEST(ArenaPageAllocatorTest, AllocFailpointRefusesWithoutAborting) {
+  auto& registry = failpoint::Registry::Global();
+  ArenaPageAllocator alloc(ArenaOptions{.first_arena_bytes = 64 * 1024});
+  void* warm = alloc.Allocate(4096);  // arena mapped while healthy
+  ASSERT_NE(warm, nullptr);
+
+  registry.Activate("arena_alloc_fail", failpoint::Trigger::Always());
+  EXPECT_EQ(alloc.Allocate(4096), nullptr);
+  registry.DeactivateAll();
+
+  void* ok = alloc.Allocate(4096);
+  ASSERT_NE(ok, nullptr);
+  alloc.Deallocate(ok, 4096);
+  alloc.Deallocate(warm, 4096);
+}
+#endif  // SPROFILE_FAILPOINTS
 
 }  // namespace
 }  // namespace cow

@@ -153,6 +153,10 @@ TEST(TraceRingTest, EventNamesAreStable) {
   EXPECT_EQ(TraceEventName(TraceEvent::kArenaCreate), "arena_create");
   EXPECT_EQ(TraceEventName(TraceEvent::kArenaReclaim), "arena_reclaim");
   EXPECT_EQ(TraceEventName(TraceEvent::kSpill), "spill");
+  EXPECT_EQ(TraceEventName(TraceEvent::kFailpoint), "failpoint");
+  EXPECT_EQ(TraceEventName(TraceEvent::kDegradedAlloc), "degraded_alloc");
+  EXPECT_EQ(TraceEventName(TraceEvent::kShed), "shed");
+  EXPECT_EQ(TraceEventName(TraceEvent::kQuarantine), "quarantine");
 }
 
 TEST(TraceRingTest, ConcurrentEmitAndDumpNeverBlocksOrCorruptsSeqs) {

@@ -1,0 +1,178 @@
+// util/failpoint.h — trigger policies, registry lifecycle, and the
+// compile-gated macro. Deliberately single-threaded: the concurrent
+// behavior (arming under live multi-producer ingestion) is
+// engine_chaos_test's job; this suite pins down the per-point decision
+// logic where failures are deterministic and debuggable.
+
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace sprofile {
+namespace failpoint {
+namespace {
+
+Registry& Reg() { return Registry::Global(); }
+
+// Each test arms its own uniquely named points: the registry is
+// process-global and fire counts are cumulative, so sharing names across
+// tests would couple their assertions.
+
+TEST(FailpointTrigger, AlwaysFiresOnEveryHit) {
+  Point& p = Reg().GetOrCreate("test_always");
+  EXPECT_FALSE(p.ShouldFire());  // disarmed by default
+  p.Activate(Trigger::Always());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(p.ShouldFire());
+  p.Deactivate();
+  EXPECT_FALSE(p.ShouldFire());
+  EXPECT_EQ(p.fire_count(), 5u);
+}
+
+TEST(FailpointTrigger, OnceFiresExactlyOnceThenSelfDisarms) {
+  Point& p = Reg().GetOrCreate("test_once");
+  p.Activate(Trigger::Once());
+  EXPECT_TRUE(p.ShouldFire());
+  EXPECT_FALSE(p.armed());  // self-disarmed by the fire
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(p.ShouldFire());
+  EXPECT_EQ(p.fire_count(), 1u);
+}
+
+TEST(FailpointTrigger, EveryNthFiresOnMultiplesOfN) {
+  Point& p = Reg().GetOrCreate("test_every_nth");
+  p.Activate(Trigger::EveryNth(3));
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) fired.push_back(p.ShouldFire());
+  const std::vector<bool> want = {false, false, true,  false, false,
+                                  true,  false, false, true};
+  EXPECT_EQ(fired, want);
+  p.Deactivate();
+}
+
+TEST(FailpointTrigger, AfterNHitsStaysQuietThenFiresForever) {
+  Point& p = Reg().GetOrCreate("test_after_n");
+  p.Activate(Trigger::AfterNHits(4));
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(p.ShouldFire());
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(p.ShouldFire());
+  p.Deactivate();
+}
+
+TEST(FailpointTrigger, ProbabilityZeroNeverFiresOneAlwaysFires) {
+  Point& never = Reg().GetOrCreate("test_prob_zero");
+  never.Activate(Trigger::Probability(0.0));
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(never.ShouldFire());
+  never.Deactivate();
+
+  Point& always = Reg().GetOrCreate("test_prob_one");
+  always.Activate(Trigger::Probability(1.0));
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(always.ShouldFire());
+  always.Deactivate();
+}
+
+TEST(FailpointTrigger, ProbabilityIsSeededAndRoughlyCalibrated) {
+  // Same seed -> same decision sequence (re-Activate resets the stream).
+  Point& p = Reg().GetOrCreate("test_prob_seeded");
+  std::vector<bool> first, second;
+  p.Activate(Trigger::Probability(0.5, /*seed=*/42));
+  for (int i = 0; i < 64; ++i) first.push_back(p.ShouldFire());
+  p.Activate(Trigger::Probability(0.5, /*seed=*/42));
+  for (int i = 0; i < 64; ++i) second.push_back(p.ShouldFire());
+  p.Deactivate();
+  EXPECT_EQ(first, second);
+
+  // Calibration: p=0.5 over 2000 hits lands well inside [0.35, 0.65]
+  // (binomial 6-sigma is ~0.067) — loose enough to never flake, tight
+  // enough to catch a broken mapping from rng bits to [0, 1).
+  Point& c = Reg().GetOrCreate("test_prob_calibration");
+  c.Activate(Trigger::Probability(0.5, /*seed=*/7));
+  int fires = 0;
+  for (int i = 0; i < 2000; ++i) fires += c.ShouldFire() ? 1 : 0;
+  c.Deactivate();
+  EXPECT_GT(fires, 700);
+  EXPECT_LT(fires, 1300);
+}
+
+TEST(FailpointTrigger, ReactivationResetsTheHitWindow) {
+  Point& p = Reg().GetOrCreate("test_rearm");
+  p.Activate(Trigger::AfterNHits(2));
+  EXPECT_FALSE(p.ShouldFire());
+  EXPECT_FALSE(p.ShouldFire());
+  EXPECT_TRUE(p.ShouldFire());
+  // Re-arming starts a fresh window: the old hit tally must not leak.
+  p.Activate(Trigger::AfterNHits(2));
+  EXPECT_FALSE(p.ShouldFire());
+  EXPECT_FALSE(p.ShouldFire());
+  EXPECT_TRUE(p.ShouldFire());
+  p.Deactivate();
+}
+
+TEST(FailpointRegistry, ActivateCreatesBeforeAnySiteRuns) {
+  // The test arms first; the "site" (GetOrCreate) comes second and must
+  // observe the armed trigger — the order chaos tests rely on.
+  Reg().Activate("test_pre_armed", Trigger::Always());
+  Point& p = Reg().GetOrCreate("test_pre_armed");
+  EXPECT_TRUE(p.armed());
+  EXPECT_TRUE(p.ShouldFire());
+  Reg().Deactivate("test_pre_armed");
+}
+
+TEST(FailpointRegistry, GetOrCreateReturnsTheSamePoint) {
+  Point& a = Reg().GetOrCreate("test_identity");
+  Point& b = Reg().GetOrCreate("test_identity");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(FailpointRegistry, DeactivateReportsUnknownNames) {
+  EXPECT_FALSE(Reg().Deactivate("test_never_registered_anywhere"));
+  Reg().GetOrCreate("test_known");
+  EXPECT_TRUE(Reg().Deactivate("test_known"));
+}
+
+TEST(FailpointRegistry, FireCountByName) {
+  EXPECT_EQ(Reg().FireCount("test_never_registered_anywhere"), 0u);
+  Reg().Activate("test_counted", Trigger::Always());
+  Point& p = Reg().GetOrCreate("test_counted");
+  const uint64_t before = Reg().FireCount("test_counted");
+  (void)p.ShouldFire();
+  (void)p.ShouldFire();
+  EXPECT_EQ(Reg().FireCount("test_counted"), before + 2);
+  Reg().Deactivate("test_counted");
+}
+
+TEST(FailpointRegistry, NamesListsRegisteredPoints) {
+  Reg().GetOrCreate("test_listed");
+  const std::vector<std::string> names = Reg().Names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test_listed"),
+            names.end());
+}
+
+TEST(FailpointRegistry, DeactivateAllDisarmsEverything) {
+  Reg().Activate("test_sweep_a", Trigger::Always());
+  Reg().Activate("test_sweep_b", Trigger::EveryNth(2));
+  Reg().DeactivateAll();
+  EXPECT_FALSE(Reg().GetOrCreate("test_sweep_a").armed());
+  EXPECT_FALSE(Reg().GetOrCreate("test_sweep_b").armed());
+}
+
+TEST(FailpointMacro, GatedByBuildFlag) {
+#if defined(SPROFILE_FAILPOINTS)
+  // Compiled in: the macro consults the registry.
+  Reg().Activate("test_macro_site", Trigger::Always());
+  EXPECT_TRUE(SPROFILE_FAILPOINT("test_macro_site"));
+  Reg().Deactivate("test_macro_site");
+  EXPECT_FALSE(SPROFILE_FAILPOINT("test_macro_site"));
+#else
+  // Compiled out: constant false even when the registry arms the name —
+  // the default build carries no injection sites at all.
+  Reg().Activate("test_macro_site", Trigger::Always());
+  EXPECT_FALSE(SPROFILE_FAILPOINT("test_macro_site"));
+  Reg().Deactivate("test_macro_site");
+#endif
+}
+
+}  // namespace
+}  // namespace failpoint
+}  // namespace sprofile

@@ -1,0 +1,9 @@
+// Clean file: the injection site has a catalog row in the fixture's
+// docs/ROBUSTNESS.md, and the commented spelling below must not count
+// as a site: SPROFILE_FAILPOINT("fixture_comment_only_point").
+#include "util/failpoint.h"
+
+bool Clean() {
+  if (SPROFILE_FAILPOINT("fixture_documented_point")) return false;
+  return true;
+}

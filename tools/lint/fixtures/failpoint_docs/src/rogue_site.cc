@@ -1,0 +1,8 @@
+// Seeded violation: an injection site whose name has no catalog row in
+// the fixture's docs/ROBUSTNESS.md — the rule must fire here.
+#include "util/failpoint.h"
+
+bool Rogue() {
+  if (SPROFILE_FAILPOINT("fixture_undocumented_point")) return false;
+  return true;
+}

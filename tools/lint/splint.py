@@ -22,6 +22,10 @@ checks (see tools/lint/README.md for the rationale behind each rule):
   metric-docs         every metric registered through the
                       SPROFILE_METRIC_* macros / AddCallbackGauge has a
                       catalog row in docs/OBSERVABILITY.md
+  failpoint-docs      every SPROFILE_FAILPOINT injection site in the
+                      library (src/, include/) has a catalog row in
+                      docs/ROBUSTNESS.md — chaos tests arm points by
+                      name, so an undocumented point is undiscoverable
   tracked-build-artifacts
                       no build*/ tree is committed to the repository
                       (PR 6 accidentally committed build_review/)
@@ -105,6 +109,13 @@ METRIC_NAME_RES = (
     re.compile(r'AddCallbackGauge\(\s*"([^"]+)"'),
     re.compile(r'\{"(sprofile_[a-z0-9_]+)",\s*"'),
 )
+# failpoint-docs: injection sites live in the library only — tests and
+# examples arm existing points (or registry-only names) and need no
+# catalog entry.
+FAILPOINT_SCAN_DIRS = ("src", "include")
+FAILPOINT_DOCS_PATH = "docs/ROBUSTNESS.md"
+FAILPOINT_SITE_RE = re.compile(r'SPROFILE_FAILPOINT\(\s*"([^"]+)"')
+
 # intrinsics-confinement: the one header allowed to spell x86 SIMD.
 # Everything else must call its dispatched wrappers, so the scalar
 # fallback, the forced-scalar build, and non-x86 ports never rot.
@@ -445,6 +456,45 @@ def rule_metric_docs(root):
     return violations
 
 
+def rule_failpoint_docs(root):
+    violations = []
+    docs = read(root, FAILPOINT_DOCS_PATH)
+    sites = []  # (relpath, line, name)
+    for reldir in FAILPOINT_SCAN_DIRS:
+        for rel in iter_files(root, reldir, (".h", ".cc", ".cpp")):
+            raw = read(root, rel) or ""
+            # failpoint.h itself spells the macro (definition + doc
+            # examples); comment lines elsewhere may quote it too.
+            if os.path.basename(rel) == "failpoint.h":
+                continue
+            scrubbed = "\n".join(
+                "" if line.lstrip().startswith("//") else line
+                for line in raw.split("\n"))
+            for m in FAILPOINT_SITE_RE.finditer(scrubbed):
+                line = scrubbed.count("\n", 0, m.start()) + 1
+                sites.append((rel, line, m.group(1)))
+    if not sites:
+        return violations
+    if docs is None:
+        violations.append(Violation(
+            FAILPOINT_DOCS_PATH, 1, "failpoint-docs",
+            "failpoint sites exist but the catalog file is missing"))
+        return violations
+    documented = set(re.findall(r"^\|\s*`([^`]+)`", docs, re.M))
+    seen = set()
+    for rel, line, name in sites:
+        if name in documented or name in seen:
+            continue
+        seen.add(name)
+        violations.append(Violation(
+            rel, line, "failpoint-docs",
+            f"failpoint '{name}' has no catalog row in "
+            f"{FAILPOINT_DOCS_PATH} (a markdown table row starting with "
+            "| `" + name + "` |) — chaos tooling arms points by name, so "
+            "every injection site must be documented"))
+    return violations
+
+
 def rule_tracked_build_artifacts(root):
     """Flags build*/ paths committed to the repository. With a .git
     directory the tracked set comes from `git ls-files` (the authoritative
@@ -516,6 +566,7 @@ RULES = {
     "facade-includes": rule_facade_includes,
     "payload-alloc": rule_payload_alloc,
     "metric-docs": rule_metric_docs,
+    "failpoint-docs": rule_failpoint_docs,
     "tracked-build-artifacts": rule_tracked_build_artifacts,
     "intrinsics-confinement": rule_intrinsics_confinement,
 }
